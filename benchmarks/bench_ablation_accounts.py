@@ -1,0 +1,44 @@
+"""Ablation: account-pool size vs collection completeness.
+
+The full packed plan needs ~2,154 unique queries per rolling 24 hours
+against a 50-unique-query per-account quota.  This bench shows the failed
+query count as the pool grows from starved to sufficient.
+"""
+
+from repro import AccountPool, SimulatedCloud
+from repro.core import SpotLakeArchive, SpsCollector, plan_for_offering_map
+
+
+def test_ablation_account_pool(benchmark):
+    cloud = SimulatedCloud(seed=0)
+    # a quarter-catalog slice keeps the bench quick but over-quota for one
+    # account
+    offering = dict(list(cloud.catalog.offering_map().items())[:140])
+    plan = plan_for_offering_map(offering)
+    needed = AccountPool.size_for(plan.optimized_query_count)
+    print(f"\nAblation: account pool sizing "
+          f"({plan.optimized_query_count} unique queries, quota 50/account, "
+          f"{needed} accounts needed)")
+
+    outcomes = {}
+
+    def run_sweep():
+        for size in (1, max(1, needed // 2), needed):
+            pool = AccountPool(size)
+            collector = SpsCollector(cloud, SpotLakeArchive(), pool, plan)
+            outcomes[size] = collector.collect()
+        return outcomes
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print(f"  {'accounts':>9s} {'issued':>8s} {'failed':>8s} {'written':>9s}")
+    for size, report in sorted(outcomes.items()):
+        print(f"  {size:9d} {report.queries_issued:8d} "
+              f"{report.queries_failed:8d} {report.records_written:9d}")
+
+    sizes = sorted(outcomes)
+    assert outcomes[sizes[0]].queries_failed > 0         # starved pool fails
+    assert outcomes[sizes[-1]].queries_failed == 0       # sized pool succeeds
+    # failures decrease monotonically with pool size
+    failures = [outcomes[s].queries_failed for s in sizes]
+    assert failures == sorted(failures, reverse=True)

@@ -1,0 +1,41 @@
+"""Ablation: random-forest feature window (Table 4 extension).
+
+Compares the RF trained on current-value features only against the full
+preceding-month history features, isolating the contribution of the
+archive's historical dataset -- the paper's core value claim.
+"""
+
+from repro.experiments import FEATURE_NAMES, prediction_study
+
+CURRENT_ONLY = [FEATURE_NAMES.index(n)
+                for n in ("sps_current", "if_current", "savings_current")]
+HISTORY_ONLY = [i for i, n in enumerate(FEATURE_NAMES)
+                if n not in ("sps_current", "if_current", "savings_current")]
+
+
+def test_ablation_feature_windows(benchmark, experiment_world, prediction_archive):
+    _, submit, _, results = experiment_world
+
+    outcomes = {}
+
+    def run_all():
+        for label, mask in (("current-only", CURRENT_ONLY),
+                            ("history-only", HISTORY_ONLY),
+                            ("current+history", None)):
+            scores = prediction_study(prediction_archive, results, submit,
+                                      n_estimators=80, seed=0,
+                                      feature_mask=mask)
+            outcomes[label] = {s.method: s for s in scores}["RF"]
+        return outcomes
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\nAblation: RF feature windows")
+    print(f"  {'features':16s} {'accuracy':>9s} {'f1':>6s}")
+    for label in ("current-only", "history-only", "current+history"):
+        rf = outcomes[label]
+        print(f"  {label:16s} {rf.accuracy:9.2f} {rf.f1:6.2f}")
+
+    # history features must add signal over current values alone
+    assert outcomes["current+history"].accuracy >= \
+        outcomes["current-only"].accuracy

@@ -1,0 +1,57 @@
+"""Figure 3: temporal heatmaps of the spot placement and interruption-free
+scores per instance class (paper: averages 2.8 / 2.22, accelerated family
+12.07% / 34.98% below average, a dip around June 2 = day 152)."""
+
+import numpy as np
+
+from repro.analysis import temporal_heatmap
+
+from conftest import ARCHIVE_DAYS, ARCHIVE_SAMPLES_PER_DAY
+
+
+def _day_times(times):
+    per_day = ARCHIVE_SAMPLES_PER_DAY
+    return [times[d * per_day:(d + 1) * per_day] for d in range(ARCHIVE_DAYS)]
+
+
+def test_figure03_temporal_heatmaps(benchmark, archive_service, archive_times):
+    catalog = archive_service.cloud.catalog
+    day_times = _day_times(archive_times)
+
+    def build():
+        sps = temporal_heatmap(archive_service.archive, catalog, day_times, "sps")
+        ifs = temporal_heatmap(archive_service.archive, catalog, day_times, "if_score")
+        return sps, ifs
+
+    sps_map, if_map = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    sps_avg = sps_map.overall_mean()
+    if_avg = if_map.overall_mean()
+    print("\nFigure 3: temporal score heatmaps (daily class means)")
+    print(f"  average SPS (paper 2.8):  {sps_avg:.2f}")
+    print(f"  average IF  (paper 2.22): {if_avg:.2f}")
+
+    accel = ("P", "G", "DL", "Trn", "Inf", "F", "VT")
+    rows = sps_map.row_means()
+    if_rows = if_map.row_means()
+    accel_sps = np.mean([rows[c] for c in accel if c in rows])
+    accel_if = np.mean([if_rows[c] for c in accel if c in if_rows])
+    print(f"  accelerated below average: SPS {100 * (1 - accel_sps / sps_avg):.1f}% "
+          f"(paper 12.07), IF {100 * (1 - accel_if / if_avg):.1f}% (paper 34.98)")
+
+    print("  per-class means (SPS / IF):")
+    for cls in sps_map.row_labels:
+        if cls in rows:
+            print(f"    {cls:4s} {rows[cls]:.2f} / {if_rows.get(cls, float('nan')):.2f}")
+
+    # event: June 2 = day 152; SPS daily mean dips vs surrounding days
+    daily = np.nanmean(sps_map.values, axis=0)
+    event = np.nanmean(daily[152:156])
+    before = np.nanmean(daily[140:150])
+    print(f"  June-2 event: mean SPS {before:.3f} before vs {event:.3f} during")
+
+    assert accel_sps < sps_avg
+    assert accel_if < if_avg
+    assert (1 - accel_if / if_avg) > (1 - accel_sps / sps_avg)  # IF hit harder
+    assert event < before  # the capacity event is visible
+    assert 2.4 < sps_avg < 3.0 and 1.9 < if_avg < 2.6

@@ -1,0 +1,32 @@
+"""Figure 5: scores grouped by instance size (paper: both scores decrease
+as the size grows; only sizes with more than 10 instance types shown)."""
+
+from repro.analysis import scores_by_size, size_trend_slope
+
+
+def test_figure05_scores_by_size(benchmark, archive_service, archive_times):
+    catalog = archive_service.cloud.catalog
+
+    sizes = benchmark.pedantic(
+        lambda: scores_by_size(archive_service.archive, catalog,
+                               archive_times[::10], min_types=10),
+        rounds=1, iterations=1)
+
+    print("\nFigure 5: scores by instance size")
+    print(f"  {'size':>9s} {'SPS':>6s} {'IF':>6s} {'#types':>7s}")
+    for row in sizes.as_rows():
+        print(f"  {row['size']:>9s} {row['sps']:6.2f} "
+              f"{row['if_score']:6.2f} {row['types']:7d}")
+
+    sps_slope = size_trend_slope(sizes, "sps")
+    if_slope = size_trend_slope(sizes, "if")
+    print(f"  trend slope per size step: SPS {sps_slope:+.3f}, IF {if_slope:+.3f}"
+          " (paper: both negative)")
+
+    assert len(sizes.sizes) >= 5
+    assert all(c > 10 for c in sizes.type_counts)
+    assert sps_slope < 0
+    assert if_slope < 0
+    # the largest kept size scores lower than the smallest on both datasets
+    assert sizes.sps_means[-1] < sizes.sps_means[0]
+    assert sizes.if_means[-1] < sizes.if_means[0]

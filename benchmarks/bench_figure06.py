@@ -1,0 +1,33 @@
+"""Figure 6: composite (3-type) placement-score queries vs the sum of the
+individual scores (paper: equal 38.81%, composite above 60.62%, below-sum
+only rare exceptions)."""
+
+from repro.cloudsim import SimulatedCloud
+from repro.analysis import composite_query_study
+
+
+def test_figure06_composite_queries(benchmark):
+    cloud = SimulatedCloud(seed=0)
+    timestamp = cloud.clock.start + 40 * 86400.0
+
+    study = benchmark.pedantic(
+        lambda: composite_query_study(cloud, timestamp,
+                                      samples_per_sum=40, seed=1),
+        rounds=1, iterations=1)
+
+    shares = study.shares()
+    print("\nFigure 6: composite-type query score vs sum of single scores")
+    print(f"  observations: {len(study.observations)} "
+          f"(uniform over summed scores 3..9)")
+    print(f"  composite == sum (paper 38.81%): {shares['equal']:.2f}%")
+    print(f"  composite >  sum (paper 60.62%): {shares['composite_above']:.2f}%")
+    print(f"  composite <  sum (paper: rare):  {shares['composite_below']:.2f}%")
+
+    counts = study.scatter_counts()
+    max_composite = max(c for c, _ in counts)
+    print(f"  max composite score observed: {max_composite} (API cap 10)")
+
+    assert shares["composite_above"] > shares["equal"]
+    assert shares["composite_below"] < 5.0
+    assert 25.0 < shares["equal"] < 55.0
+    assert max_composite <= 10

@@ -1,0 +1,35 @@
+"""Figure 7: placement score vs number of requested instances (paper:
+accelerated P/G/Inf and storage D drop hardest as the capacity grows)."""
+
+from repro.analysis import capacity_sweep, drops_by_category
+from repro.cloudsim import SimulatedCloud
+
+
+def test_figure07_capacity_sweep(benchmark):
+    cloud = SimulatedCloud(seed=0)
+    timestamp = cloud.clock.start + 40 * 86400.0
+
+    sweep = benchmark.pedantic(
+        lambda: capacity_sweep(cloud, timestamp),
+        rounds=1, iterations=1)
+
+    print("\nFigure 7: placement score vs requested capacity")
+    header = "  " + f"{'type':>16s}" + "".join(
+        f"{c:>7d}" for c in sweep.capacities)
+    print(header)
+    for name in sweep.instance_types:
+        row = sweep.scores[name]
+        print("  " + f"{name:>16s}" + "".join(f"{v:7.2f}" for v in row))
+
+    drops = drops_by_category(sweep, cloud.catalog)
+    print("  mean score drop by category (1 -> max capacity):")
+    for category, drop in sorted(drops.items(), key=lambda kv: -kv[1]):
+        print(f"    {category:12s} {drop:+.2f}")
+
+    # every type loses score as the requested capacity grows
+    for name in sweep.instance_types:
+        row = sweep.scores[name]
+        assert row[0] >= row[-1]
+    # accelerated drops hardest, general least (paper's key finding)
+    assert drops["accelerated"] >= max(drops["general"], drops["compute"])
+    assert drops["storage"] > drops["general"]

@@ -1,0 +1,24 @@
+"""Figure 9: histogram of the score difference |SPS - interruption-free|
+(paper: 0.0 is modal; ~17.41% full contradiction at 2.0; ~24% at >= 1.5)."""
+
+from repro.analysis import contradiction_summary, score_difference_histogram
+
+
+def test_figure09_score_difference(benchmark, archive_service, archive_times):
+    histogram = benchmark.pedantic(
+        lambda: score_difference_histogram(archive_service.archive,
+                                           archive_times[::6]),
+        rounds=1, iterations=1)
+
+    print("\nFigure 9: |SPS - interruption-free score| distribution")
+    for diff in (0.0, 0.5, 1.0, 1.5, 2.0):
+        print(f"  diff {diff:3.1f}: {histogram.get(diff, 0.0):6.2f}%")
+    summary = contradiction_summary(histogram)
+    print(f"  full contradiction (paper 17.41%): "
+          f"{summary['full_contradiction']:.2f}%")
+    print(f"  difference >= 1.5 (paper ~24%):    "
+          f"{summary['severe_disagreement']:.2f}%")
+
+    assert histogram[0.0] == max(histogram.values())  # agreement is modal
+    assert 8.0 < summary["full_contradiction"] < 30.0
+    assert 12.0 < summary["severe_disagreement"] < 40.0

@@ -1,0 +1,27 @@
+"""Figure 10: CDF of elapsed time between dataset value updates (paper: the
+placement score updates most frequently, the interruption-free score least,
+the spot price in between)."""
+
+from repro.analysis import update_frequency_study
+
+
+def test_figure10_update_frequency(benchmark, archive_service):
+    study = benchmark.pedantic(
+        lambda: update_frequency_study(archive_service.archive),
+        rounds=1, iterations=1)
+
+    print("\nFigure 10: elapsed time between value updates")
+    for dataset in ("sps", "price", "if_score"):
+        intervals = study.intervals[dataset]
+        if len(intervals) == 0:
+            continue
+        print(f"  {dataset:9s} n={len(intervals):6d} "
+              f"median {study.median_hours(dataset):7.1f} h")
+
+    ordering = study.ordering()
+    print(f"  most-to-least frequently updated: {ordering} "
+          "(paper: sps, price, if_score)")
+
+    assert ordering == ["sps", "price", "if_score"]
+    assert study.median_hours("sps") < study.median_hours("price")
+    assert study.median_hours("price") < study.median_hours("if_score")

@@ -1,0 +1,40 @@
+"""Figure 11: CDFs of fulfillment latency and time-to-interruption per
+score combination (paper 11a: H-H 28% fulfilled within 1 s, >90% within
+135 s, L-L median 1322 s; 11b: H-L median 6872 s > L-H median 2859 s, H-H
+longest)."""
+
+from repro.experiments import fulfillment_latency_cdfs, run_duration_cdfs
+
+
+def test_figure11_latency_cdfs(benchmark, experiment_world):
+    _, _, _, results = experiment_world
+
+    def build():
+        return (fulfillment_latency_cdfs(results),
+                run_duration_cdfs(results))
+
+    latency, duration = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print("\nFigure 11a: time until fulfillment")
+    print(f"  {'combo':6s} {'median':>8s} {'<1 s':>6s} {'<135 s':>7s}")
+    for combo in ("H-H", "H-L", "M-M", "L-H", "L-L"):
+        print(f"  {combo:6s} {latency.median(combo):7.0f}s "
+              f"{100 * latency.fraction_below(combo, 1):5.0f}% "
+              f"{100 * latency.fraction_below(combo, 135):6.0f}%")
+    print("  (paper: H-H 28% within 1 s, 90% within 135 s; "
+          "L-L median 1322 s)")
+
+    print("Figure 11b: time until interruption (median seconds)")
+    for combo in ("H-H", "H-L", "M-M", "L-H", "L-L"):
+        print(f"  {combo:6s} {duration.median(combo):8.0f}s")
+    print("  (paper: H-L 6872 s > L-H 2859 s; H-H longest)")
+
+    # 11a shape: high scores fulfill fast, low scores slowly
+    assert latency.fraction_below("H-H", 1) > 0.15
+    assert latency.fraction_below("H-H", 135) > 0.85
+    assert latency.median("L-L") > 400
+    assert latency.median("H-H") < latency.median("M-M") < latency.median("L-L")
+    # 11b shape: H-H runs longest; H-L outlasts L-H
+    assert duration.median("H-H") == max(
+        duration.median(c) for c in ("H-H", "H-L", "M-M", "L-H", "L-L"))
+    assert duration.median("H-L") > duration.median("L-H")

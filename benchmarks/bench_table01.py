@@ -1,0 +1,36 @@
+"""Table 1: spot request status taxonomy and lifecycle transitions."""
+
+from repro.cloudsim import (
+    ALLOWED_TRANSITIONS,
+    RequestState,
+    STATE_DESCRIPTIONS,
+    SimulatedCloud,
+    Account,
+)
+
+
+def test_table01_request_states(benchmark):
+    """Print the Table 1 rows and benchmark request timeline generation."""
+    print("\nTable 1: possible spot instance request status")
+    for state in RequestState:
+        print(f"  {state.value:20s} {STATE_DESCRIPTIONS[state]}")
+
+    cloud = SimulatedCloud(seed=0)
+    client = cloud.client(Account("bench"))
+
+    def submit_batch():
+        ids = [client.request_spot_instances("m5.large", "us-east-1a",
+                                             0.096, persistent=True)
+               for _ in range(20)]
+        return [cloud.get_request(rid) for rid in ids]
+
+    requests = benchmark(submit_batch)
+
+    # every generated timeline only uses legal Table-1 transitions
+    for request in requests:
+        previous = RequestState.PENDING_EVALUATION
+        for event in request.events:
+            assert event.state in ALLOWED_TRANSITIONS[previous], (
+                f"illegal transition {previous} -> {event.state}")
+            previous = event.state
+    assert len(STATE_DESCRIPTIONS) == 4

@@ -1,0 +1,46 @@
+"""Table 2: value distribution of the placement and interruption-free
+scores (paper: SPS 87.88 / 3.81 / 8.31 %; IF 33.05 / 25.92 / 13.86 / 6.33 /
+20.84 %).
+
+Unlike the heatmap benches (which stratify pools by class for row
+coverage), this bench samples pools *uniformly* so the marginal
+distribution matches the catalog-wide one the paper reports.
+"""
+
+import numpy as np
+
+from repro import ServiceConfig, SpotLakeService
+from repro.analysis import value_distribution
+
+
+def test_table02_value_distribution(benchmark):
+    service = SpotLakeService(ServiceConfig(seed=0))
+    pools = service.cloud.catalog.all_pools()
+    rng = np.random.default_rng(7)
+    subset = [pools[i] for i in rng.choice(len(pools), 500, replace=False)]
+    start = service.cloud.clock.start
+    times = [start + d * 86400.0 + 21600.0 for d in range(0, 181, 2)]
+
+    def build():
+        service.bulk_backfill(times, pools=subset, include_price=False)
+        return value_distribution(service.archive, times)
+
+    dist = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print("\nTable 2: score value distribution")
+    print(f"  {'value':>5s} {'SPS %':>8s} {'IF %':>8s}   (paper SPS / IF)")
+    paper = {3.0: (87.88, 33.05), 2.5: (None, 25.92), 2.0: (3.81, 13.86),
+             1.5: (None, 6.33), 1.0: (8.31, 20.84)}
+    for value in (3.0, 2.5, 2.0, 1.5, 1.0):
+        sps = dist.sps_percent.get(value)
+        ifp = dist.if_percent.get(value)
+        ref_s, ref_i = paper[value]
+        sps_txt = f"{sps:8.2f}" if sps is not None else "      NA"
+        ref_s_txt = f"{ref_s:.2f}" if ref_s is not None else "NA"
+        print(f"  {value:5.1f} {sps_txt} {ifp:8.2f}   ({ref_s_txt} / {ref_i:.2f})")
+
+    # shape: SPS mass concentrated at 3.0, 1.0 above 2.0; IF spread wide
+    assert dist.sps_percent[3.0] > 80.0
+    assert dist.sps_percent[1.0] > dist.sps_percent[2.0]
+    assert dist.if_percent[3.0] == max(dist.if_percent.values())
+    assert all(dist.if_percent[v] > 3.0 for v in (3.0, 2.5, 2.0, 1.5, 1.0))

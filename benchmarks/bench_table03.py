@@ -1,0 +1,42 @@
+"""Table 3: not-fulfilled and interrupted rates per score combination
+(paper: H-H 0/14.71, H-L 0/40.52, M-M 25.49/39.22, L-H 58.18/30.91,
+L-L 45.61/45.61)."""
+
+from repro.experiments import table3
+
+PAPER = {
+    "H-H": (0.0, 14.71),
+    "H-L": (0.0, 40.52),
+    "M-M": (25.49, 39.22),
+    "L-H": (58.18, 30.91),
+    "L-L": (45.61, 45.61),
+}
+
+
+def test_table03_outcomes(benchmark, experiment_world):
+    _, _, _, results = experiment_world
+
+    rows = benchmark.pedantic(lambda: table3(results), rounds=1, iterations=1)
+
+    print(f"\nTable 3: outcome rates over {len(results)} cases "
+          "(paper used 503)")
+    print(f"  {'combo':6s} {'not-fulfilled':>14s} {'interrupted':>12s}"
+          f"   (paper NF / INT)")
+    by_combo = {}
+    for row in rows:
+        ref = PAPER[row.combo]
+        print(f"  {row.combo:6s} {row.not_fulfilled_percent:13.1f}% "
+              f"{row.interrupted_percent:11.1f}%   "
+              f"({ref[0]:.1f} / {ref[1]:.1f})")
+        by_combo[row.combo] = row
+
+    # shape assertions from the paper's key findings
+    assert by_combo["H-H"].not_fulfilled_percent == 0.0
+    assert by_combo["H-L"].not_fulfilled_percent == 0.0
+    assert by_combo["H-H"].interrupted_percent == min(
+        r.interrupted_percent for r in rows)
+    assert by_combo["L-H"].not_fulfilled_percent > 40.0
+    assert by_combo["L-H"].not_fulfilled_percent > \
+        by_combo["L-L"].not_fulfilled_percent
+    assert by_combo["L-L"].interrupted_percent > 35.0
+    assert by_combo["M-M"].not_fulfilled_percent > 15.0

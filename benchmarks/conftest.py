@@ -1,0 +1,85 @@
+"""Shared fixtures for the table/figure reproduction benches.
+
+Heavy artifacts (a backfilled archive, the 505-case experiment) are built
+once per session and shared; each bench then measures and prints its own
+table or figure series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ServiceConfig, SimulatedCloud, SpotLakeService
+from repro.experiments import ExperimentRunner, sample_cases
+
+#: Deterministic world seed for all benches.
+SEED = 0
+
+#: Archive shape used by the Section 5.1-5.3 benches: a class-stratified
+#: pool subset sampled twice a day across the paper's 181-day window.
+ARCHIVE_POOLS = 360
+ARCHIVE_DAYS = 181
+ARCHIVE_SAMPLES_PER_DAY = 2
+
+
+def _stratified_pools(cloud: SimulatedCloud, count: int):
+    """Pick pools spread across instance classes (so every heatmap row has
+    data), deterministically."""
+    catalog = cloud.catalog
+    by_class = {c: [] for c in catalog.classes}
+    for pool in catalog.all_pools():
+        by_class[catalog.instance_type(pool[0]).class_letter].append(pool)
+    rng = np.random.default_rng(SEED)
+    picked = []
+    classes = [c for c in catalog.classes if by_class[c]]
+    per_class = max(1, count // len(classes))
+    for cls in classes:
+        pools = by_class[cls]
+        take = min(per_class, len(pools))
+        idx = rng.choice(len(pools), size=take, replace=False)
+        picked.extend(pools[i] for i in idx)
+    return picked
+
+
+@pytest.fixture(scope="session")
+def archive_service():
+    """A SpotLake service with a 181-day backfilled archive."""
+    service = SpotLakeService(ServiceConfig(seed=SEED))
+    pools = _stratified_pools(service.cloud, ARCHIVE_POOLS)
+    start = service.cloud.clock.start
+    times = [start + d * 86400.0 + h * 43200.0 + 21600.0
+             for d in range(ARCHIVE_DAYS)
+             for h in range(ARCHIVE_SAMPLES_PER_DAY)]
+    service.bulk_backfill(times, pools=pools)
+    service._bench_times = times          # shared sampling grid
+    service._bench_pools = pools
+    return service
+
+
+@pytest.fixture(scope="session")
+def archive_times(archive_service):
+    return archive_service._bench_times
+
+
+@pytest.fixture(scope="session")
+def experiment_world():
+    """The Section 5.4 experiment: 505 stratified 24-hour cases."""
+    cloud = SimulatedCloud(seed=SEED)
+    submit = cloud.clock.start + 35 * 86400.0
+    cloud.clock.set(submit)
+    cases = sample_cases(cloud, submit, per_combo=101)
+    results = ExperimentRunner(cloud).run_all(cases)
+    return cloud, submit, cases, results
+
+
+@pytest.fixture(scope="session")
+def prediction_archive(experiment_world):
+    """Archive holding the preceding month of history for the case pools."""
+    cloud, submit, cases, results = experiment_world
+    service = SpotLakeService(ServiceConfig(seed=SEED), cloud=cloud)
+    pools = sorted({(c.instance_type, c.region, c.availability_zone)
+                    for c in cases})
+    times = np.linspace(submit - 32 * 86400.0, submit, 80)
+    service.bulk_backfill(times.tolist(), pools=pools, include_price=False)
+    return service.archive

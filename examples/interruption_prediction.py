@@ -1,0 +1,55 @@
+"""Interruption prediction: the value of *historical* spot data.
+
+Reproduces Section 5.5 / Table 4: a random forest trained on features from
+the preceding month of archived placement-score and interruption-free
+history, compared against the three heuristics a user without an archive
+could implement (thresholding the *current* IF score, SPS, or cost saving).
+
+    python examples/interruption_prediction.py
+"""
+
+import numpy as np
+
+from repro import ServiceConfig, SpotLakeService
+from repro.experiments import (
+    ExperimentRunner,
+    FEATURE_NAMES,
+    prediction_study,
+    sample_cases,
+)
+
+
+def main() -> None:
+    service = SpotLakeService(ServiceConfig(seed=0))
+    cloud = service.cloud
+    submit_time = cloud.clock.start + 35 * 86400
+    cloud.clock.set(submit_time)
+
+    # 1. run the real-request experiment that provides the labels
+    cases = sample_cases(cloud, submit_time, per_combo=101)
+    print(f"label source: {len(cases)} stratified 24-hour experiments")
+    results = ExperimentRunner(cloud).run_all(cases)
+
+    # 2. backfill the archive with the preceding month of history for the
+    #    pools under study (what the SpotLake service would already hold)
+    pools = sorted({(c.instance_type, c.region, c.availability_zone)
+                    for c in cases})
+    sample_times = np.linspace(submit_time - 32 * 86400, submit_time, 80)
+    service.bulk_backfill(sample_times.tolist(), pools=pools,
+                          include_price=False)
+    print(f"archive backfilled for {len(pools)} pools x "
+          f"{len(sample_times)} instants")
+    print(f"features per case: {', '.join(FEATURE_NAMES)}\n")
+
+    # 3. Table 4
+    print(f"{'method':10s} {'accuracy':>9s} {'f1':>6s}")
+    for score in prediction_study(service.archive, results, submit_time):
+        print(f"{score.method:10s} {score.accuracy:9.2f} {score.f1:6.2f}")
+    print("\npaper:     IF 0.45/0.43, SPS 0.64/0.58, "
+          "CostSave 0.39/0.28, RF 0.73/0.73")
+    print("key finding: the model with access to the archive's historical "
+          "dataset beats every current-value heuristic.")
+
+
+if __name__ == "__main__":
+    main()

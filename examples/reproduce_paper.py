@@ -1,0 +1,97 @@
+"""Reproduce the paper's headline tables in one run.
+
+The IISWC artifact ships preprocessed data and scripts that regenerate
+every figure and table "in about 1 minute"; this script is the equivalent
+entry point for the simulated reproduction.  It prints Table 1, the
+Figure-1 query-plan numbers, Table 2, Table 3 and Table 4 compactly.
+(For the full per-figure series, run ``pytest benchmarks/ --benchmark-only
+-s``.)
+
+    python examples/reproduce_paper.py
+"""
+
+import numpy as np
+
+from repro import ServiceConfig, SimulatedCloud, SpotLakeService
+from repro.analysis import value_distribution
+from repro.cloudsim import RequestState, STATE_DESCRIPTIONS
+from repro.core import plan_for_catalog
+from repro.experiments import (
+    ExperimentRunner,
+    prediction_study,
+    sample_cases,
+    table3,
+)
+
+
+def main() -> None:
+    print("=" * 64)
+    print("Table 1: spot request status")
+    print("=" * 64)
+    for state in RequestState:
+        print(f"  {state.value:20s} {STATE_DESCRIPTIONS[state][:44]}")
+
+    cloud = SimulatedCloud(seed=0)
+    print("\n" + "=" * 64)
+    print("Figure 1: bin-packed query plan")
+    print("=" * 64)
+    plan = plan_for_catalog(cloud.catalog)
+    print(f"  {plan.pair_bound_query_count} (bound, paper 9,299) -> "
+          f"{plan.optimized_query_count} packed (paper 2,226), "
+          f"{plan.bound_reduction_factor:.2f}x (paper ~4.5x)")
+
+    print("\n" + "=" * 64)
+    print("Table 2: score value distribution")
+    print("=" * 64)
+    service = SpotLakeService(ServiceConfig(seed=0))
+    pools = service.cloud.catalog.all_pools()
+    rng = np.random.default_rng(7)
+    subset = [pools[i] for i in rng.choice(len(pools), 350, replace=False)]
+    start = service.cloud.clock.start
+    times = [start + d * 86400.0 + 21600.0 for d in range(0, 181, 4)]
+    service.bulk_backfill(times, pools=subset, include_price=False)
+    dist = value_distribution(service.archive, times)
+    paper = {3.0: ("87.88", "33.05"), 2.5: ("   NA", "25.92"),
+             2.0: (" 3.81", "13.86"), 1.5: ("   NA", " 6.33"),
+             1.0: (" 8.31", "20.84")}
+    print(f"  {'value':>5s} {'SPS%':>7s} {'IF%':>7s}    (paper)")
+    for value in (3.0, 2.5, 2.0, 1.5, 1.0):
+        sps = dist.sps_percent.get(value)
+        sps_txt = f"{sps:7.2f}" if sps is not None else "     NA"
+        print(f"  {value:5.1f} {sps_txt} {dist.if_percent[value]:7.2f}"
+              f"    ({paper[value][0]} / {paper[value][1]})")
+
+    print("\n" + "=" * 64)
+    print("Table 3: fulfillment & interruption per score combo")
+    print("=" * 64)
+    submit = cloud.clock.start + 35 * 86400.0
+    cloud.clock.set(submit)
+    cases = sample_cases(cloud, submit, per_combo=101)
+    results = ExperimentRunner(cloud).run_all(cases)
+    paper3 = {"H-H": "0 / 14.7", "H-L": "0 / 40.5", "M-M": "25.5 / 39.2",
+              "L-H": "58.2 / 30.9", "L-L": "45.6 / 45.6"}
+    for row in table3(results):
+        print(f"  {row.combo:5s} NF {row.not_fulfilled_percent:5.1f}%  "
+              f"INT {row.interrupted_percent:5.1f}%   "
+              f"(paper {paper3[row.combo]})")
+
+    print("\n" + "=" * 64)
+    print("Table 4: outcome prediction (history vs current-value)")
+    print("=" * 64)
+    case_pools = sorted({(c.instance_type, c.region, c.availability_zone)
+                         for c in cases})
+    hist_times = np.linspace(submit - 32 * 86400.0, submit, 80)
+    service2 = SpotLakeService(ServiceConfig(seed=0), cloud=cloud)
+    service2.bulk_backfill(hist_times.tolist(), pools=case_pools,
+                           include_price=False)
+    paper4 = {"IF": "0.45/0.43", "SPS": "0.64/0.58",
+              "CostSave": "0.39/0.28", "RF": "0.73/0.73"}
+    for score in prediction_study(service2.archive, results, submit):
+        print(f"  {score.method:9s} acc {score.accuracy:.2f}  "
+              f"f1 {score.f1:.2f}   (paper {paper4[score.method]})")
+    print("\nSee EXPERIMENTS.md for the full per-figure comparison and")
+    print("`pytest benchmarks/ --benchmark-only -s` for every series.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Regenerate RECLAIM_REUNIFORM_KNOTS after changing reclaim weights.
+
+Samples the raw reclaim pressure over all (type, region) pairs and several
+days, prints the 21 evenly spaced quantiles to paste into
+``repro/cloudsim/market.py``.
+
+Usage: python scripts/calibrate_reclaim.py
+"""
+
+import numpy as np
+
+from repro.cloudsim import Catalog, SpotMarket
+
+
+def main() -> None:
+    catalog = Catalog(seed=0)
+    market = SpotMarket(catalog, seed=0)
+    pairs = sorted({(t, r) for (t, r, _z) in catalog.all_pools()})
+    sample_days = (5, 35, 65, 95, 125, 155)
+    values = [
+        market.raw_reclaim(t, r, market.epoch + day * 86400.0)
+        for (t, r) in pairs
+        for day in sample_days
+    ]
+    quantiles = np.quantile(np.array(values), np.linspace(0.0, 1.0, 21))
+    print(f"# {len(values)} samples over {len(pairs)} (type, region) pairs")
+    print("RECLAIM_REUNIFORM_KNOTS = (")
+    for i in range(0, 21, 8):
+        row = ", ".join(f"{q:.4f}" for q in quantiles[i:i + 8])
+        print(f"    {row},")
+    print(")")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Empirical tuning loop for the Section 5.4/5.5 calibration constants."""
+import numpy as np
+from repro.core import SpotLakeService, ServiceConfig
+from repro.experiments import sample_cases, ExperimentRunner, table3, prediction_study
+
+def evaluate():
+    svc = SpotLakeService(ServiceConfig(seed=0))
+    cloud = svc.cloud
+    submit = cloud.clock.start + 35*86400
+    cloud.clock.set(submit)
+    cases = sample_cases(cloud, submit, per_combo=101)
+    results = ExperimentRunner(cloud).run_all(cases)
+    for row in table3(results):
+        print(f'{row.combo}: NF {row.not_fulfilled_percent:.1f}% INT {row.interrupted_percent:.1f}%')
+    print('paper: H-H 0/14.7, H-L 0/40.5, M-M 25.5/39.2, L-H 58.2/30.9, L-L 45.6/45.6')
+    pools = sorted({(c.instance_type, c.region, c.availability_zone) for c in cases})
+    times = np.linspace(submit - 32*86400, submit, 80)
+    svc.bulk_backfill(times.tolist(), pools=pools, include_price=False)
+    for s in prediction_study(svc.archive, results, submit, n_estimators=60):
+        print(f'{s.method}: acc {s.accuracy:.2f} f1 {s.f1:.2f}')
+    print('paper: IF 0.45/0.43, SPS 0.64/0.58, CostSave 0.39/0.28, RF 0.73/0.73')
+
+if __name__ == '__main__':
+    evaluate()

@@ -1,0 +1,6 @@
+"""Setuptools shim: enables legacy editable installs on environments
+without the ``wheel`` package (pip install -e . --no-build-isolation)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""SpotLake reproduction: diverse spot instance dataset archive service.
+
+Reproduces Lee, Hwang & Lee, *SpotLake: Diverse Spot Instance Dataset
+Archive Service* (IISWC 2022) end to end on a deterministic simulated
+cloud:
+
+>>> from repro import SpotLakeService, ServiceConfig
+>>> service = SpotLakeService(ServiceConfig(seed=0,
+...     instance_types=["m5.large", "p3.2xlarge"]))
+>>> reports = service.collect_once()
+>>> response = service.gateway.get("/latest", {
+...     "instance_type": "m5.large", "region": "us-east-1",
+...     "at": str(service.cloud.clock.now())})
+
+Package layout
+--------------
+``repro.cloudsim``
+    Simulated AWS-like substrate: catalog, latent market, dataset engines,
+    spot request lifecycle, quota-enforcing API client.
+``repro.timeseries``
+    Embedded time-series store (Timestream stand-in).
+``repro.solver``
+    Bin-packing solvers (OR-Tools/CBC stand-in).
+``repro.core``
+    SpotLake itself: query planner, collectors, archive, scheduler, serving.
+``repro.mlcore``
+    CART / random forest / metrics / sampling (scikit-learn stand-in).
+``repro.analysis``
+    Section 5.1-5.3 analyses (heatmaps, distributions, correlations, ...).
+``repro.experiments``
+    Section 5.4-5.5 experiments (fulfillment/interruption, prediction).
+"""
+
+from .core import ServiceConfig, SpotLakeArchive, SpotLakeService
+from .cloudsim import Account, AccountPool, Catalog, SimulatedCloud
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ServiceConfig", "SpotLakeArchive", "SpotLakeService",
+    "Account", "AccountPool", "Catalog", "SimulatedCloud",
+    "__version__",
+]

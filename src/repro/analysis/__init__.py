@@ -1,0 +1,36 @@
+"""Analyses reproducing the paper's Section 5.1-5.3 figures and tables."""
+
+from .capacity import CapacitySweep, capacity_sweep, drops_by_category, representative_type
+from .composite import CompositeObservation, CompositeStudy, composite_query_study
+from .correlation import CorrelationStudy, PAIR_NAMES, correlation_study, pearson
+from .distributions import (
+    ValueDistribution,
+    contradiction_summary,
+    score_difference_histogram,
+    value_distribution,
+)
+from .heatmaps import Heatmap, spatial_heatmap, spatial_vs_temporal_variation, temporal_heatmap
+from .scores import (
+    BUCKET_TO_SCORE,
+    IF_SCORE_VALUES,
+    SPS_VALUES,
+    categorize,
+    interruption_free_score,
+    mean_score,
+    score_from_bucket,
+)
+from .sizes import SizeScores, scores_by_size, size_trend_slope
+from .updates import DATASETS, UpdateFrequencyStudy, update_frequency_study
+
+__all__ = [
+    "CapacitySweep", "capacity_sweep", "drops_by_category", "representative_type",
+    "CompositeObservation", "CompositeStudy", "composite_query_study",
+    "CorrelationStudy", "PAIR_NAMES", "correlation_study", "pearson",
+    "ValueDistribution", "contradiction_summary",
+    "score_difference_histogram", "value_distribution",
+    "Heatmap", "spatial_heatmap", "spatial_vs_temporal_variation", "temporal_heatmap",
+    "BUCKET_TO_SCORE", "IF_SCORE_VALUES", "SPS_VALUES", "categorize",
+    "interruption_free_score", "mean_score", "score_from_bucket",
+    "SizeScores", "scores_by_size", "size_trend_slope",
+    "DATASETS", "UpdateFrequencyStudy", "update_frequency_study",
+]

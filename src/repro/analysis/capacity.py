@@ -1,0 +1,90 @@
+"""Placement score vs requested capacity (paper Figure 7).
+
+For representative instance types -- one or two per instance class, using
+the *xlarge* size where the family has it, else the smallest available --
+the region-level placement score as the requested instance count grows.
+Accelerated-computing (P, G, Inf) and dense-storage (D) classes drop the
+hardest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cloudsim import Catalog, SimulatedCloud
+from ..cloudsim.catalog import SIZE_LADDER
+
+#: Capacity steps the sweep evaluates (the paper sweeps to large counts).
+DEFAULT_CAPACITIES = (1, 5, 10, 20, 50)
+
+
+def representative_type(catalog: Catalog, class_letter: str) -> Optional[str]:
+    """The paper's representative for a class: xlarge if available, else
+    the smallest size, from the alphabetically first family in the class."""
+    families = sorted(
+        {t.family.name for t in catalog.types_in_class(class_letter)})
+    if not families:
+        return None
+    family = families[0]
+    sizes = next(f.sizes for f in catalog.families if f.name == family)
+    if "xlarge" in sizes:
+        return f"{family}.xlarge"
+    smallest = min(sizes, key=SIZE_LADDER.index)
+    return f"{family}.{smallest}"
+
+
+@dataclass
+class CapacitySweep:
+    """Figure 7 matrix: rows = instance types, cols = capacities."""
+
+    instance_types: List[str]
+    capacities: List[int]
+    scores: Dict[str, List[float]]  # type -> score per capacity
+
+    def drop(self, instance_type: str) -> float:
+        """Score lost between the smallest and largest capacity."""
+        row = self.scores[instance_type]
+        return row[0] - row[-1]
+
+
+def capacity_sweep(cloud: SimulatedCloud, timestamp: float,
+                   instance_types: Optional[Sequence[str]] = None,
+                   capacities: Sequence[int] = DEFAULT_CAPACITIES,
+                   region: Optional[str] = None) -> CapacitySweep:
+    """Sweep the placement score over requested capacity.
+
+    When ``instance_types`` is omitted, one representative per catalog
+    class is chosen.  Scores are averaged over all regions offering the
+    type (or evaluated in the single given region).
+    """
+    catalog = cloud.catalog
+    placement = cloud.placement
+    if instance_types is None:
+        instance_types = [t for t in
+                          (representative_type(catalog, c) for c in catalog.classes)
+                          if t is not None]
+    scores: Dict[str, List[float]] = {}
+    for name in instance_types:
+        row: List[float] = []
+        regions = ([region] if region else
+                   [r.code for r in catalog.regions_offering(name)])
+        if not regions:
+            continue
+        for capacity in capacities:
+            vals = [placement.region_score(name, r, timestamp, capacity)
+                    for r in regions]
+            row.append(sum(vals) / len(vals))
+        scores[name] = row
+    return CapacitySweep(list(scores), list(capacities), scores)
+
+
+def drops_by_category(sweep: CapacitySweep, catalog: Catalog) -> Dict[str, float]:
+    """Mean capacity-induced score drop per instance category."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for name in sweep.instance_types:
+        category = catalog.instance_type(name).category
+        sums[category] = sums.get(category, 0.0) + sweep.drop(name)
+        counts[category] = counts.get(category, 0) + 1
+    return {c: sums[c] / counts[c] for c in sums}

@@ -1,0 +1,100 @@
+"""Value distributions and score disagreement (paper Table 2, Figure 9).
+
+Table 2: the marginal distribution of placement-score and interruption-free
+score values over the whole collection window.
+
+Figure 9: the histogram of the absolute difference |SPS - IF score| at
+matched (instance type, region) and time -- the extent to which the two
+vendor datasets contradict each other.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.archive import DIM_REGION, DIM_TYPE, SpotLakeArchive
+from .scores import IF_SCORE_VALUES, SPS_VALUES
+
+
+@dataclass
+class ValueDistribution:
+    """Percentage of observations at each score value (Table 2)."""
+
+    sps_percent: Dict[float, float]
+    if_percent: Dict[float, float]
+    sps_observations: int
+    if_observations: int
+
+
+def value_distribution(archive: SpotLakeArchive,
+                       sample_times: Sequence[float]) -> ValueDistribution:
+    """Table 2: marginal score-value distribution over the window."""
+    _, sps = archive.sps_matrix(sample_times)
+    _, ifs = archive.if_score_matrix(sample_times)
+    sps_flat = sps[~np.isnan(sps)]
+    if_flat = ifs[~np.isnan(ifs)]
+
+    def percents(flat: np.ndarray, values: Sequence[float]) -> Dict[float, float]:
+        n = len(flat)
+        if n == 0:
+            return {float(v): 0.0 for v in values}
+        return {float(v): 100.0 * float(np.sum(flat == v)) / n for v in values}
+
+    return ValueDistribution(
+        sps_percent=percents(sps_flat, SPS_VALUES),
+        if_percent=percents(if_flat, IF_SCORE_VALUES),
+        sps_observations=len(sps_flat),
+        if_observations=len(if_flat),
+    )
+
+
+def score_difference_histogram(archive: SpotLakeArchive,
+                               sample_times: Sequence[float]
+                               ) -> Dict[float, float]:
+    """Figure 9: percentage of observations at each |SPS - IF| difference.
+
+    SPS series are zone-scoped while the advisor is region-scoped, so each
+    SPS observation is matched with its (type, region) advisor value at the
+    same instant.  Differences are binned on the advisor's 0.5 step; the
+    possible values are 0.0, 0.5, 1.0, 1.5, 2.0 (2.0 = full contradiction).
+    """
+    sps_keys, sps = archive.sps_matrix(sample_times)
+    if_keys, ifs = archive.if_score_matrix(sample_times)
+    if_row: Dict[Tuple[str, str], int] = {}
+    for row, key in enumerate(if_keys):
+        dims = key.dimension_dict
+        if_row[(dims[DIM_TYPE], dims[DIM_REGION])] = row
+
+    counter: Counter = Counter()
+    total = 0
+    for row, key in enumerate(sps_keys):
+        dims = key.dimension_dict
+        pair = (dims[DIM_TYPE], dims[DIM_REGION])
+        mate = if_row.get(pair)
+        if mate is None:
+            continue
+        for col in range(len(sample_times)):
+            a, b = sps[row, col], ifs[mate, col]
+            if np.isnan(a) or np.isnan(b):
+                continue
+            diff = round(abs(a - b) * 2.0) / 2.0
+            counter[diff] += 1
+            total += 1
+    if total == 0:
+        return {}
+    return {diff: 100.0 * count / total
+            for diff, count in sorted(counter.items())}
+
+
+def contradiction_summary(histogram: Dict[float, float]) -> Dict[str, float]:
+    """Headline Figure-9 numbers: share of full (2.0) and severe (>=1.5)
+    contradictions."""
+    return {
+        "exact_agreement": histogram.get(0.0, 0.0),
+        "full_contradiction": histogram.get(2.0, 0.0),
+        "severe_disagreement": sum(p for d, p in histogram.items() if d >= 1.5),
+    }

@@ -1,0 +1,133 @@
+"""Temporal and spatial score heatmaps (paper Figures 3 and 4).
+
+Figure 3: per instance class (rows, in the paper's family order) and per day
+(columns), the daily mean spot placement score and interruption-free score.
+
+Figure 4: per instance class (rows) and per region (columns), the mean
+scores over the window; (class, region) cells with no offerings are NaN
+("NA" in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cloudsim import Catalog
+from ..core.archive import DIM_REGION, DIM_TYPE, SpotLakeArchive
+from ..timeseries import SeriesKey
+
+
+@dataclass
+class Heatmap:
+    """A labelled 2-D matrix ready for rendering."""
+
+    row_labels: List[str]
+    col_labels: List[str]
+    values: np.ndarray  # shape (rows, cols); NaN = no data
+
+    def row_means(self) -> Dict[str, float]:
+        """Mean over columns per row, ignoring NaN."""
+        out = {}
+        for i, label in enumerate(self.row_labels):
+            row = self.values[i]
+            if not np.all(np.isnan(row)):
+                out[label] = float(np.nanmean(row))
+        return out
+
+    def overall_mean(self) -> float:
+        return float(np.nanmean(self.values))
+
+    def temporal_std(self) -> float:
+        """Mean over rows of the std across columns (variation over time)."""
+        stds = [float(np.nanstd(self.values[i]))
+                for i in range(len(self.row_labels))
+                if not np.all(np.isnan(self.values[i]))]
+        return float(np.mean(stds)) if stds else float("nan")
+
+
+def _class_of(catalog: Catalog, key: SeriesKey) -> Optional[str]:
+    name = key.dimension_dict.get(DIM_TYPE)
+    if name is None or not catalog.has_instance_type(name):
+        return None
+    return catalog.instance_type(name).class_letter
+
+
+def temporal_heatmap(archive: SpotLakeArchive, catalog: Catalog,
+                     day_times: Sequence[Sequence[float]],
+                     dataset: str = "sps") -> Heatmap:
+    """Figure 3: daily mean score per instance class.
+
+    ``day_times`` is one sequence of sample instants per day column (daily
+    averages in the paper).  ``dataset`` is "sps" or "if_score".
+    """
+    classes = catalog.classes
+    class_row = {c: i for i, c in enumerate(classes)}
+    n_days = len(day_times)
+    sums = np.zeros((len(classes), n_days))
+    counts = np.zeros((len(classes), n_days))
+    for d, times in enumerate(day_times):
+        if dataset == "sps":
+            keys, matrix = archive.sps_matrix(times)
+        elif dataset == "if_score":
+            keys, matrix = archive.if_score_matrix(times)
+        else:
+            raise ValueError(f"unknown dataset {dataset!r}")
+        for row, key in enumerate(keys):
+            cls = _class_of(catalog, key)
+            if cls is None:
+                continue
+            vals = matrix[row]
+            good = ~np.isnan(vals)
+            if good.any():
+                sums[class_row[cls], d] += vals[good].sum()
+                counts[class_row[cls], d] += good.sum()
+    with np.errstate(invalid="ignore"):
+        values = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return Heatmap(list(classes), [f"day{i}" for i in range(n_days)], values)
+
+
+def spatial_heatmap(archive: SpotLakeArchive, catalog: Catalog,
+                    sample_times: Sequence[float],
+                    dataset: str = "sps") -> Heatmap:
+    """Figure 4: mean score per (instance class, region); NaN where
+    unsupported."""
+    classes = catalog.classes
+    regions = [r.code for r in catalog.regions]
+    class_row = {c: i for i, c in enumerate(classes)}
+    region_col = {r: j for j, r in enumerate(regions)}
+    sums = np.zeros((len(classes), len(regions)))
+    counts = np.zeros((len(classes), len(regions)))
+    if dataset == "sps":
+        keys, matrix = archive.sps_matrix(sample_times)
+    elif dataset == "if_score":
+        keys, matrix = archive.if_score_matrix(sample_times)
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}")
+    for row, key in enumerate(keys):
+        cls = _class_of(catalog, key)
+        region = key.dimension_dict.get(DIM_REGION)
+        if cls is None or region not in region_col:
+            continue
+        vals = matrix[row]
+        good = ~np.isnan(vals)
+        if good.any():
+            sums[class_row[cls], region_col[region]] += vals[good].sum()
+            counts[class_row[cls], region_col[region]] += good.sum()
+    with np.errstate(invalid="ignore"):
+        values = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return Heatmap(list(classes), regions, values)
+
+
+def spatial_vs_temporal_variation(temporal: Heatmap, spatial: Heatmap) -> Dict[str, float]:
+    """Summary the paper's key finding rests on: per-class score std across
+    regions vs across days."""
+    spatial_stds = [float(np.nanstd(spatial.values[i]))
+                    for i in range(len(spatial.row_labels))
+                    if not np.all(np.isnan(spatial.values[i]))]
+    return {
+        "temporal_std": temporal.temporal_std(),
+        "spatial_std": float(np.mean(spatial_stds)) if spatial_stds else float("nan"),
+    }

@@ -1,0 +1,90 @@
+"""Scores grouped by instance size (paper Figure 5).
+
+For each size with more than a threshold number of instance types (the
+paper uses > 10, to avoid sizes whose average is dominated by a couple of
+types), the mean spot placement score and interruption-free score.  Both
+decrease as the size grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..cloudsim import Catalog
+from ..cloudsim.catalog import SIZE_LADDER
+from ..core.archive import DIM_TYPE, SpotLakeArchive
+
+
+@dataclass
+class SizeScores:
+    """Figure 5 series: per size, mean scores and supporting type count."""
+
+    sizes: List[str]
+    sps_means: List[float]
+    if_means: List[float]
+    type_counts: List[int]
+
+    def as_rows(self) -> List[dict]:
+        return [
+            {"size": s, "sps": p, "if_score": f, "types": c}
+            for s, p, f, c in zip(self.sizes, self.sps_means,
+                                  self.if_means, self.type_counts)
+        ]
+
+
+def scores_by_size(archive: SpotLakeArchive, catalog: Catalog,
+                   sample_times: Sequence[float],
+                   min_types: int = 10) -> SizeScores:
+    """Figure 5: mean scores per instance size, sizes ordered small->large.
+
+    Only sizes offered by more than ``min_types`` catalog instance types are
+    kept, mirroring the paper's filtering.
+    """
+    type_size: Dict[str, str] = {
+        t.name: t.size for t in catalog.instance_types}
+    size_type_count: Dict[str, int] = {}
+    for itype in catalog.instance_types:
+        size_type_count[itype.size] = size_type_count.get(itype.size, 0) + 1
+
+    kept = [s for s in SIZE_LADDER
+            if size_type_count.get(s, 0) > min_types]
+
+    sps_vals: Dict[str, List[float]] = {s: [] for s in kept}
+    if_vals: Dict[str, List[float]] = {s: [] for s in kept}
+
+    keys, sps = archive.sps_matrix(sample_times)
+    for row, key in enumerate(keys):
+        size = type_size.get(key.dimension_dict.get(DIM_TYPE, ""))
+        if size not in sps_vals:
+            continue
+        vals = sps[row][~np.isnan(sps[row])]
+        sps_vals[size].extend(vals.tolist())
+
+    keys, ifs = archive.if_score_matrix(sample_times)
+    for row, key in enumerate(keys):
+        size = type_size.get(key.dimension_dict.get(DIM_TYPE, ""))
+        if size not in if_vals:
+            continue
+        vals = ifs[row][~np.isnan(ifs[row])]
+        if_vals[size].extend(vals.tolist())
+
+    sizes = [s for s in kept if sps_vals[s] and if_vals[s]]
+    return SizeScores(
+        sizes=sizes,
+        sps_means=[float(np.mean(sps_vals[s])) for s in sizes],
+        if_means=[float(np.mean(if_vals[s])) for s in sizes],
+        type_counts=[size_type_count[s] for s in sizes],
+    )
+
+
+def size_trend_slope(size_scores: SizeScores, which: str = "sps") -> float:
+    """Least-squares slope of score vs size rank (negative = decreasing)."""
+    values = size_scores.sps_means if which == "sps" else size_scores.if_means
+    if len(values) < 2:
+        return 0.0
+    ranks = [SIZE_LADDER.index(s) for s in size_scores.sizes]
+    slope = np.polyfit(ranks, values, 1)[0]
+    return float(slope)

@@ -1,0 +1,37 @@
+"""Downstream spot-instance applications built on the archive."""
+
+from .batch import (
+    BatchJobSimulator,
+    JobResult,
+    JobSpec,
+    PolicyOutcome,
+    compare_policies,
+)
+from .portfolio import (
+    Allocation,
+    Portfolio,
+    build_portfolio,
+    efficient_frontier,
+    interruption_risk,
+)
+from .selection import (
+    ALL_POLICIES,
+    CheapestPolicy,
+    CombinedScorePolicy,
+    HistoricalPolicy,
+    IfScorePolicy,
+    PoolView,
+    SelectionPolicy,
+    SpsPolicy,
+    snapshot_pools,
+)
+
+__all__ = [
+    "Allocation", "Portfolio", "build_portfolio", "efficient_frontier",
+    "interruption_risk",
+    "BatchJobSimulator", "JobResult", "JobSpec", "PolicyOutcome",
+    "compare_policies",
+    "ALL_POLICIES", "CheapestPolicy", "CombinedScorePolicy",
+    "HistoricalPolicy", "IfScorePolicy", "PoolView", "SelectionPolicy",
+    "SpsPolicy", "snapshot_pools",
+]

@@ -1,0 +1,142 @@
+"""Spot pool selection policies.
+
+The paper's motivation for the archive is that downstream systems (batch
+schedulers, DNN trainers, big-data engines -- SpotOn, Flint, DeepSpotCloud
+and friends in its related work) must *choose pools* and the choice should
+be informed by availability data.  This module implements the selection
+policies a SpotLake consumer can build:
+
+* :class:`CheapestPolicy` -- lowest current spot price (cost-only);
+* :class:`SpsPolicy` -- highest current placement score, price tie-break;
+* :class:`IfScorePolicy` -- highest interruption-free score, price tie-break;
+* :class:`CombinedScorePolicy` -- both scores high first (the paper's
+  Section 5.4 recommendation), price tie-break;
+* :class:`HistoricalPolicy` -- archive-informed: prefers pools whose
+  *preceding-month mean* scores are high, the capability only a SpotLake
+  archive provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.scores import interruption_free_score
+from ..cloudsim import SimulatedCloud
+from ..core.archive import SpotLakeArchive
+
+Pool = Tuple[str, str, str]  # (instance type, region, zone)
+
+
+@dataclass(frozen=True)
+class PoolView:
+    """Everything a policy may look at for one candidate pool."""
+
+    pool: Pool
+    spot_price: float
+    sps: int
+    if_score: float
+    sps_mean_30d: Optional[float] = None
+    if_mean_30d: Optional[float] = None
+
+
+def snapshot_pools(cloud: SimulatedCloud, pools: Sequence[Pool],
+                   timestamp: float,
+                   archive: Optional[SpotLakeArchive] = None,
+                   history_days: float = 30.0,
+                   history_samples: int = 15) -> List[PoolView]:
+    """Build policy inputs for candidate pools at one instant.
+
+    When an archive is supplied, each view additionally carries the
+    preceding month's mean scores read from archived history.
+    """
+    views: List[PoolView] = []
+    times = np.linspace(timestamp - history_days * 86400.0, timestamp,
+                        history_samples)
+    for itype, region, zone in pools:
+        price = cloud.pricing.spot_price(itype, region, timestamp, zone)
+        sps = cloud.placement.zone_score(itype, region, zone, timestamp)
+        ratio = cloud.advisor.interruption_ratio(itype, region, timestamp)
+        sps_mean = if_mean = None
+        if archive is not None:
+            sps_hist = [archive.sps_at(itype, region, zone, t) for t in times]
+            if_hist = [archive.if_score_at(itype, region, t) for t in times]
+            sps_vals = [v for v in sps_hist if v is not None]
+            if_vals = [v for v in if_hist if v is not None]
+            sps_mean = float(np.mean(sps_vals)) if sps_vals else None
+            if_mean = float(np.mean(if_vals)) if if_vals else None
+        views.append(PoolView((itype, region, zone), price, sps,
+                              interruption_free_score(ratio),
+                              sps_mean, if_mean))
+    return views
+
+
+class SelectionPolicy(Protocol):
+    """Ranks candidate pools; the first is chosen."""
+
+    name: str
+
+    def rank(self, views: Sequence[PoolView]) -> List[PoolView]:
+        ...
+
+
+class CheapestPolicy:
+    """Pick the lowest spot price, ignoring availability entirely."""
+
+    name = "cheapest"
+
+    def rank(self, views: Sequence[PoolView]) -> List[PoolView]:
+        return sorted(views, key=lambda v: (v.spot_price, v.pool))
+
+
+class SpsPolicy:
+    """Pick the highest current placement score; cheaper first on ties."""
+
+    name = "sps"
+
+    def rank(self, views: Sequence[PoolView]) -> List[PoolView]:
+        return sorted(views, key=lambda v: (-v.sps, v.spot_price, v.pool))
+
+
+class IfScorePolicy:
+    """Pick the highest interruption-free score; cheaper first on ties."""
+
+    name = "if_score"
+
+    def rank(self, views: Sequence[PoolView]) -> List[PoolView]:
+        return sorted(views, key=lambda v: (-v.if_score, v.spot_price, v.pool))
+
+
+class CombinedScorePolicy:
+    """Both scores high first -- the paper's Section 5.4 recommendation:
+    H-H pools are the most reliable, and on disagreement the placement
+    score takes precedence."""
+
+    name = "combined"
+
+    def rank(self, views: Sequence[PoolView]) -> List[PoolView]:
+        return sorted(views, key=lambda v: (-(v.sps * 10 + v.if_score),
+                                            v.spot_price, v.pool))
+
+
+class HistoricalPolicy:
+    """Prefer pools whose preceding-month mean scores are high.
+
+    Falls back to current values when a pool has no archived history,
+    so it degrades gracefully to :class:`CombinedScorePolicy`.
+    """
+
+    name = "historical"
+
+    def rank(self, views: Sequence[PoolView]) -> List[PoolView]:
+        def key(v: PoolView):
+            sps_hist = v.sps_mean_30d if v.sps_mean_30d is not None else v.sps
+            if_hist = v.if_mean_30d if v.if_mean_30d is not None else v.if_score
+            return (-(sps_hist * 10 + if_hist), v.spot_price, v.pool)
+        return sorted(views, key=key)
+
+
+ALL_POLICIES = (CheapestPolicy, SpsPolicy, IfScorePolicy,
+                CombinedScorePolicy, HistoricalPolicy)

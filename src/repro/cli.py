@@ -1,0 +1,130 @@
+"""Command-line interface to the SpotLake reproduction.
+
+Mirrors how the real service is operated: plan the collection, run
+collection rounds, query the archive, and run the availability experiment.
+
+    python -m repro.cli plan
+    python -m repro.cli collect --types m5.large p3.2xlarge --rounds 3
+    python -m repro.cli query --type m5.large --region us-east-1
+    python -m repro.cli experiment --per-combo 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import ServiceConfig, SimulatedCloud, SpotLakeService
+from .core import plan_for_catalog
+from .experiments import ExperimentRunner, sample_cases, table3
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    cloud = SimulatedCloud(seed=args.seed)
+    plan = plan_for_catalog(cloud.catalog, algorithm=args.algorithm)
+    print(f"catalog: {cloud.catalog.summary()}")
+    print(f"pair upper bound: {plan.pair_bound_query_count}")
+    print(f"offered pairs:    {plan.naive_query_count}")
+    print(f"packed queries:   {plan.optimized_query_count} "
+          f"({plan.bound_reduction_factor:.2f}x below the bound)")
+    return 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    config = ServiceConfig(seed=args.seed,
+                           instance_types=args.types or None)
+    service = SpotLakeService(config)
+    for round_no in range(args.rounds):
+        reports = service.collect_once()
+        sps = reports["sps"]
+        print(f"round {round_no}: sps queries={sps.queries_issued} "
+              f"failed={sps.queries_failed} records={sps.records_written}")
+        service.cloud.clock.advance_minutes(args.interval_minutes)
+    for table, stats in service.archive.stats().items():
+        print(f"{table}: {stats['records_written']} written -> "
+              f"{stats['change_points_stored']} stored "
+              f"(dedup {stats['dedup_ratio']:.3f})")
+    if args.output:
+        from .timeseries import dump_store
+        written = dump_store(service.archive.store, args.output)
+        print(f"snapshot written to {args.output}: {written}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    service = SpotLakeService(ServiceConfig(
+        seed=args.seed, instance_types=[args.type]))
+    service.collect_once()
+    now = service.cloud.clock.now()
+    params = {"instance_type": args.type, "region": args.region,
+              "at": str(now)}
+    if args.zone:
+        params["zone"] = args.zone
+    response = service.gateway.get("/latest", params)
+    if response.status != 200:
+        print(f"error {response.status}: {response.body}", file=sys.stderr)
+        return 1
+    for key, value in sorted(response.body.items()):
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    cloud = SimulatedCloud(seed=args.seed)
+    submit = cloud.clock.start + args.day * 86400.0
+    cloud.clock.set(submit)
+    cases = sample_cases(cloud, submit, per_combo=args.per_combo)
+    print(f"running {len(cases)} stratified 24-hour experiments ...")
+    results = ExperimentRunner(cloud).run_all(cases)
+    print(f"{'combo':6s} {'not-fulfilled':>14s} {'interrupted':>12s}")
+    for row in table3(results):
+        print(f"{row.combo:6s} {row.not_fulfilled_percent:13.1f}% "
+              f"{row.interrupted_percent:11.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SpotLake reproduction CLI")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="world seed (default 0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="show the bin-packed query plan")
+    plan.add_argument("--algorithm", choices=("exact", "ffd", "naive"),
+                      default="exact")
+    plan.set_defaults(func=_cmd_plan)
+
+    collect = sub.add_parser("collect", help="run collection rounds")
+    collect.add_argument("--types", nargs="*", default=None,
+                         help="restrict to these instance types")
+    collect.add_argument("--rounds", type=int, default=1)
+    collect.add_argument("--interval-minutes", type=float, default=10.0)
+    collect.add_argument("--output", default=None,
+                         help="directory for an archive snapshot")
+    collect.set_defaults(func=_cmd_collect)
+
+    query = sub.add_parser("query", help="query the latest archived values")
+    query.add_argument("--type", required=True)
+    query.add_argument("--region", required=True)
+    query.add_argument("--zone", default=None)
+    query.set_defaults(func=_cmd_query)
+
+    experiment = sub.add_parser("experiment",
+                                help="run the Table-3 availability experiment")
+    experiment.add_argument("--per-combo", type=int, default=40)
+    experiment.add_argument("--day", type=float, default=35.0,
+                            help="submission day inside the window")
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

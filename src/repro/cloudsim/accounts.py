@@ -1,0 +1,113 @@
+"""Cloud accounts and the placement-score query quota.
+
+The paper's central collection obstacle (Section 3.1): one account may issue
+at most ~50 *unique* placement-score queries per rolling 24 hours, where
+uniqueness is the combination of instance types, regions and target
+capacity; repeating an already-issued query is free.  SpotLake needs ~2,226
+unique queries per round after bin-packing, so it must spread them over a
+pool of accounts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from .errors import QuotaExceededError
+
+#: Empirical unique-query allowance per account per rolling 24 hours.
+DEFAULT_QUERY_QUOTA = 50
+
+#: Rolling window length for the quota, seconds.
+QUOTA_WINDOW_SECONDS = 24 * 3600.0
+
+#: A hashable unique-query fingerprint:
+#: (types, regions, target capacity, single-AZ flag).
+QueryKey = Tuple[FrozenSet[str], FrozenSet[str], int, bool]
+
+
+def make_query_key(instance_types, regions, target_capacity: int,
+                   single_availability_zone: bool) -> QueryKey:
+    """Canonical uniqueness key of a placement-score query."""
+    return (frozenset(instance_types), frozenset(regions),
+            int(target_capacity), bool(single_availability_zone))
+
+
+@dataclass
+class Account:
+    """One cloud account with its own rolling unique-query budget."""
+
+    name: str
+    quota: int = DEFAULT_QUERY_QUOTA
+    #: first-seen timestamp per unique query currently inside the window
+    _seen: Dict[QueryKey, float] = field(default_factory=dict, repr=False)
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - QUOTA_WINDOW_SECONDS
+        expired = [k for k, t in self._seen.items() if t <= cutoff]
+        for key in expired:
+            del self._seen[key]
+
+    def unique_queries_used(self, now: float) -> int:
+        """Unique queries charged inside the current rolling window."""
+        self._expire(now)
+        return len(self._seen)
+
+    def remaining(self, now: float) -> int:
+        """Unique queries still available inside the rolling window."""
+        return self.quota - self.unique_queries_used(now)
+
+    def would_charge(self, key: QueryKey, now: float) -> bool:
+        """True if issuing ``key`` now would consume quota (i.e. is new)."""
+        self._expire(now)
+        return key not in self._seen
+
+    def charge(self, key: QueryKey, now: float) -> None:
+        """Record a query, raising if a *new* query exceeds the quota."""
+        self._expire(now)
+        if key in self._seen:
+            return  # repeats are free
+        if len(self._seen) >= self.quota:
+            raise QuotaExceededError(
+                f"account {self.name!r} exhausted its {self.quota} unique "
+                f"placement-score queries for the rolling 24h window")
+        self._seen[key] = now
+
+
+class AccountPool:
+    """A rotating pool of accounts used by SpotLake's SPS collector.
+
+    ``acquire(key, now)`` returns an account that can issue the query,
+    preferring one that has already been charged for it (repeat == free),
+    else the account with the most remaining quota.
+    """
+
+    def __init__(self, size: int, quota: int = DEFAULT_QUERY_QUOTA,
+                 name_prefix: str = "spotlake"):
+        if size < 1:
+            raise ValueError("an account pool needs at least one account")
+        self.accounts: List[Account] = [
+            Account(f"{name_prefix}-{i:03d}", quota) for i in range(size)]
+
+    def __len__(self) -> int:
+        return len(self.accounts)
+
+    def acquire(self, key: QueryKey, now: float) -> Account:
+        """Pick an account able to issue ``key`` at ``now``."""
+        for account in self.accounts:
+            if not account.would_charge(key, now):
+                return account
+        best = max(self.accounts, key=lambda a: a.remaining(now))
+        if best.remaining(now) <= 0:
+            raise QuotaExceededError(
+                "every account in the pool exhausted its unique-query quota")
+        return best
+
+    def total_remaining(self, now: float) -> int:
+        """Unique-query headroom across the whole pool."""
+        return sum(a.remaining(now) for a in self.accounts)
+
+    @staticmethod
+    def size_for(unique_queries: int, quota: int = DEFAULT_QUERY_QUOTA) -> int:
+        """Accounts needed to issue ``unique_queries`` within one window."""
+        return -(-unique_queries // quota)  # ceil division

@@ -1,0 +1,144 @@
+"""Spot instance advisor engine.
+
+Models AWS's *Spot Instance Advisor* (paper Section 2.2): per
+(instance type, region), the interruption frequency over the preceding month
+bucketed into five categories, plus the cost saving over on-demand price.
+Two access quirks are reproduced:
+
+* the dataset is published as a *web snapshot* only -- there is no CLI --
+  so the simulated EC2 client deliberately does not expose it, and SpotLake's
+  collector goes through a SpotInfo-style scraper wrapper instead;
+* values are refreshed on a slow cadence (days), which is why the paper's
+  Figure 10 finds the interruption-free score to be the least frequently
+  updated dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .._util import stable_range
+from .catalog import Catalog, InstanceType
+from .clock import SECONDS_PER_DAY
+from .market import SpotMarket
+
+#: The five advisor buckets: (upper-bound-exclusive ratio, label).  The last
+#: bucket is open-ended.
+INTERRUPTION_BUCKETS = (
+    (0.05, "<5%"),
+    (0.10, "5-10%"),
+    (0.15, "10-15%"),
+    (0.20, "15-20%"),
+    (float("inf"), ">20%"),
+)
+
+#: Mean days between advisor snapshot refreshes (per type-region pair the
+#: exact cadence is jittered deterministically).
+ADVISOR_REFRESH_DAYS_MIN = 4.0
+ADVISOR_REFRESH_DAYS_MAX = 12.0
+
+
+def bucket_label(ratio: float) -> str:
+    """Advisor category label for a raw interruption ratio."""
+    for upper, label in INTERRUPTION_BUCKETS:
+        if ratio < upper:
+            return label
+    return INTERRUPTION_BUCKETS[-1][1]
+
+
+def bucket_index(ratio: float) -> int:
+    """Index 0..4 of the advisor bucket for a raw interruption ratio."""
+    for idx, (upper, _) in enumerate(INTERRUPTION_BUCKETS):
+        if ratio < upper:
+            return idx
+    return len(INTERRUPTION_BUCKETS) - 1
+
+
+@dataclass(frozen=True)
+class AdvisorEntry:
+    """One (instance type, region) row of the advisor web snapshot."""
+
+    instance_type: str
+    region: str
+    interruption_label: str
+    interruption_bucket: int
+    savings_percent: int
+
+
+class AdvisorEngine:
+    """Produces advisor web snapshots from the latent market state."""
+
+    def __init__(self, market: SpotMarket, pricing=None):
+        self.market = market
+        self.catalog: Catalog = market.catalog
+        #: PricingEngine is optional to break an import cycle in tests; when
+        #: absent, savings fall back to a deterministic per-pair constant.
+        self.pricing = pricing
+
+    def _refresh_period(self, itype_name: str, region: str) -> float:
+        return stable_range(ADVISOR_REFRESH_DAYS_MIN, ADVISOR_REFRESH_DAYS_MAX,
+                            "advisor-refresh", self.market.seed,
+                            itype_name, region) * SECONDS_PER_DAY
+
+    def snapshot_time(self, itype_name: str, region: str, timestamp: float) -> float:
+        """Time at which the advisor last refreshed this pair.
+
+        The advisor republishes on a slow per-pair cadence; between refreshes
+        the reported value is frozen, which produces the long update
+        intervals of Figure 10.
+        """
+        period = self._refresh_period(itype_name, region)
+        offset = stable_range(0.0, 1.0, "advisor-offset", self.market.seed,
+                              itype_name, region) * period
+        since_epoch = timestamp - self.market.epoch - offset
+        cycles = max(0.0, since_epoch // period)
+        return self.market.epoch + offset + cycles * period
+
+    def interruption_ratio(self, itype: InstanceType | str, region: str,
+                           timestamp: float) -> float:
+        """Trailing-month interruption ratio as of the last refresh."""
+        name = itype if isinstance(itype, str) else itype.name
+        frozen_at = self.snapshot_time(name, region, timestamp)
+        return self.market.interruption_ratio(name, region, frozen_at)
+
+    def savings_percent(self, itype: InstanceType | str, region: str,
+                        timestamp: float) -> int:
+        """Advertised percentage saving of spot over on-demand."""
+        if isinstance(itype, str):
+            itype = self.catalog.instance_type(itype)
+        frozen_at = self.snapshot_time(itype.name, region, timestamp)
+        if self.pricing is not None:
+            od = itype.on_demand_price
+            spot = self.pricing.spot_price(itype, region, frozen_at)
+            return int(round(100.0 * (1.0 - spot / od)))
+        return int(round(stable_range(50.0, 90.0, "advisor-savings",
+                                      self.market.seed, itype.name, region)))
+
+    def entry(self, itype: InstanceType | str, region: str,
+              timestamp: float) -> AdvisorEntry:
+        """One advisor row for (type, region) as of ``timestamp``."""
+        if isinstance(itype, str):
+            itype = self.catalog.instance_type(itype)
+        ratio = self.interruption_ratio(itype, region, timestamp)
+        return AdvisorEntry(
+            instance_type=itype.name,
+            region=region,
+            interruption_label=bucket_label(ratio),
+            interruption_bucket=bucket_index(ratio),
+            savings_percent=self.savings_percent(itype, region, timestamp),
+        )
+
+    def web_snapshot(self, timestamp: float) -> List[AdvisorEntry]:
+        """The full advisor dataset as served by the vendor's website.
+
+        One row per offered (instance type, region); a single fetch covers
+        everything, matching the paper's note that the advisor dataset "can
+        be queried with a single execution".
+        """
+        rows: List[AdvisorEntry] = []
+        for itype in self.catalog.instance_types:
+            for region in self.catalog.regions:
+                if self.catalog.is_offered(itype, region.code):
+                    rows.append(self.entry(itype, region.code, timestamp))
+        return rows

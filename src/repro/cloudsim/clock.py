@@ -1,0 +1,80 @@
+"""Simulation clock.
+
+All simulated-cloud behaviour is a deterministic function of absolute time,
+so the clock is a plain mutable counter of epoch seconds.  The default epoch
+matches the paper's collection window start (2022-01-01 00:00:00 UTC).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+#: Epoch seconds for 2022-01-01T00:00:00Z, the first day of the paper's
+#: 181-day collection window.
+PAPER_WINDOW_START = 1640995200.0
+
+#: Length of the paper's collection window in days (Jan 1 - Jun 30, 2022).
+PAPER_WINDOW_DAYS = 181
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+
+class SimulationClock:
+    """Mutable wall clock for the simulated cloud.
+
+    The clock only moves forward.  Components read ``now()`` and derive all
+    state from it; nothing subscribes to ticks, which keeps the simulation
+    lazily evaluated and cheap to query at arbitrary instants.
+    """
+
+    def __init__(self, start: float = PAPER_WINDOW_START):
+        self._now = float(start)
+        self._start = float(start)
+
+    def now(self) -> float:
+        """Current simulation time in epoch seconds."""
+        return self._now
+
+    @property
+    def start(self) -> float:
+        """Epoch seconds at which this clock was created."""
+        return self._start
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since the clock start."""
+        return self._now - self._start
+
+    def elapsed_days(self) -> float:
+        """Days elapsed since the clock start."""
+        return self.elapsed() / SECONDS_PER_DAY
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"clock cannot move backwards ({seconds=})")
+        self._now += seconds
+        return self._now
+
+    def advance_minutes(self, minutes: float) -> float:
+        """Move the clock forward by ``minutes``."""
+        return self.advance(minutes * SECONDS_PER_MINUTE)
+
+    def advance_days(self, days: float) -> float:
+        """Move the clock forward by ``days``."""
+        return self.advance(days * SECONDS_PER_DAY)
+
+    def set(self, timestamp: float) -> float:
+        """Jump the clock to an absolute time (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValueError("clock cannot move backwards")
+        self._now = float(timestamp)
+        return self._now
+
+    def datetime(self) -> datetime:
+        """Current simulation time as an aware UTC datetime."""
+        return datetime.fromtimestamp(self._now, tz=timezone.utc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"SimulationClock({self.datetime().isoformat()})"

@@ -1,0 +1,57 @@
+"""Exception types raised by the simulated cloud APIs.
+
+These mirror the error classes a real cloud SDK surfaces, so that SpotLake's
+collectors exercise genuine error-handling paths (quota exhaustion, invalid
+parameters, unsupported offerings) rather than simulator-specific ones.
+"""
+
+from __future__ import annotations
+
+
+class CloudError(Exception):
+    """Base class for all simulated cloud API errors."""
+
+    code = "CloudError"
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.__doc__ or self.code)
+
+
+class ValidationError(CloudError):
+    """A request parameter is malformed or out of the allowed range."""
+
+    code = "ValidationError"
+
+
+class UnknownInstanceTypeError(ValidationError):
+    """The requested instance type does not exist in the catalog."""
+
+    code = "InvalidInstanceType"
+
+
+class UnknownRegionError(ValidationError):
+    """The requested region does not exist in the catalog."""
+
+    code = "InvalidRegion"
+
+
+class UnsupportedOfferingError(ValidationError):
+    """The instance type is not offered in the requested region or zone."""
+
+    code = "Unsupported"
+
+
+class QuotaExceededError(CloudError):
+    """The account exhausted its unique spot-placement-score query quota.
+
+    AWS allows roughly 50 *unique* placement-score queries per account per
+    rolling 24 hours; re-issuing an already-seen query is free.
+    """
+
+    code = "MaxConfigLimitExceeded"
+
+
+class RequestNotFoundError(CloudError):
+    """No spot request exists with the given identifier."""
+
+    code = "InvalidSpotInstanceRequestID.NotFound"

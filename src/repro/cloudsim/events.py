@@ -1,0 +1,89 @@
+"""Configurable capacity events.
+
+The paper's Figure 3 shows a sudden score decrease around June 2, 2022
+("score adjustments for most instance types ... which might have resulted
+from the spike in the spot instance usage").  The market models such
+episodes as :class:`CapacityEvent` instances: a time window during which a
+deterministic fraction of instance types loses a fixed amount of headroom,
+ramping in and out at the edges.
+
+The default event list reproduces the paper's June-2 dip; users injecting
+their own event schedules (region launches, reInvent-style demand spikes,
+large-customer onboarding) can study how the archive surfaces them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .._util import stable_uniform
+
+
+@dataclass(frozen=True)
+class CapacityEvent:
+    """One capacity episode.
+
+    Parameters
+    ----------
+    day_start, day_end:
+        Window in days since the market epoch.
+    depth:
+        Headroom subtracted at the event's plateau.
+    type_fraction:
+        Deterministic fraction of instance types affected (selection is
+        hashed per type, so membership is stable).
+    ramp_days:
+        In/out ramp length at each edge of the window.
+    label:
+        Human-readable name for reporting.
+    """
+
+    day_start: float
+    day_end: float
+    depth: float
+    type_fraction: float = 1.0
+    ramp_days: float = 0.5
+    label: str = "capacity-event"
+
+    def __post_init__(self):
+        if self.day_end < self.day_start:
+            raise ValueError("event ends before it starts")
+        if not 0.0 <= self.type_fraction <= 1.0:
+            raise ValueError("type_fraction must be in [0, 1]")
+        if self.depth < 0:
+            raise ValueError("depth must be non-negative")
+
+    def affects(self, seed: int, itype_name: str) -> bool:
+        """Whether this event touches the given instance type (stable)."""
+        return stable_uniform("event-member", seed, self.label,
+                              itype_name) < self.type_fraction
+
+    def depth_at(self, seed: int, itype_name: str, day: float) -> float:
+        """Headroom loss for one type at one instant (0 outside window)."""
+        if not (self.day_start <= day <= self.day_end):
+            return 0.0
+        if not self.affects(seed, itype_name):
+            return 0.0
+        if self.ramp_days <= 0:
+            return self.depth
+        ramp_in = min(1.0, (day - self.day_start) / self.ramp_days)
+        ramp_out = min(1.0, (self.day_end - day) / self.ramp_days)
+        return self.depth * min(ramp_in, ramp_out)
+
+
+#: The paper's observed June-2 2022 dip (day 152 of the 181-day window).
+JUNE_2_EVENT = CapacityEvent(
+    day_start=151.0, day_end=157.0, depth=0.14, type_fraction=0.8,
+    ramp_days=0.5, label="june-2-2022-dip")
+
+
+def default_events() -> List[CapacityEvent]:
+    """The event schedule active in the paper's collection window."""
+    return [JUNE_2_EVENT]
+
+
+def total_depth(events: Sequence[CapacityEvent], seed: int,
+                itype_name: str, day: float) -> float:
+    """Combined headroom loss across overlapping events."""
+    return sum(e.depth_at(seed, itype_name, day) for e in events)

@@ -1,0 +1,388 @@
+"""Spot request lifecycle simulation.
+
+Implements the request state machine of the paper's Table 1:
+
+    Pending Evaluation -> Holding        (constraints unmet: low capacity)
+    Pending Evaluation -> Fulfilled      (instance starts)
+    Fulfilled          -> Terminal       (interruption / user cancel)
+    Fulfilled (persistent) -> Pending Evaluation  (re-request after interrupt)
+
+Behaviour is calibrated to Section 5.4's real-world measurements:
+
+* fulfillment success is governed by the *placement score* (high SPS ==>
+  always fulfilled; low SPS ==> frequent 24-hour non-fulfillment);
+* the interruption hazard of a *running* instance is governed by both the
+  placement score and the advisor's interruption-free score, with a
+  decreasing (Weibull, shape < 1) hazard that front-loads interruptions as
+  Figure 11b shows;
+* fulfillment latency spans sub-second to tens of minutes depending on the
+  score (Figure 11a).
+
+Traces are generated event-driven at request submission, so polling the
+request status every few seconds (as the paper's experiment harness does) is
+a cheap timeline lookup rather than a step simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import stable_rng
+from .catalog import Catalog, InstanceType
+from .clock import SECONDS_PER_HOUR
+from .errors import UnsupportedOfferingError, ValidationError
+from .market import SpotMarket
+from .placement import PlacementScoreEngine
+from .advisor import AdvisorEngine
+
+
+class RequestState(str, enum.Enum):
+    """Spot request states of the paper's Table 1."""
+
+    PENDING_EVALUATION = "pending-evaluation"
+    HOLDING = "holding"
+    FULFILLED = "fulfilled"
+    TERMINAL = "terminal"
+
+
+#: Human descriptions used by Table 1 (and its bench reproduction).
+STATE_DESCRIPTIONS = {
+    RequestState.PENDING_EVALUATION: "A valid spot request is submitted",
+    RequestState.HOLDING: ("Some request constraints cannot be met "
+                           "(price, location, resource availability, ...)"),
+    RequestState.FULFILLED: ("All the spot request constraints are met, and "
+                             "instance status being updated to running"),
+    RequestState.TERMINAL: ("A spot request is disabled possibly by price "
+                            "outbid, resource unavailability, user, ..."),
+}
+
+#: Legal state transitions (used by property tests).
+ALLOWED_TRANSITIONS = {
+    RequestState.PENDING_EVALUATION: {RequestState.HOLDING, RequestState.FULFILLED,
+                                      RequestState.TERMINAL},
+    RequestState.HOLDING: {RequestState.FULFILLED, RequestState.TERMINAL},
+    RequestState.FULFILLED: {RequestState.TERMINAL, RequestState.PENDING_EVALUATION},
+    RequestState.TERMINAL: set(),
+}
+
+# ---------------------------------------------------------------------------
+# Calibration (Section 5.4)
+# ---------------------------------------------------------------------------
+
+#: Low-band non-fulfillment threshold on the headroom margin below
+#: THRESHOLD_3, per interruption-free score: pools deeper than the threshold
+#: essentially never fulfill, shallower ones usually do.  A *high*
+#: interruption-free score lowers the threshold (Table 3: L-H shows more
+#: non-fulfillment than L-L).
+NF_L_THRESHOLD = {3.0: 0.055, 2.5: 0.060, 2.0: 0.065, 1.5: 0.070, 1.0: 0.075}
+
+#: Steepness of the non-fulfillment transitions (probability per unit
+#: margin); high values make the outcome nearly deterministic per pool,
+#: which is what gives archived history its predictive value (Section 5.5).
+NF_M_SLOPE = 30.0
+NF_M_CENTER = 0.014
+NF_L_SLOPE = 25.0
+
+
+def continuous_sps(headroom: float) -> float:
+    """Continuous placement-score latent in [0.5, 3.0].
+
+    Quantizing this at the placement thresholds recovers the integer score;
+    the continuous value carries the *within-band* position, which real
+    capacity behaviour depends on -- and which only historical data can
+    reveal (the paper's Section 5.5 argument for the archive).
+    """
+    from .placement import THRESHOLD_2, THRESHOLD_3
+    if headroom >= THRESHOLD_3:
+        # keep rising above the quantization ceiling: abundant pools are
+        # genuinely safer than barely-high ones, and only history tells
+        return min(5.0, 3.0 + 2.0 * (headroom - THRESHOLD_3))
+    if headroom >= THRESHOLD_2:
+        return 2.0 + 0.5 * (headroom - THRESHOLD_2) / (THRESHOLD_3 - THRESHOLD_2)
+    return max(0.2, 1.75 - 6.0 * (THRESHOLD_2 - max(0.0, headroom)))
+
+
+def continuous_if(ratio: float) -> float:
+    """Continuous interruption-free latent in [0.5, 3.35] from a raw ratio."""
+    return min(3.35, max(0.5, 3.35 - 9.0 * ratio))
+
+
+def not_fulfilled_probability(headroom: float, if_score: float) -> float:
+    """P(no fulfillment within 24 h) given the pool's latents at submission.
+
+    Calibrated against Table 3: zero when the placement score is high,
+    ~25% in the medium band, rising through the low band; a *high*
+    interruption-free score slightly increases non-fulfillment when capacity
+    is scarce (the paper's L-H row exceeds L-L).
+    """
+    from .placement import THRESHOLD_2, THRESHOLD_3
+    if headroom >= THRESHOLD_3:
+        return 0.0
+    # saturating ramp in the margin below the high-score threshold: pools
+    # deep in the low band essentially never get fulfilled, so their
+    # outcome is deterministic -- and the archive's history reveals the
+    # margin, which the current quantized score cannot (Section 5.5).
+    margin = THRESHOLD_3 - max(0.0, headroom)
+    if headroom >= THRESHOLD_2:
+        p = 0.25 + NF_M_SLOPE * (margin - NF_M_CENTER)
+    else:
+        threshold = NF_L_THRESHOLD.get(if_score, 0.065)
+        p = 0.5 + NF_L_SLOPE * (margin - threshold)
+    return min(max(p, 0.0), 1.0)
+
+#: Fulfillment latency lognormal parameters (mu of ln seconds, sigma) per
+#: placement score (Figure 11a: high score -> ~28% within a second, 90%
+#: within ~135 s; low score -> median ~1322 s).
+FULFILL_LATENCY_PARAMS = {
+    3: (math.log(3.0), 2.0),
+    2: (math.log(150.0), 1.8),
+    1: (math.log(1300.0), 1.5),
+}
+
+#: Weibull shape for time-to-interruption; < 1 front-loads interruptions,
+#: matching Figure 11b's heavy early mass.
+INTERRUPT_WEIBULL_SHAPE = 0.45
+
+#: Piecewise log-hazard in headroom: within each score band the hazard is
+#: *steep* (the pool's exact position decides the outcome -- learnable from
+#: archived history), while per-band offsets keep the combo-conditional
+#: interruption rates on Table 3.  Values: (offset ln lambda/hour at the
+#: band's top edge, slope per unit headroom below that edge).
+HAZARD_BAND_HIGH = (math.log(0.011), 2.0)   # h >= THRESHOLD_3
+HAZARD_BAND_MEDIUM = (math.log(0.0102), 60.0)  # THRESHOLD_2 <= h < THRESHOLD_3
+HAZARD_BAND_LOW = (math.log(0.0392), 20.0)    # h < THRESHOLD_2
+
+#: Interruption-free (advisor) contribution to the log hazard.
+HAZARD_IF_COEF = 0.50
+HAZARD_INTERACTION = -0.10
+
+#: Per-case multiplicative hazard jitter (lognormal sigma).
+HAZARD_JITTER_SIGMA = 0.10
+
+
+def interruption_rate_per_hour(headroom: float, ratio: float,
+                               jitter: float = 1.0) -> float:
+    """Expected hourly interruption hazard for a running instance.
+
+    Steep within each placement-score band (see HAZARD_BAND_*), increased
+    by the pool's reclaim ratio, damped by the interaction when both
+    signals are already bad (Table 3's L-L row is not the product of the
+    marginal effects).
+    """
+    from .placement import THRESHOLD_2, THRESHOLD_3
+    h = max(0.0, headroom)
+    if h >= THRESHOLD_3:
+        offset, slope = HAZARD_BAND_HIGH
+        f = offset - slope * (h - THRESHOLD_3)
+    elif h >= THRESHOLD_2:
+        offset, slope = HAZARD_BAND_MEDIUM
+        f = offset + slope * (THRESHOLD_3 - h)
+    else:
+        offset, slope = HAZARD_BAND_LOW
+        f = offset + slope * (THRESHOLD_2 - h)
+    ds = 3.0 - continuous_sps(h)
+    di = 3.0 - continuous_if(ratio)
+    log_rate = f + HAZARD_IF_COEF * di + HAZARD_INTERACTION * ds * di
+    return math.exp(log_rate) * jitter
+
+
+def weibull_scale_for_rate(rate_per_hour: float,
+                           shape: float = INTERRUPT_WEIBULL_SHAPE) -> float:
+    """Weibull scale (seconds) whose 24-hour failure mass matches the
+    exponential hazard ``rate_per_hour`` over 24 hours."""
+    p24 = 1.0 - math.exp(-rate_per_hour * 24.0)
+    p24 = min(max(p24, 1e-9), 1.0 - 1e-9)
+    hours = 24.0 / ((-math.log(1.0 - p24)) ** (1.0 / shape))
+    return hours * SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One transition in a request's generated timeline."""
+
+    timestamp: float
+    state: RequestState
+
+
+@dataclass
+class SpotRequest:
+    """A submitted spot instance request and its pre-generated timeline."""
+
+    request_id: str
+    instance_type: str
+    region: str
+    availability_zone: str
+    bid_price: float
+    created_at: float
+    persistent: bool
+    horizon: float
+    events: List[LifecycleEvent] = field(default_factory=list)
+    cancelled_at: Optional[float] = None
+    #: scores observed at submission (archived for experiment labelling)
+    sps_at_submit: int = 0
+    if_score_at_submit: float = 0.0
+
+    # -- queries ---------------------------------------------------------------
+
+    def state_at(self, timestamp: float) -> RequestState:
+        """Request state at an arbitrary instant."""
+        if timestamp < self.created_at:
+            raise ValidationError("cannot query a request before submission")
+        if self.cancelled_at is not None and timestamp >= self.cancelled_at:
+            return RequestState.TERMINAL
+        current = RequestState.PENDING_EVALUATION
+        for event in self.events:
+            if event.timestamp <= timestamp:
+                current = event.state
+            else:
+                break
+        return current
+
+    def fulfillment_times(self) -> List[float]:
+        """Instants at which the request (re-)entered FULFILLED."""
+        return [e.timestamp for e in self.events if e.state is RequestState.FULFILLED]
+
+    def interruption_times(self) -> List[float]:
+        """Instants at which a running instance was reclaimed."""
+        times: List[float] = []
+        running_since: Optional[float] = None
+        for event in self.events:
+            if event.state is RequestState.FULFILLED:
+                running_since = event.timestamp
+            elif running_since is not None and event.state in (
+                    RequestState.PENDING_EVALUATION, RequestState.TERMINAL):
+                times.append(event.timestamp)
+                running_since = None
+        return times
+
+    def ever_fulfilled(self) -> bool:
+        return bool(self.fulfillment_times())
+
+    def ever_interrupted(self) -> bool:
+        return bool(self.interruption_times())
+
+    def first_fulfillment_latency(self) -> Optional[float]:
+        """Seconds from submission to first fulfillment, if any."""
+        times = self.fulfillment_times()
+        return times[0] - self.created_at if times else None
+
+    def first_run_duration(self) -> Optional[float]:
+        """Seconds the first fulfilled instance ran before interruption."""
+        fulfills = self.fulfillment_times()
+        interrupts = self.interruption_times()
+        if not fulfills or not interrupts:
+            return None
+        return interrupts[0] - fulfills[0]
+
+
+class RequestSimulator:
+    """Creates spot requests and generates their lifecycle timelines."""
+
+    def __init__(self, market: SpotMarket, placement: PlacementScoreEngine,
+                 advisor: AdvisorEngine):
+        self.market = market
+        self.catalog: Catalog = market.catalog
+        self.placement = placement
+        self.advisor = advisor
+        self._counter = itertools.count(1)
+
+    def _next_id(self) -> str:
+        return f"sir-{next(self._counter):08x}"
+
+    def submit(self, instance_type: str, region: str, availability_zone: str,
+               bid_price: float, created_at: float, persistent: bool = True,
+               horizon: float = 24 * SECONDS_PER_HOUR) -> SpotRequest:
+        """Submit a request and generate its timeline over ``horizon``."""
+        itype = self.catalog.instance_type(instance_type)
+        zones = self.catalog.supported_zones(itype, region)
+        if availability_zone not in zones:
+            raise UnsupportedOfferingError(
+                f"{instance_type} is not offered in {availability_zone}")
+        if bid_price <= 0:
+            raise ValidationError("bid price must be positive")
+
+        request = SpotRequest(
+            request_id=self._next_id(),
+            instance_type=instance_type,
+            region=region,
+            availability_zone=availability_zone,
+            bid_price=bid_price,
+            created_at=created_at,
+            persistent=persistent,
+            horizon=horizon,
+        )
+        request.sps_at_submit = self.placement.zone_score(
+            itype, region, availability_zone, created_at)
+        from ..analysis.scores import interruption_free_score  # late: avoid cycle
+        ratio = self.advisor.interruption_ratio(itype, region, created_at)
+        request.if_score_at_submit = interruption_free_score(ratio)
+        self._generate_timeline(request)
+        return request
+
+    # -- timeline generation -----------------------------------------------------
+
+    def _generate_timeline(self, request: SpotRequest) -> None:
+        rng = stable_rng("lifecycle", self.market.seed, request.request_id,
+                         request.instance_type, request.availability_zone,
+                         request.created_at)
+        sps = request.sps_at_submit
+        ifs = request.if_score_at_submit
+        end = request.created_at + request.horizon
+        events: List[LifecycleEvent] = []
+
+        # outcome probabilities follow the *continuous* latents, of which the
+        # published scores are quantizations -- this is why the archive's
+        # history carries predictive signal beyond the current score values.
+        headroom = self.market.headroom(
+            request.instance_type, request.region,
+            request.availability_zone, request.created_at)
+        ratio = self.advisor.interruption_ratio(
+            request.instance_type, request.region, request.created_at)
+
+        p_nf = not_fulfilled_probability(headroom, ifs)
+        if p_nf > 0.0 and rng.random() < p_nf:
+            # constraints never met within the horizon
+            events.append(LifecycleEvent(request.created_at + 1.0, RequestState.HOLDING))
+            request.events = events
+            return
+
+        jitter = float(np.exp(rng.normal(0.0, HAZARD_JITTER_SIGMA)))
+        rate = interruption_rate_per_hour(headroom, ratio, jitter)
+        scale = weibull_scale_for_rate(rate)
+
+        now = request.created_at
+        while now < end:
+            mu, sigma = FULFILL_LATENCY_PARAMS[sps]
+            latency = float(rng.lognormal(mu, sigma))
+            fulfill_at = now + latency
+            if fulfill_at >= end:
+                events.append(LifecycleEvent(now + 1.0, RequestState.HOLDING))
+                break
+            events.append(LifecycleEvent(fulfill_at, RequestState.FULFILLED))
+            run_seconds = float(rng.weibull(INTERRUPT_WEIBULL_SHAPE)) * scale
+            interrupt_at = fulfill_at + max(run_seconds, 1.0)
+            if interrupt_at >= end:
+                break  # still running at horizon end
+            if request.persistent:
+                events.append(LifecycleEvent(interrupt_at, RequestState.PENDING_EVALUATION))
+                now = interrupt_at
+            else:
+                events.append(LifecycleEvent(interrupt_at, RequestState.TERMINAL))
+                break
+        request.events = events
+
+    # -- user actions --------------------------------------------------------------
+
+    def cancel(self, request: SpotRequest, timestamp: float) -> None:
+        """Voluntarily terminate a request (Table 1: user-initiated Terminal)."""
+        if request.cancelled_at is not None:
+            return
+        if timestamp < request.created_at:
+            raise ValidationError("cannot cancel a request before submission")
+        request.cancelled_at = timestamp

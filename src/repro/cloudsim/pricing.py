@@ -1,0 +1,157 @@
+"""Spot pricing engine (post-2017 policy).
+
+After AWS's 2017 spot pricing change (paper Section 2.1), spot prices move
+smoothly and infrequently and no longer track instantaneous capacity.  The
+engine models each (instance type, zone) price as a piecewise-constant
+process: the discount over on-demand re-samples at sparse, deterministic
+change points, wanders slowly around a per-pool base discount, and is only
+*weakly* coupled to the latent headroom -- so the price correlates with
+neither the placement score nor the interruption-free score (Figure 8), yet
+price history with change timestamps is still fully queryable like the real
+``describe-spot-price-history``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .._util import clip01, stable_range, stable_uniform
+from .catalog import Catalog, InstanceType
+from .clock import SECONDS_PER_HOUR
+from .market import SpotMarket
+
+#: Length of a price-change evaluation window.  In each window a pool's
+#: price re-samples with probability CHANGE_PROBABILITY.
+PRICE_WINDOW_SECONDS = 6 * SECONDS_PER_HOUR
+
+#: Per-window probability of a price change; with 6-hour windows and p=0.08
+#: a pool's price changes roughly every 3 days (Figure 10 places spot-price
+#: update intervals between the placement score and the advisor).
+CHANGE_PROBABILITY = 0.08
+
+#: Maximum windows scanned backwards before falling back to the base price.
+_MAX_LOOKBACK_WINDOWS = 400
+
+#: Base discount range over on-demand (savings of 50..78%).
+BASE_DISCOUNT_MIN = 0.50
+BASE_DISCOUNT_MAX = 0.78
+
+#: Amplitude of the per-change-point discount wander.
+DISCOUNT_JITTER = 0.06
+
+#: Weak anti-headroom coupling: scarce pools price slightly higher.  Kept
+#: small on purpose -- the post-2017 price barely reflects availability.
+HEADROOM_COUPLING = 0.03
+
+
+@dataclass(frozen=True)
+class PricePoint:
+    """One spot price change event, as returned by the price-history API."""
+
+    timestamp: float
+    price: float
+    instance_type: str
+    availability_zone: str
+
+
+class PricingEngine:
+    """Deterministic piecewise-constant spot prices for every pool."""
+
+    def __init__(self, market: SpotMarket):
+        self.market = market
+        self.catalog: Catalog = market.catalog
+
+    # -- change-point machinery ----------------------------------------------
+
+    def _window_index(self, timestamp: float) -> int:
+        return int((timestamp - self.market.epoch) // PRICE_WINDOW_SECONDS)
+
+    def _window_start(self, index: int) -> float:
+        return self.market.epoch + index * PRICE_WINDOW_SECONDS
+
+    def _changes_in_window(self, itype_name: str, zone: str, index: int) -> bool:
+        if index <= 0:
+            return index == 0  # window 0 always sets the initial price
+        u = stable_uniform("price-change", self.market.seed, itype_name, zone, index)
+        return u < CHANGE_PROBABILITY
+
+    def _discount_at_change(self, itype: InstanceType, region: str, zone: str,
+                            index: int) -> float:
+        base = stable_range(BASE_DISCOUNT_MIN, BASE_DISCOUNT_MAX,
+                            "price-base", self.market.seed, itype.name, zone)
+        jitter = stable_range(-DISCOUNT_JITTER, DISCOUNT_JITTER,
+                              "price-jitter", self.market.seed, itype.name, zone, index)
+        h = self.market.headroom(itype, region, zone, self._window_start(index))
+        coupling = HEADROOM_COUPLING * (h - 0.5) * 2.0
+        return clip01(base + jitter + coupling)
+
+    def _last_change_window(self, itype_name: str, zone: str, timestamp: float) -> int:
+        index = max(0, self._window_index(timestamp))
+        for back in range(_MAX_LOOKBACK_WINDOWS):
+            candidate = index - back
+            if candidate <= 0:
+                return 0
+            if self._changes_in_window(itype_name, zone, candidate):
+                return candidate
+        return max(0, index - _MAX_LOOKBACK_WINDOWS)
+
+    # -- public API -------------------------------------------------------------
+
+    def zone_of_region(self, itype: InstanceType | str, region: str) -> str:
+        """A canonical zone for region-level price lookups."""
+        zones = self.catalog.supported_zones(itype, region)
+        if not zones:
+            raise ValueError(f"{itype} not offered in {region}")
+        return zones[0]
+
+    def spot_price(self, itype: InstanceType | str, region: str,
+                   timestamp: float, zone: str | None = None) -> float:
+        """Current spot $/hour for a pool."""
+        if isinstance(itype, str):
+            itype = self.catalog.instance_type(itype)
+        if zone is None:
+            zone = self.zone_of_region(itype, region)
+        window = self._last_change_window(itype.name, zone, timestamp)
+        discount = self._discount_at_change(itype, region, zone, window)
+        return round(itype.on_demand_price * (1.0 - discount), 4)
+
+    def savings_fraction(self, itype: InstanceType | str, region: str,
+                         timestamp: float, zone: str | None = None) -> float:
+        """Fractional saving of spot over on-demand at ``timestamp``."""
+        if isinstance(itype, str):
+            itype = self.catalog.instance_type(itype)
+        spot = self.spot_price(itype, region, timestamp, zone)
+        return 1.0 - spot / itype.on_demand_price
+
+    def price_history(self, itype: InstanceType | str, region: str,
+                      start: float, end: float,
+                      zone: str | None = None) -> List[PricePoint]:
+        """Price change events in ``[start, end]``, oldest first.
+
+        Mirrors ``describe-spot-price-history``: each row is the instant the
+        price changed and the new price.  The row in force at ``start`` is
+        included (timestamped at its true change instant, clamped to start).
+        """
+        if end < start:
+            raise ValueError("end must not precede start")
+        if isinstance(itype, str):
+            itype = self.catalog.instance_type(itype)
+        if zone is None:
+            zone = self.zone_of_region(itype, region)
+        points: List[PricePoint] = []
+        first_window = self._last_change_window(itype.name, zone, start)
+        cursor = first_window
+        last_index = self._window_index(end)
+        while cursor <= last_index:
+            if cursor == first_window or self._changes_in_window(itype.name, zone, cursor):
+                change_time = max(self._window_start(cursor), self.market.epoch)
+                discount = self._discount_at_change(itype, region, zone, cursor)
+                points.append(PricePoint(
+                    timestamp=max(change_time, start) if cursor == first_window else change_time,
+                    price=round(itype.on_demand_price * (1.0 - discount), 4),
+                    instance_type=itype.name,
+                    availability_zone=zone,
+                ))
+            cursor += 1
+        return points

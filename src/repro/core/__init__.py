@@ -1,0 +1,47 @@
+"""SpotLake core: query planning, collection, archival, serving."""
+
+from .archive import (
+    ADVISOR_TABLE,
+    DIM_REGION,
+    DIM_TYPE,
+    DIM_ZONE,
+    IF_SCORE_MEASURE,
+    INTERRUPTION_RATIO_MEASURE,
+    PRICE_MEASURE,
+    PRICE_TABLE,
+    SAVINGS_MEASURE,
+    SPS_MEASURE,
+    SPS_TABLE,
+    SpotLakeArchive,
+)
+from .collectors import (
+    AdvisorCollector,
+    CollectionReport,
+    PriceCollector,
+    SpotInfoScraper,
+    SpsCollector,
+)
+from .query_planner import (
+    QueryPlan,
+    SpsQuery,
+    pack_example,
+    plan_for_catalog,
+    plan_for_offering_map,
+)
+from .scheduler import CollectionScheduler, DEFAULT_INTERVAL_SECONDS, ScheduledJob
+from .service import ServiceConfig, SpotLakeService
+from .serving import ApiGateway, BadRequest, LambdaHandlers, Response
+
+__all__ = [
+    "ADVISOR_TABLE", "DIM_REGION", "DIM_TYPE", "DIM_ZONE",
+    "IF_SCORE_MEASURE", "INTERRUPTION_RATIO_MEASURE", "PRICE_MEASURE",
+    "PRICE_TABLE", "SAVINGS_MEASURE", "SPS_MEASURE", "SPS_TABLE",
+    "SpotLakeArchive",
+    "AdvisorCollector", "CollectionReport", "PriceCollector",
+    "SpotInfoScraper", "SpsCollector",
+    "QueryPlan", "SpsQuery", "pack_example", "plan_for_catalog",
+    "plan_for_offering_map",
+    "CollectionScheduler", "DEFAULT_INTERVAL_SECONDS", "ScheduledJob",
+    "ServiceConfig", "SpotLakeService",
+    "ApiGateway", "BadRequest", "LambdaHandlers", "Response",
+]

@@ -1,0 +1,172 @@
+"""SpotLake archive: historical storage of the three spot datasets.
+
+The archive wraps the time-series store with SpotLake's schema:
+
+=========  =======================================  =========================
+Table      Dimensions                               Measures
+=========  =======================================  =========================
+sps        InstanceType, Region, AvailabilityZone   sps (1..10)
+advisor    InstanceType, Region                     interruption_ratio (raw),
+                                                    if_score (1.0..3.0),
+                                                    savings (percent)
+price      InstanceType, Region, AvailabilityZone   spot_price ($/hour)
+=========  =======================================  =========================
+
+Historical queries -- the capability the vendor datasets lack and the
+paper's core contribution -- are plain time-range reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..timeseries import (
+    Record,
+    RetentionPolicy,
+    SeriesKey,
+    Table,
+    TimeSeriesStore,
+    resample_matrix,
+    update_intervals,
+)
+
+SPS_TABLE = "sps"
+ADVISOR_TABLE = "advisor"
+PRICE_TABLE = "price"
+
+SPS_MEASURE = "sps"
+IF_SCORE_MEASURE = "if_score"
+INTERRUPTION_RATIO_MEASURE = "interruption_ratio"
+SAVINGS_MEASURE = "savings"
+PRICE_MEASURE = "spot_price"
+
+DIM_TYPE = "InstanceType"
+DIM_REGION = "Region"
+DIM_ZONE = "AvailabilityZone"
+
+
+class SpotLakeArchive:
+    """Facade the collectors write to and the serving layer reads from."""
+
+    def __init__(self, retention: Optional[RetentionPolicy] = None):
+        self.store = TimeSeriesStore()
+        self.store.create_table(SPS_TABLE, retention)
+        self.store.create_table(ADVISOR_TABLE, retention)
+        self.store.create_table(PRICE_TABLE, retention)
+
+    # -- tables ------------------------------------------------------------
+
+    @property
+    def sps(self) -> Table:
+        return self.store.table(SPS_TABLE)
+
+    @property
+    def advisor(self) -> Table:
+        return self.store.table(ADVISOR_TABLE)
+
+    @property
+    def price(self) -> Table:
+        return self.store.table(PRICE_TABLE)
+
+    # -- writes (used by collectors) ------------------------------------------
+
+    def put_sps(self, instance_type: str, region: str, zone: str,
+                score: int, time: float) -> None:
+        self.sps.write(Record.make(
+            {DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone},
+            SPS_MEASURE, int(score), time))
+
+    def put_advisor(self, instance_type: str, region: str,
+                    interruption_ratio: float, if_score: float,
+                    savings_percent: int, time: float) -> None:
+        dims = {DIM_TYPE: instance_type, DIM_REGION: region}
+        self.advisor.write(Record.make(dims, INTERRUPTION_RATIO_MEASURE,
+                                       float(interruption_ratio), time))
+        self.advisor.write(Record.make(dims, IF_SCORE_MEASURE,
+                                       float(if_score), time))
+        self.advisor.write(Record.make(dims, SAVINGS_MEASURE,
+                                       int(savings_percent), time))
+
+    def put_price(self, instance_type: str, region: str, zone: str,
+                  price: float, time: float) -> None:
+        self.price.write(Record.make(
+            {DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone},
+            PRICE_MEASURE, float(price), time))
+
+    # -- reads ------------------------------------------------------------------
+
+    def sps_at(self, instance_type: str, region: str, zone: str,
+               time: float) -> Optional[int]:
+        value = self.sps.value_at(SPS_MEASURE, {
+            DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone}, time)
+        return None if value is None else int(value)
+
+    def if_score_at(self, instance_type: str, region: str,
+                    time: float) -> Optional[float]:
+        value = self.advisor.value_at(IF_SCORE_MEASURE, {
+            DIM_TYPE: instance_type, DIM_REGION: region}, time)
+        return None if value is None else float(value)
+
+    def savings_at(self, instance_type: str, region: str,
+                   time: float) -> Optional[int]:
+        value = self.advisor.value_at(SAVINGS_MEASURE, {
+            DIM_TYPE: instance_type, DIM_REGION: region}, time)
+        return None if value is None else int(value)
+
+    def price_at(self, instance_type: str, region: str, zone: str,
+                 time: float) -> Optional[float]:
+        value = self.price.value_at(PRICE_MEASURE, {
+            DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone}, time)
+        return None if value is None else float(value)
+
+    def history(self, table_name: str, measure: str,
+                filters: Dict[str, str], start: float, end: float) -> List[Record]:
+        """Change-point history of matching series in [start, end]."""
+        return self.store.table(table_name).scan(measure, filters, start, end)
+
+    # -- analysis-facing bulk reads ------------------------------------------------
+
+    def sps_matrix(self, sample_times: Sequence[float],
+                   filters: Optional[Dict[str, str]] = None,
+                   ) -> Tuple[List[SeriesKey], np.ndarray]:
+        """Aligned SPS samples: one row per (type, region, zone) series."""
+        return resample_matrix(self.sps, SPS_MEASURE, sample_times, filters)
+
+    def if_score_matrix(self, sample_times: Sequence[float],
+                        filters: Optional[Dict[str, str]] = None,
+                        ) -> Tuple[List[SeriesKey], np.ndarray]:
+        """Aligned interruption-free score samples per (type, region)."""
+        return resample_matrix(self.advisor, IF_SCORE_MEASURE, sample_times, filters)
+
+    def savings_matrix(self, sample_times: Sequence[float],
+                       filters: Optional[Dict[str, str]] = None,
+                       ) -> Tuple[List[SeriesKey], np.ndarray]:
+        """Aligned savings-percent samples per (type, region)."""
+        return resample_matrix(self.advisor, SAVINGS_MEASURE, sample_times, filters)
+
+    def price_matrix(self, sample_times: Sequence[float],
+                     filters: Optional[Dict[str, str]] = None,
+                     ) -> Tuple[List[SeriesKey], np.ndarray]:
+        """Aligned spot-price samples per (type, region, zone) series."""
+        return resample_matrix(self.price, PRICE_MEASURE, sample_times, filters)
+
+    def update_interval_samples(self, dataset: str) -> List[float]:
+        """Elapsed seconds between value changes (Figure 10 input).
+
+        ``dataset`` is one of "sps", "if_score", "price", "savings".
+        """
+        if dataset == "sps":
+            return update_intervals(self.sps, SPS_MEASURE)
+        if dataset == "if_score":
+            return update_intervals(self.advisor, IF_SCORE_MEASURE)
+        if dataset == "savings":
+            return update_intervals(self.advisor, SAVINGS_MEASURE)
+        if dataset == "price":
+            return update_intervals(self.price, PRICE_MEASURE)
+        raise ValueError(f"unknown dataset {dataset!r}")
+
+    def stats(self) -> Dict[str, dict]:
+        return self.store.stats()

@@ -1,0 +1,153 @@
+"""Dataset collectors (paper Sections 3 and 4, Figure 2).
+
+Three collectors feed the archive:
+
+* :class:`SpsCollector` executes a bin-packed query plan against the SPS
+  API, rotating across an account pool to stay inside the per-account
+  50-unique-queries/24 h budget;
+* :class:`AdvisorCollector` fetches the web-only advisor dataset through a
+  SpotInfo-style scraper (:class:`SpotInfoScraper`), converting categorical
+  buckets to the interruption-free score;
+* :class:`PriceCollector` reads the current spot price per pool from the
+  price-history API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.scores import score_from_bucket
+from ..cloudsim import (
+    AccountPool,
+    AdvisorEntry,
+    QuotaExceededError,
+    SimulatedCloud,
+    make_query_key,
+)
+from .archive import SpotLakeArchive
+from .query_planner import QueryPlan, SpsQuery, plan_for_catalog
+
+
+@dataclass
+class CollectionReport:
+    """What one collection round actually did."""
+
+    queries_issued: int = 0
+    queries_failed: int = 0
+    records_written: int = 0
+    accounts_used: int = 0
+
+    def merge(self, other: "CollectionReport") -> "CollectionReport":
+        return CollectionReport(
+            self.queries_issued + other.queries_issued,
+            self.queries_failed + other.queries_failed,
+            self.records_written + other.records_written,
+            max(self.accounts_used, other.accounts_used),
+        )
+
+
+class SpotInfoScraper:
+    """Programmatic wrapper over the advisor's web-only dataset.
+
+    Stands in for the SpotInfo CLI tool the paper uses: the advisor has no
+    API, so SpotLake scrapes the website's JSON snapshot.
+    """
+
+    def __init__(self, cloud: SimulatedCloud):
+        self._cloud = cloud
+
+    def fetch(self) -> List[AdvisorEntry]:
+        """The full advisor snapshot at the cloud's current time."""
+        return self._cloud.advisor_web_snapshot()
+
+
+class SpsCollector:
+    """Collects placement scores per the packed query plan."""
+
+    def __init__(self, cloud: SimulatedCloud, archive: SpotLakeArchive,
+                 accounts: AccountPool, plan: Optional[QueryPlan] = None):
+        self.cloud = cloud
+        self.archive = archive
+        self.accounts = accounts
+        self.plan = plan or plan_for_catalog(cloud.catalog)
+
+    def run_query(self, query: SpsQuery) -> CollectionReport:
+        """Issue one planned query via whichever account has budget."""
+        now = self.cloud.clock.now()
+        key = make_query_key([query.instance_type], query.regions,
+                             query.target_capacity,
+                             query.single_availability_zone)
+        report = CollectionReport(queries_issued=1)
+        try:
+            account = self.accounts.acquire(key, now)
+        except QuotaExceededError:
+            report.queries_failed = 1
+            return report
+        client = self.cloud.client(account)
+        rows = client.get_spot_placement_scores(
+            [query.instance_type], list(query.regions),
+            target_capacity=query.target_capacity,
+            single_availability_zone=query.single_availability_zone)
+        for row in rows:
+            zone = row["AvailabilityZoneId"]
+            if zone is None:
+                continue
+            self.archive.put_sps(query.instance_type, row["Region"], zone,
+                                 row["Score"], now)
+            report.records_written += 1
+        return report
+
+    def collect(self) -> CollectionReport:
+        """Run the full plan once (one collection round)."""
+        total = CollectionReport()
+        used_accounts = set()
+        for query in self.plan.queries:
+            result = self.run_query(query)
+            total = total.merge(result)
+        total.accounts_used = sum(
+            1 for a in self.accounts.accounts
+            if a.unique_queries_used(self.cloud.clock.now()) > 0)
+        return total
+
+
+class AdvisorCollector:
+    """Collects the advisor dataset through the scraper."""
+
+    def __init__(self, cloud: SimulatedCloud, archive: SpotLakeArchive,
+                 scraper: Optional[SpotInfoScraper] = None):
+        self.cloud = cloud
+        self.archive = archive
+        self.scraper = scraper or SpotInfoScraper(cloud)
+
+    def collect(self) -> CollectionReport:
+        now = self.cloud.clock.now()
+        report = CollectionReport(queries_issued=1)
+        for entry in self.scraper.fetch():
+            ratio = self.cloud.advisor.interruption_ratio(
+                entry.instance_type, entry.region, now)
+            self.archive.put_advisor(
+                entry.instance_type, entry.region, ratio,
+                score_from_bucket(entry.interruption_bucket),
+                entry.savings_percent, now)
+            report.records_written += 3
+        return report
+
+
+class PriceCollector:
+    """Records the current spot price of every offered pool."""
+
+    def __init__(self, cloud: SimulatedCloud, archive: SpotLakeArchive,
+                 pools: Optional[Sequence[Tuple[str, str, str]]] = None):
+        self.cloud = cloud
+        self.archive = archive
+        self.pools = list(pools) if pools is not None else cloud.catalog.all_pools()
+
+    def collect(self) -> CollectionReport:
+        now = self.cloud.clock.now()
+        report = CollectionReport(queries_issued=1)
+        for itype, region, zone in self.pools:
+            price = self.cloud.pricing.spot_price(itype, region, now, zone)
+            self.archive.put_price(itype, region, zone, price, now)
+            report.records_written += 1
+        return report

@@ -1,0 +1,160 @@
+"""Serving layer: the API-gateway/Lambda-like front of SpotLake (Figure 2).
+
+A user's HTTP-style request (path + query parameters) is routed by the
+:class:`ApiGateway` to a handler function that reads the archive and
+returns a JSON-able dict -- the same serverless shape as the real service
+(API Gateway -> Lambda -> Timestream).  Parameter validation errors map to
+status 400, unknown routes to 404.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .archive import (
+    ADVISOR_TABLE,
+    DIM_REGION,
+    DIM_TYPE,
+    DIM_ZONE,
+    IF_SCORE_MEASURE,
+    INTERRUPTION_RATIO_MEASURE,
+    PRICE_MEASURE,
+    PRICE_TABLE,
+    SAVINGS_MEASURE,
+    SPS_MEASURE,
+    SPS_TABLE,
+    SpotLakeArchive,
+)
+
+
+@dataclass
+class Response:
+    """An HTTP-ish response envelope."""
+
+    status: int
+    body: dict
+
+    def json(self) -> str:
+        return json.dumps(self.body, sort_keys=True)
+
+
+class BadRequest(ValueError):
+    """Raised by handlers on invalid query parameters."""
+
+
+def _require(params: Dict[str, str], key: str) -> str:
+    value = params.get(key)
+    if not value:
+        raise BadRequest(f"missing required parameter {key!r}")
+    return value
+
+
+def _time_range(params: Dict[str, str]) -> tuple:
+    try:
+        start = float(_require(params, "start"))
+        end = float(_require(params, "end"))
+    except ValueError as exc:
+        raise BadRequest(f"invalid time range: {exc}") from exc
+    if end < start:
+        raise BadRequest("end precedes start")
+    return start, end
+
+
+class LambdaHandlers:
+    """The archive-reading functions behind each route."""
+
+    def __init__(self, archive: SpotLakeArchive):
+        self.archive = archive
+
+    def _history_payload(self, table: str, measure: str,
+                         params: Dict[str, str],
+                         dims: List[str]) -> dict:
+        start, end = _time_range(params)
+        filters = {}
+        for dim, param in ((DIM_TYPE, "instance_type"),
+                           (DIM_REGION, "region"),
+                           (DIM_ZONE, "zone")):
+            if dim in dims and params.get(param):
+                filters[dim] = params[param]
+        records = self.archive.history(table, measure, filters, start, end)
+        return {
+            "measure": measure,
+            "count": len(records),
+            "rows": [
+                {"time": r.time, "value": r.value, **r.dimension_dict}
+                for r in records
+            ],
+        }
+
+    def sps_history(self, params: Dict[str, str]) -> dict:
+        """GET /sps/history -- placement score change points."""
+        return self._history_payload(SPS_TABLE, SPS_MEASURE, params,
+                                     [DIM_TYPE, DIM_REGION, DIM_ZONE])
+
+    def advisor_history(self, params: Dict[str, str]) -> dict:
+        """GET /advisor/history -- interruption-free score change points."""
+        measure = params.get("measure", IF_SCORE_MEASURE)
+        if measure not in (IF_SCORE_MEASURE, INTERRUPTION_RATIO_MEASURE,
+                           SAVINGS_MEASURE):
+            raise BadRequest(f"unknown advisor measure {measure!r}")
+        return self._history_payload(ADVISOR_TABLE, measure, params,
+                                     [DIM_TYPE, DIM_REGION])
+
+    def price_history(self, params: Dict[str, str]) -> dict:
+        """GET /price/history -- spot price change points."""
+        return self._history_payload(PRICE_TABLE, PRICE_MEASURE, params,
+                                     [DIM_TYPE, DIM_REGION, DIM_ZONE])
+
+    def latest(self, params: Dict[str, str]) -> dict:
+        """GET /latest -- current value of all three datasets for a pool."""
+        itype = _require(params, "instance_type")
+        region = _require(params, "region")
+        zone = params.get("zone")
+        try:
+            at = float(_require(params, "at"))
+        except ValueError as exc:
+            raise BadRequest("invalid 'at' timestamp") from exc
+        payload: dict = {
+            "instance_type": itype,
+            "region": region,
+            "if_score": self.archive.if_score_at(itype, region, at),
+            "savings": self.archive.savings_at(itype, region, at),
+        }
+        if zone:
+            payload["zone"] = zone
+            payload["sps"] = self.archive.sps_at(itype, region, zone, at)
+            payload["spot_price"] = self.archive.price_at(itype, region, zone, at)
+        return payload
+
+    def stats(self, params: Dict[str, str]) -> dict:
+        """GET /stats -- archive ingestion statistics."""
+        return self.archive.stats()
+
+
+class ApiGateway:
+    """Routes paths to Lambda handlers, mapping errors to status codes."""
+
+    def __init__(self, archive: SpotLakeArchive):
+        self.handlers = LambdaHandlers(archive)
+        self._routes: Dict[str, Callable[[Dict[str, str]], dict]] = {
+            "/sps/history": self.handlers.sps_history,
+            "/advisor/history": self.handlers.advisor_history,
+            "/price/history": self.handlers.price_history,
+            "/latest": self.handlers.latest,
+            "/stats": self.handlers.stats,
+        }
+
+    def routes(self) -> List[str]:
+        return sorted(self._routes)
+
+    def get(self, path: str, params: Optional[Dict[str, str]] = None) -> Response:
+        """Dispatch a GET request."""
+        handler = self._routes.get(path)
+        if handler is None:
+            return Response(404, {"error": f"no route {path!r}"})
+        try:
+            return Response(200, handler(params or {}))
+        except BadRequest as exc:
+            return Response(400, {"error": str(exc)})

@@ -1,0 +1,34 @@
+"""Real-request experiments and prediction (paper Sections 5.4-5.5)."""
+
+from .categorize import COMBOS, Candidate, combo_counts, scan_candidates
+from .outcomes import ComboOutcome, LatencyCdfs, fulfillment_latency_cdfs, run_duration_cdfs, table3
+from .runner import CaseResult, ExperimentRunner, EXPERIMENT_HORIZON_HOURS, POLL_INTERVAL_SECONDS
+from .sampler import prefer_cheap, sample_cases
+
+__all__ = [
+    "COMBOS", "Candidate", "combo_counts", "scan_candidates",
+    "ComboOutcome", "LatencyCdfs", "fulfillment_latency_cdfs",
+    "run_duration_cdfs", "table3",
+    "CaseResult", "ExperimentRunner", "EXPERIMENT_HORIZON_HOURS",
+    "POLL_INTERVAL_SECONDS",
+    "prefer_cheap", "sample_cases",
+]
+
+from .prediction import (
+    CLASSES,
+    CLASS_INDEX,
+    FEATURE_NAMES,
+    MethodScore,
+    build_dataset,
+    case_features,
+    cost_save_heuristic,
+    if_heuristic,
+    prediction_study,
+    sps_heuristic,
+)
+
+__all__ += [
+    "CLASSES", "CLASS_INDEX", "FEATURE_NAMES", "MethodScore",
+    "build_dataset", "case_features", "cost_save_heuristic",
+    "if_heuristic", "prediction_study", "sps_heuristic",
+]

@@ -1,0 +1,76 @@
+"""Score categorization and experiment combos (paper Section 5.4).
+
+The fulfillment/interruption experiments stratify candidate pools by the
+pair (placement-score category, interruption-free-score category), keeping
+five combinations: H-H, H-L, M-M, L-H and L-L, where H/M/L are exactly the
+score values 3.0 / 2.0 / 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.scores import categorize
+from ..cloudsim import SimulatedCloud
+
+#: The five experiment combinations, in the paper's Table 3 order.
+COMBOS = ("H-H", "H-L", "M-M", "L-H", "L-L")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One pool eligible for the experiment, with its scores at sampling."""
+
+    instance_type: str
+    region: str
+    availability_zone: str
+    sps_score: int
+    if_score: float
+
+    @property
+    def combo(self) -> Optional[str]:
+        """The experiment combo this candidate belongs to, if any."""
+        s = categorize(float(self.sps_score))
+        i = categorize(self.if_score)
+        if not s or not i:
+            return None
+        label = f"{s}-{i}"
+        return label if label in COMBOS else None
+
+
+def scan_candidates(cloud: SimulatedCloud, timestamp: float,
+                    max_pools: Optional[int] = None) -> List[Candidate]:
+    """Score every pool at ``timestamp`` and keep those in a target combo.
+
+    ``max_pools`` truncates the scan (deterministically, catalog order) for
+    cheaper tests; the paper scanned everything via the archive.
+    """
+    from ..analysis.scores import interruption_free_score
+
+    catalog = cloud.catalog
+    pools = catalog.all_pools()
+    if max_pools is not None:
+        pools = pools[:max_pools]
+    out: List[Candidate] = []
+    ratio_cache: Dict[Tuple[str, str], float] = {}
+    for itype, region, zone in pools:
+        sps = cloud.placement.zone_score(itype, region, zone, timestamp)
+        pair = (itype, region)
+        if pair not in ratio_cache:
+            ratio_cache[pair] = cloud.advisor.interruption_ratio(
+                itype, region, timestamp)
+        ifs = interruption_free_score(ratio_cache[pair])
+        candidate = Candidate(itype, region, zone, sps, ifs)
+        if candidate.combo is not None:
+            out.append(candidate)
+    return out
+
+
+def combo_counts(candidates: List[Candidate]) -> Dict[str, int]:
+    """Candidate pool sizes per combo (L-H is the scarce one in the paper)."""
+    counts = {combo: 0 for combo in COMBOS}
+    for c in candidates:
+        if c.combo:
+            counts[c.combo] += 1
+    return counts

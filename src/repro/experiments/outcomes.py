@@ -1,0 +1,89 @@
+"""Experiment outcome aggregation (paper Table 3 and Figure 11).
+
+Table 3: per score combo, the share of cases never fulfilled within 24
+hours and the share interrupted at least once.
+
+Figure 11: CDFs of (a) the latency from submission to first fulfillment
+and (b) the time a fulfilled instance ran before its first interruption,
+per combo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .categorize import COMBOS
+from .runner import CaseResult
+
+
+@dataclass
+class ComboOutcome:
+    """One Table 3 row."""
+
+    combo: str
+    cases: int
+    not_fulfilled_percent: float
+    interrupted_percent: float
+
+
+def table3(results: Sequence[CaseResult]) -> List[ComboOutcome]:
+    """Not-fulfilled / interrupted percentages per combo, Table 3 order."""
+    rows: List[ComboOutcome] = []
+    for combo in COMBOS:
+        group = [r for r in results if r.combo == combo]
+        if not group:
+            continue
+        n = len(group)
+        nf = sum(1 for r in group if not r.fulfilled)
+        ir = sum(1 for r in group if r.interrupted)
+        rows.append(ComboOutcome(combo, n, 100.0 * nf / n, 100.0 * ir / n))
+    return rows
+
+
+def _cdf(values: List[float]) -> Tuple[np.ndarray, np.ndarray]:
+    if not values:
+        return np.array([]), np.array([])
+    xs = np.sort(np.array(values))
+    fs = np.arange(1, len(xs) + 1) / len(xs)
+    return xs, fs
+
+
+@dataclass
+class LatencyCdfs:
+    """Figure 11 series: per combo, a CDF over seconds."""
+
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]]
+
+    def median(self, combo: str) -> float:
+        xs, _ = self.series.get(combo, (np.array([]), np.array([])))
+        return float(np.median(xs)) if len(xs) else float("nan")
+
+    def fraction_below(self, combo: str, seconds: float) -> float:
+        xs, _ = self.series.get(combo, (np.array([]), np.array([])))
+        if not len(xs):
+            return float("nan")
+        return float(np.mean(xs <= seconds))
+
+
+def fulfillment_latency_cdfs(results: Sequence[CaseResult]) -> LatencyCdfs:
+    """Figure 11a: time until a spot request is fulfilled, per combo."""
+    series = {}
+    for combo in COMBOS:
+        values = [r.fulfillment_latency for r in results
+                  if r.combo == combo and r.fulfillment_latency is not None]
+        series[combo] = _cdf([float(v) for v in values])
+    return LatencyCdfs(series)
+
+
+def run_duration_cdfs(results: Sequence[CaseResult]) -> LatencyCdfs:
+    """Figure 11b: time until a fulfilled instance is interrupted, per
+    combo (only cases that were both fulfilled and interrupted)."""
+    series = {}
+    for combo in COMBOS:
+        values = [r.first_run_duration for r in results
+                  if r.combo == combo and r.first_run_duration is not None]
+        series[combo] = _cdf([float(v) for v in values])
+    return LatencyCdfs(series)

@@ -1,0 +1,185 @@
+"""Spot-outcome prediction study (paper Section 5.5, Table 4).
+
+Defines the three-class problem (NoInterrupt / Interrupted / NoFulfill) over
+the Section-5.4 experiment results and compares:
+
+* three *current-value heuristics*, implementable without any archive --
+  thresholding the current interruption-free score (IF), the current spot
+  placement score (SPS), or the current cost saving (Cost Save);
+* a random forest (RF) on features extracted from the *preceding month* of
+  archived SPS / interruption-free history -- the capability only the
+  proposed archive service provides.
+
+The paper reports accuracy/F1 of IF 0.45/0.43, SPS 0.64/0.58, Cost Save
+0.39/0.28 and RF 0.73/0.73; the reproduction target is the ordering (RF
+best, SPS the best heuristic, Cost Save near chance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.archive import DIM_REGION, DIM_TYPE, DIM_ZONE, SpotLakeArchive
+from ..mlcore import RandomForestClassifier, accuracy, macro_f1, train_test_split
+from .runner import CaseResult
+
+#: Class encoding of the prediction target.
+CLASSES = ("NoInterrupt", "Interrupted", "NoFulfill")
+CLASS_INDEX = {name: i for i, name in enumerate(CLASSES)}
+
+#: Feature vector layout produced by :func:`case_features`.
+FEATURE_NAMES = (
+    "sps_current",
+    "sps_mean_30d",
+    "sps_min_30d",
+    "sps_frac_high_30d",
+    "sps_changes_30d",
+    "if_current",
+    "if_mean_30d",
+    "if_min_30d",
+    "if_changes_30d",
+    "savings_current",
+)
+
+
+def _series_stats(values: List[float]) -> Tuple[float, float, float, float, int]:
+    arr = np.array([v for v in values if v is not None and not np.isnan(v)])
+    if len(arr) == 0:
+        return (np.nan,) * 4 + (0,)  # type: ignore[return-value]
+    changes = int(np.sum(arr[1:] != arr[:-1]))
+    high = float(np.mean(arr == arr.max())) if len(arr) else np.nan
+    return float(arr[-1]), float(arr.mean()), float(arr.min()), high, changes
+
+
+def case_features(archive: SpotLakeArchive, case: CaseResult,
+                  submit_time: float, window_days: float = 30.0,
+                  samples: int = 60) -> np.ndarray:
+    """Feature vector for one case from the preceding month of history."""
+    cand = case.candidate
+    start = submit_time - window_days * 86400.0
+    times = np.linspace(start, submit_time, samples)
+
+    sps_vals = [archive.sps_at(cand.instance_type, cand.region,
+                               cand.availability_zone, t) for t in times]
+    if_vals = [archive.if_score_at(cand.instance_type, cand.region, t)
+               for t in times]
+    savings = archive.savings_at(cand.instance_type, cand.region, submit_time)
+
+    sps_arr = np.array([np.nan if v is None else float(v) for v in sps_vals])
+    if_arr = np.array([np.nan if v is None else float(v) for v in if_vals])
+
+    def stats(arr: np.ndarray, high_value: float) -> Tuple[float, ...]:
+        good = arr[~np.isnan(arr)]
+        if len(good) == 0:
+            return (np.nan, np.nan, np.nan, np.nan, 0.0)
+        changes = float(np.sum(good[1:] != good[:-1]))
+        return (float(good[-1]), float(good.mean()), float(good.min()),
+                float(np.mean(good == high_value)), changes)
+
+    s_last, s_mean, s_min, s_high, s_chg = stats(sps_arr, 3.0)
+    i_last, i_mean, i_min, i_high, i_chg = stats(if_arr, 3.0)
+    return np.array([
+        s_last if not np.isnan(s_last) else float(cand.sps_score),
+        s_mean if not np.isnan(s_mean) else float(cand.sps_score),
+        s_min if not np.isnan(s_min) else float(cand.sps_score),
+        s_high if not np.isnan(s_high) else 1.0,
+        s_chg,
+        i_last if not np.isnan(i_last) else cand.if_score,
+        i_mean if not np.isnan(i_mean) else cand.if_score,
+        i_min if not np.isnan(i_min) else cand.if_score,
+        i_chg,
+        float(savings) if savings is not None else 65.0,
+    ])
+
+
+def build_dataset(archive: SpotLakeArchive, results: Sequence[CaseResult],
+                  submit_time: float, window_days: float = 30.0
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """(X, y) over all cases; labels follow :data:`CLASSES`."""
+    X = np.vstack([case_features(archive, r, submit_time, window_days)
+                   for r in results])
+    y = np.array([CLASS_INDEX[r.outcome_label] for r in results])
+    return X, y
+
+
+# ---------------------------------------------------------------------------
+# Current-value heuristics (paper's comparison baselines)
+# ---------------------------------------------------------------------------
+
+def sps_heuristic(sps_current: np.ndarray) -> np.ndarray:
+    """SPS 3 -> NoInterrupt, 2 -> Interrupted, 1 -> NoFulfill (paper)."""
+    out = np.full(len(sps_current), CLASS_INDEX["Interrupted"])
+    out[sps_current >= 3.0] = CLASS_INDEX["NoInterrupt"]
+    out[sps_current <= 1.0] = CLASS_INDEX["NoFulfill"]
+    return out
+
+
+def if_heuristic(if_current: np.ndarray) -> np.ndarray:
+    """Empirical interruption-free thresholds: high -> NoInterrupt, low ->
+    NoFulfill, middle -> Interrupted."""
+    out = np.full(len(if_current), CLASS_INDEX["Interrupted"])
+    out[if_current >= 2.5] = CLASS_INDEX["NoInterrupt"]
+    out[if_current <= 1.0] = CLASS_INDEX["NoFulfill"]
+    return out
+
+
+def cost_save_heuristic(savings_current: np.ndarray) -> np.ndarray:
+    """Empirical savings thresholds (weak by design: the saving percentage
+    carries little availability information, as Table 4 shows)."""
+    out = np.full(len(savings_current), CLASS_INDEX["Interrupted"])
+    out[savings_current < 62.0] = CLASS_INDEX["NoInterrupt"]
+    out[savings_current > 74.0] = CLASS_INDEX["NoFulfill"]
+    return out
+
+
+@dataclass
+class MethodScore:
+    """One Table 4 column."""
+
+    method: str
+    accuracy: float
+    f1: float
+
+
+def prediction_study(archive: SpotLakeArchive, results: Sequence[CaseResult],
+                     submit_time: float, window_days: float = 30.0,
+                     test_fraction: float = 0.3, seed: int = 0,
+                     n_estimators: int = 100,
+                     feature_mask: Optional[Sequence[int]] = None
+                     ) -> List[MethodScore]:
+    """Table 4: evaluate the three heuristics and the RF on one test split.
+
+    ``feature_mask`` restricts the RF's feature columns (used by the
+    feature-window ablation bench).
+    """
+    X, y = build_dataset(archive, results, submit_time, window_days)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, test_fraction, seed=seed)
+
+    sps_col = FEATURE_NAMES.index("sps_current")
+    if_col = FEATURE_NAMES.index("if_current")
+    save_col = FEATURE_NAMES.index("savings_current")
+
+    scores = [
+        MethodScore("IF",
+                    accuracy(y_test, if_heuristic(X_test[:, if_col])),
+                    macro_f1(y_test, if_heuristic(X_test[:, if_col]))),
+        MethodScore("SPS",
+                    accuracy(y_test, sps_heuristic(X_test[:, sps_col])),
+                    macro_f1(y_test, sps_heuristic(X_test[:, sps_col]))),
+        MethodScore("CostSave",
+                    accuracy(y_test, cost_save_heuristic(X_test[:, save_col])),
+                    macro_f1(y_test, cost_save_heuristic(X_test[:, save_col]))),
+    ]
+
+    cols = list(feature_mask) if feature_mask is not None else list(range(X.shape[1]))
+    forest = RandomForestClassifier(n_estimators=n_estimators, random_state=seed)
+    forest.fit(X_train[:, cols], y_train)
+    predictions = forest.predict(X_test[:, cols])
+    scores.append(MethodScore("RF",
+                              accuracy(y_test, predictions),
+                              macro_f1(y_test, predictions)))
+    return scores

@@ -1,0 +1,49 @@
+"""Experiment case sampling (paper Section 5.4).
+
+The paper generated 503 experimental cases by stratified *under-sampling*:
+every combo shrunk to the size of the smallest one (L-H), with instance
+types and availability zones spread uniformly inside each combo (pure
+random sampling biased toward popular types/regions), and smaller/cheaper
+sizes preferred to bound cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cloudsim import Catalog, SimulatedCloud
+from ..mlcore.sampling import stratified_undersample
+from .categorize import COMBOS, Candidate, combo_counts, scan_candidates
+
+
+def prefer_cheap(catalog: Catalog, candidates: List[Candidate]) -> List[Candidate]:
+    """Stable-sort candidates small-and-cheap first (paper's cost control)."""
+    def cost_key(c: Candidate) -> tuple:
+        itype = catalog.instance_type(c.instance_type)
+        return (itype.size_rank, itype.on_demand_price)
+    return sorted(candidates, key=cost_key)
+
+
+def sample_cases(cloud: SimulatedCloud, timestamp: float,
+                 per_combo: Optional[int] = None,
+                 max_pools: Optional[int] = None,
+                 seed: int = 0) -> List[Candidate]:
+    """Draw the stratified experiment cases.
+
+    ``per_combo`` defaults to the scarcest combo's candidate count (the
+    paper's L-H), reproducing the ~503-case design at full catalog scale.
+    """
+    candidates = scan_candidates(cloud, timestamp, max_pools)
+    candidates = prefer_cheap(cloud.catalog, candidates)
+    counts = combo_counts(candidates)
+    nonempty = {c: n for c, n in counts.items() if n > 0}
+    if not nonempty:
+        return []
+    target = per_combo or min(nonempty.values())
+    return stratified_undersample(
+        candidates,
+        stratum_of=lambda c: c.combo,
+        spread_of=lambda c: c.instance_type,
+        per_stratum=target,
+        seed=seed,
+    )

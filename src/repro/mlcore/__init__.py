@@ -1,0 +1,19 @@
+"""ML substrate: CART trees, random forests, metrics, sampling (no sklearn)."""
+
+from .forest import RandomForestClassifier
+from .metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    macro_f1,
+    precision_recall_f1,
+)
+from .sampling import stratified_undersample, train_test_split
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "RandomForestClassifier", "DecisionTreeClassifier",
+    "accuracy", "classification_report", "confusion_matrix",
+    "macro_f1", "precision_recall_f1",
+    "stratified_undersample", "train_test_split",
+]

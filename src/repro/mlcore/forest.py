@@ -1,0 +1,106 @@
+"""Random forest classifier: bootstrap-bagged CART trees.
+
+Matches the scikit-learn defaults the paper relies on: 100 trees, sqrt
+feature subsampling, bootstrap resampling, majority vote by averaged leaf
+probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of CART trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Trees in the forest (sklearn default: 100).
+    max_depth, min_samples_split:
+        Passed to every tree.
+    max_features:
+        Per-split feature subsample; "sqrt" is the classification default.
+    random_state:
+        Seed for bootstrap and feature subsampling.
+    """
+
+    def __init__(self, n_estimators: int = 100,
+                 max_depth: Optional[int] = None,
+                 min_samples_split: int = 2,
+                 max_features="sqrt",
+                 random_state=None):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.random_state = random_state
+        self.trees_: List[DecisionTreeClassifier] = []
+        self.n_classes_ = 0
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self.random_state)
+        self.n_classes_ = int(y.max()) + 1
+        self.trees_ = []
+        n = len(X)
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=self.max_features,
+                random_state=rng.integers(0, 2**31 - 1),
+            )
+            tree.fit(X[idx], y[idx])
+            # a bootstrap draw may miss the top class; align widths
+            tree.n_classes_ = max(tree.n_classes_, self.n_classes_)
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Forest probabilities: mean of per-tree leaf distributions."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=float)
+        total = np.zeros((len(X), self.n_classes_))
+        for tree in self.trees_:
+            proba = tree.predict_proba(X)
+            if proba.shape[1] < self.n_classes_:
+                pad = np.zeros((len(X), self.n_classes_ - proba.shape[1]))
+                proba = np.hstack([proba, pad])
+            total += proba[:, :self.n_classes_]
+        return total / len(self.trees_)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-vote class per row."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def feature_importances(self) -> np.ndarray:
+        """Crude importance: how often each feature splits, forest-wide."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        counts = np.zeros(self.trees_[0].n_features_)
+
+        def walk(node):
+            if node is None or node.is_leaf:
+                return
+            counts[node.feature] += 1
+            walk(node.left)
+            walk(node.right)
+
+        for tree in self.trees_:
+            walk(tree._root)
+        total = counts.sum()
+        return counts / total if total else counts

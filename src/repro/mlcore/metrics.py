@@ -1,0 +1,73 @@
+"""Classification metrics: accuracy, precision/recall, F1, confusion matrix.
+
+Table 4 compares methods by accuracy and F1-score; for the three-class
+problem (NoInterrupt / Interrupted / NoFulfill) the F1 reported is the
+macro average, mirroring the scikit-learn convention for multiclass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _as_int_arrays(y_true, y_pred):
+    t = np.asarray(y_true, dtype=int)
+    p = np.asarray(y_pred, dtype=int)
+    if t.shape != p.shape:
+        raise ValueError("y_true and y_pred shapes differ")
+    if len(t) == 0:
+        raise ValueError("empty label arrays")
+    return t, p
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exactly correct predictions."""
+    t, p = _as_int_arrays(y_true, y_pred)
+    return float(np.mean(t == p))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int | None = None) -> np.ndarray:
+    """Counts[c_true, c_pred]."""
+    t, p = _as_int_arrays(y_true, y_pred)
+    k = n_classes or int(max(t.max(), p.max())) + 1
+    matrix = np.zeros((k, k), dtype=int)
+    for a, b in zip(t, p):
+        matrix[a, b] += 1
+    return matrix
+
+
+def precision_recall_f1(y_true, y_pred, n_classes: int | None = None
+                        ) -> Dict[str, np.ndarray]:
+    """Per-class precision, recall and F1 (zero-division -> 0.0)."""
+    cm = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(cm).astype(float)
+    predicted = cm.sum(axis=0).astype(float)
+    actual = cm.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def macro_f1(y_true, y_pred, n_classes: int | None = None) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    return float(np.mean(precision_recall_f1(y_true, y_pred, n_classes)["f1"]))
+
+
+def classification_report(y_true, y_pred, class_names: Sequence[str] | None = None
+                          ) -> str:
+    """Human-readable per-class metric table."""
+    stats = precision_recall_f1(y_true, y_pred)
+    k = len(stats["f1"])
+    names = list(class_names) if class_names else [f"class {i}" for i in range(k)]
+    lines = [f"{'':16s} {'prec':>6s} {'recall':>6s} {'f1':>6s}"]
+    for i in range(k):
+        lines.append(f"{names[i]:16s} {stats['precision'][i]:6.2f} "
+                     f"{stats['recall'][i]:6.2f} {stats['f1'][i]:6.2f}")
+    lines.append(f"{'accuracy':16s} {accuracy(y_true, y_pred):6.2f}")
+    lines.append(f"{'macro f1':16s} {macro_f1(y_true, y_pred):6.2f}")
+    return "\n".join(lines)

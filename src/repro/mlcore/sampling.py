@@ -1,0 +1,99 @@
+"""Sampling utilities: stratified under-sampling and train/test splits.
+
+The paper's experiment design (Section 5.4) stratifies candidate pools by
+their (placement score, interruption-free score) combination and
+*under-samples* every stratum to the size of the smallest one (the L-H
+combination), distributing instance types and zones uniformly rather than
+sampling purely at random -- pure random sampling biased toward popular
+types/regions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def stratified_undersample(items: Sequence[T],
+                           stratum_of: Callable[[T], Hashable],
+                           spread_of: Callable[[T], Hashable] | None = None,
+                           per_stratum: int | None = None,
+                           seed: int = 0) -> List[T]:
+    """Under-sample every stratum to a common size.
+
+    ``stratum_of`` labels each item; ``per_stratum`` defaults to the size of
+    the smallest stratum.  When ``spread_of`` is given, the sampler
+    round-robins over that secondary label inside each stratum so the
+    selection is spread uniformly (the paper spreads over instance type and
+    availability zone).
+    """
+    strata: Dict[Hashable, List[T]] = defaultdict(list)
+    for item in items:
+        strata[stratum_of(item)].append(item)
+    if not strata:
+        return []
+    target = per_stratum or min(len(v) for v in strata.values())
+    rng = np.random.default_rng(seed)
+    out: List[T] = []
+    for label in sorted(strata, key=str):
+        members = strata[label]
+        if len(members) <= target:
+            out.extend(members)
+            continue
+        if spread_of is None:
+            idx = rng.choice(len(members), size=target, replace=False)
+            out.extend(members[i] for i in idx)
+            continue
+        groups: Dict[Hashable, List[T]] = defaultdict(list)
+        for member in members:
+            groups[spread_of(member)].append(member)
+        for bucket in groups.values():
+            rng.shuffle(bucket)  # type: ignore[arg-type]
+        order = sorted(groups, key=str)
+        picked: List[T] = []
+        cursor = 0
+        while len(picked) < target:
+            progressed = False
+            for key in order:
+                bucket = groups[key]
+                if cursor < len(bucket):
+                    picked.append(bucket[cursor])
+                    progressed = True
+                    if len(picked) == target:
+                        break
+            if not progressed:
+                break
+            cursor += 1
+        out.extend(picked)
+    return out
+
+
+def train_test_split(X, y, test_fraction: float = 0.3, seed: int = 0,
+                     stratify: bool = True) -> Tuple[np.ndarray, np.ndarray,
+                                                     np.ndarray, np.ndarray]:
+    """Random (optionally label-stratified) train/test split."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=int)
+    if len(X) != len(y):
+        raise ValueError("X and y length mismatch")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    test_idx: List[int] = []
+    if stratify:
+        for cls in np.unique(y):
+            members = np.flatnonzero(y == cls)
+            rng.shuffle(members)
+            k = max(1, int(round(len(members) * test_fraction)))
+            test_idx.extend(members[:k].tolist())
+    else:
+        order = rng.permutation(len(y))
+        k = max(1, int(round(len(y) * test_fraction)))
+        test_idx = order[:k].tolist()
+    test_mask = np.zeros(len(y), dtype=bool)
+    test_mask[test_idx] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]

@@ -1,0 +1,185 @@
+"""CART decision-tree classifier (Gini impurity), from scratch on numpy.
+
+The paper's Table 4 uses scikit-learn's default RandomForestClassifier; no
+scikit-learn is available here, so this module implements the underlying
+CART tree with the same defaults that matter: Gini splits, no depth limit,
+split until pure or ``min_samples_split`` is reached, and optional
+``max_features`` subsampling for forest use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry class-count distributions."""
+
+    counts: np.ndarray  # per-class sample counts at this node
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return 1.0 - float(np.sum(p * p))
+
+
+class DecisionTreeClassifier:
+    """Binary-split CART tree over float features and integer labels.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth limit (None = grow until pure).
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    max_features:
+        Features considered per split: None = all, "sqrt" = sqrt(n), or an
+        int count.  Forests pass "sqrt" (the sklearn default).
+    random_state:
+        Seed (or Generator) for feature subsampling.
+    """
+
+    def __init__(self, max_depth: Optional[int] = None,
+                 min_samples_split: int = 2,
+                 max_features=None,
+                 random_state=None):
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = np.random.default_rng(random_state)
+        self._root: Optional[_Node] = None
+        self.n_classes_ = 0
+        self.n_features_ = 0
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if y.min() < 0:
+            raise ValueError("labels must be non-negative integers")
+        self.n_classes_ = int(y.max()) + 1
+        self.n_features_ = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _feature_candidates(self) -> np.ndarray:
+        n = self.n_features_
+        if self.max_features is None:
+            return np.arange(n)
+        if self.max_features == "sqrt":
+            k = max(1, int(np.sqrt(n)))
+        else:
+            k = max(1, min(int(self.max_features), n))
+        return self._rng.choice(n, size=k, replace=False)
+
+    def _class_counts(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=self.n_classes_).astype(float)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        """Best (feature, threshold) by weighted-Gini decrease, else None."""
+        n = len(y)
+        parent_counts = self._class_counts(y)
+        best = None
+        best_score = _gini(parent_counts)
+        if best_score == 0.0:
+            return None
+        for feature in self._feature_candidates():
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            left_counts = np.zeros(self.n_classes_)
+            right_counts = parent_counts.copy()
+            for i in range(n - 1):
+                cls = ys[i]
+                left_counts[cls] += 1
+                right_counts[cls] -= 1
+                if xs[i] == xs[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                score = (n_left * _gini(left_counts)
+                         + n_right * _gini(right_counts)) / n
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best = (int(feature), float((xs[i] + xs[i + 1]) / 2.0))
+        return best
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        counts = self._class_counts(y)
+        node = _Node(counts)
+        if (len(y) < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or _gini(counts) == 0.0):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        if not mask.any() or mask.all():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    # -- prediction ----------------------------------------------------------------
+
+    def _leaf(self, row: np.ndarray) -> _Node:
+        node = self._root
+        assert node is not None, "tree is not fitted"
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Per-class probabilities from leaf class frequencies."""
+        X = np.asarray(X, dtype=float)
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        out = np.zeros((len(X), self.n_classes_))
+        for i, row in enumerate(X):
+            counts = self._leaf(row).counts
+            total = counts.sum()
+            out[i] = counts / total if total else 1.0 / self.n_classes_
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        """Most probable class per row."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)

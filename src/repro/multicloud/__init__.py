@@ -1,0 +1,33 @@
+"""Multi-vendor spot dataset support (paper Section 7)."""
+
+from .adapters import AwsAdapter, AzureAdapter, GcpAdapter, azure_catalog, gcp_catalog
+from .analysis import (
+    PriceQuote,
+    availability_timelines,
+    cheapest_by_vendor,
+    cross_vendor_savings,
+)
+from .collector import (
+    AVAILABILITY_TABLE,
+    INTERRUPTION_TABLE,
+    PRICE_TABLE,
+    MultiCloudArchive,
+    MultiCloudReport,
+)
+from .vendor import (
+    Access,
+    DatasetAccess,
+    HardwareProfile,
+    VendorAdapter,
+    VendorOffering,
+)
+
+__all__ = [
+    "AwsAdapter", "AzureAdapter", "GcpAdapter", "azure_catalog", "gcp_catalog",
+    "PriceQuote", "availability_timelines", "cheapest_by_vendor",
+    "cross_vendor_savings",
+    "AVAILABILITY_TABLE", "INTERRUPTION_TABLE", "PRICE_TABLE",
+    "MultiCloudArchive", "MultiCloudReport",
+    "Access", "DatasetAccess", "HardwareProfile", "VendorAdapter",
+    "VendorOffering",
+]

@@ -1,0 +1,181 @@
+"""Vendor adapters: AWS (full surface), Azure and GCP (reduced surfaces).
+
+Azure and Google get their own simulated worlds built on the same latent
+market machinery but with vendor-specific catalogs (their real type-naming
+conventions, fewer regions) and independent seeds, so cross-vendor series
+are genuinely distinct.  Their adapters expose only the datasets the paper
+says those vendors publish.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cloudsim import Catalog, InstanceFamily, Region, SimulatedCloud
+from .vendor import (
+    Access,
+    DatasetAccess,
+    HardwareProfile,
+    VendorOffering,
+)
+
+
+def _profile(itype) -> HardwareProfile:
+    return HardwareProfile(itype.vcpus, itype.memory_gib,
+                           itype.family.accelerator)
+
+
+class AwsAdapter:
+    """AWS: price and availability via API, interruption via web."""
+
+    name = "aws"
+    access = DatasetAccess(price=Access.API, availability=Access.API,
+                           interruption=Access.WEB)
+
+    def __init__(self, cloud: SimulatedCloud):
+        self.cloud = cloud
+
+    def offerings(self) -> List[VendorOffering]:
+        out = []
+        for itype in self.cloud.catalog.instance_types:
+            for region in self.cloud.catalog.regions_offering(itype):
+                out.append(VendorOffering(self.name, itype.name, region.code,
+                                          _profile(itype)))
+        return out
+
+    def spot_price(self, instance_type: str, region: str,
+                   timestamp: float) -> Optional[float]:
+        return self.cloud.pricing.spot_price(instance_type, region, timestamp)
+
+    def availability_score(self, instance_type: str, region: str,
+                           timestamp: float) -> Optional[int]:
+        return self.cloud.placement.region_score(instance_type, region,
+                                                 timestamp)
+
+    def interruption_ratio(self, instance_type: str, region: str,
+                           timestamp: float) -> Optional[float]:
+        return self.cloud.advisor.interruption_ratio(instance_type, region,
+                                                     timestamp)
+
+
+def azure_catalog(seed: int = 100) -> Catalog:
+    """A compact Azure-style catalog (D/E/F/NC/L series)."""
+    def fam(name, letter, cat, sizes, accel=None, premium=0.0):
+        return InstanceFamily(name, letter, cat, sizes, accel, premium)
+
+    families = [
+        fam("Standard_D_v3", "M", "general",
+            ("large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge")),
+        fam("Standard_D_v4", "M", "general",
+            ("large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge")),
+        fam("Standard_B", "T", "general", ("micro", "small", "medium", "large")),
+        fam("Standard_F_v2", "C", "compute",
+            ("large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge")),
+        fam("Standard_E_v4", "R", "memory",
+            ("large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge")),
+        fam("Standard_M", "X", "memory", ("8xlarge", "16xlarge", "32xlarge")),
+        fam("Standard_NC_T4", "G", "accelerated",
+            ("xlarge", "2xlarge", "4xlarge"), "nvidia-t4", 1.7),
+        fam("Standard_ND_A100", "P", "accelerated",
+            ("24xlarge",), "nvidia-a100", 5.6),
+        fam("Standard_L_v2", "I", "storage",
+            ("large", "xlarge", "2xlarge", "4xlarge", "8xlarge")),
+    ]
+    regions = [
+        Region("az-eastus-1", "us", 3), Region("az-westus-1", "us", 3),
+        Region("az-westeu-1", "eu", 3), Region("az-northeu-1", "eu", 2),
+        Region("az-japaneast-1", "ap", 3), Region("az-auseast-1", "ap", 2),
+        Region("az-brazilsouth-1", "sa", 2),
+    ]
+    return Catalog(seed=seed, families=families, regions=regions)
+
+
+def gcp_catalog(seed: int = 200) -> Catalog:
+    """A compact GCP-style catalog (e2/n2/c2/m2/a2 series)."""
+    def fam(name, letter, cat, sizes, accel=None, premium=0.0):
+        return InstanceFamily(name, letter, cat, sizes, accel, premium)
+
+    families = [
+        fam("e2-standard", "T", "general",
+            ("small", "medium", "large", "xlarge", "2xlarge", "4xlarge")),
+        fam("n2-standard", "M", "general",
+            ("large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge")),
+        fam("c2-standard", "C", "compute",
+            ("xlarge", "2xlarge", "4xlarge", "8xlarge")),
+        fam("m2-ultramem", "X", "memory", ("16xlarge", "32xlarge")),
+        fam("a2-highgpu", "P", "accelerated",
+            ("2xlarge", "4xlarge", "8xlarge"), "nvidia-a100", 5.6),
+        fam("n2d-standard", "M", "general",
+            ("large", "xlarge", "2xlarge", "4xlarge", "8xlarge")),
+    ]
+    regions = [
+        Region("gcp-uscentral-1", "us", 3), Region("gcp-useast-1", "us", 3),
+        Region("gcp-euwest-1", "eu", 3), Region("gcp-asiaeast-1", "ap", 2),
+        Region("gcp-asianortheast-1", "ap", 3),
+    ]
+    return Catalog(seed=seed, families=families, regions=regions)
+
+
+class AzureAdapter:
+    """Azure: price via API; eviction rate via web portal; no placement
+    score equivalent."""
+
+    name = "azure"
+    access = DatasetAccess(price=Access.API, availability=Access.WEB,
+                           interruption=Access.WEB)
+
+    def __init__(self, seed: int = 100):
+        self.cloud = SimulatedCloud(seed=seed, catalog=azure_catalog(seed))
+
+    def offerings(self) -> List[VendorOffering]:
+        return [VendorOffering(self.name, itype.name, region.code,
+                               _profile(itype))
+                for itype in self.cloud.catalog.instance_types
+                for region in self.cloud.catalog.regions_offering(itype)]
+
+    def spot_price(self, instance_type: str, region: str,
+                   timestamp: float) -> Optional[float]:
+        return self.cloud.pricing.spot_price(instance_type, region, timestamp)
+
+    def availability_score(self, instance_type: str, region: str,
+                           timestamp: float) -> Optional[int]:
+        # Azure's portal shows an eviction-rate-derived signal; it is
+        # web-scraped, not an API score, and coarser than the AWS SPS.
+        ratio = self.cloud.advisor.interruption_ratio(instance_type, region,
+                                                      timestamp)
+        return 3 if ratio < 0.10 else (2 if ratio < 0.20 else 1)
+
+    def interruption_ratio(self, instance_type: str, region: str,
+                           timestamp: float) -> Optional[float]:
+        return self.cloud.advisor.interruption_ratio(instance_type, region,
+                                                     timestamp)
+
+
+class GcpAdapter:
+    """Google Cloud: current spot price from the web portal only; no
+    availability or interruption dataset at all (paper Section 7)."""
+
+    name = "gcp"
+    access = DatasetAccess(price=Access.WEB, availability=Access.NONE,
+                           interruption=Access.NONE)
+
+    def __init__(self, seed: int = 200):
+        self.cloud = SimulatedCloud(seed=seed, catalog=gcp_catalog(seed))
+
+    def offerings(self) -> List[VendorOffering]:
+        return [VendorOffering(self.name, itype.name, region.code,
+                               _profile(itype))
+                for itype in self.cloud.catalog.instance_types
+                for region in self.cloud.catalog.regions_offering(itype)]
+
+    def spot_price(self, instance_type: str, region: str,
+                   timestamp: float) -> Optional[float]:
+        return self.cloud.pricing.spot_price(instance_type, region, timestamp)
+
+    def availability_score(self, instance_type: str, region: str,
+                           timestamp: float) -> Optional[int]:
+        return None
+
+    def interruption_ratio(self, instance_type: str, region: str,
+                           timestamp: float) -> Optional[float]:
+        return None

@@ -1,0 +1,109 @@
+"""Cross-vendor analyses over the unified archive (paper Section 7).
+
+Two analyses the paper motivates with its global-key schema:
+
+* *hardware-matched price comparison* -- for a hardware profile, which
+  vendor currently offers the cheapest equivalent spot machine;
+* *temporal availability comparison* -- how each vendor's published
+  availability signal moves over a common time grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .collector import (
+    AVAILABILITY_TABLE,
+    DIM_ACCEL,
+    DIM_MEMORY,
+    DIM_REGION,
+    DIM_TYPE,
+    DIM_VCPUS,
+    DIM_VENDOR,
+    PRICE_TABLE,
+    MultiCloudArchive,
+)
+from .vendor import HardwareProfile
+
+
+@dataclass(frozen=True)
+class PriceQuote:
+    """One vendor's cheapest match for a hardware profile."""
+
+    vendor: str
+    instance_type: str
+    region: str
+    price: float
+
+
+def cheapest_by_vendor(archive: MultiCloudArchive, profile: HardwareProfile,
+                       timestamp: float) -> List[PriceQuote]:
+    """Cheapest archived spot price per vendor for a hardware profile.
+
+    Matching uses the global key (vcpus, memory bucket, accelerator) so
+    vendor-specific type names never enter the comparison.
+    """
+    table = archive.store.table(PRICE_TABLE)
+    filters = {
+        DIM_VCPUS: str(profile.vcpus),
+        DIM_MEMORY: str(int(round(profile.memory_gib))),
+        DIM_ACCEL: profile.accelerator or "none",
+    }
+    best: Dict[str, PriceQuote] = {}
+    for key in table.series_keys("spot_price", filters):
+        series = table.series(key)
+        assert series is not None
+        price = series.value_at(timestamp)
+        if price is None:
+            continue
+        dims = key.dimension_dict
+        quote = PriceQuote(dims[DIM_VENDOR], dims[DIM_TYPE],
+                           dims[DIM_REGION], float(price))
+        current = best.get(quote.vendor)
+        if current is None or quote.price < current.price:
+            best[quote.vendor] = quote
+    return sorted(best.values(), key=lambda q: q.price)
+
+
+def cross_vendor_savings(quotes: Sequence[PriceQuote]) -> Optional[float]:
+    """Fractional saving of the cheapest vendor over the dearest."""
+    if len(quotes) < 2:
+        return None
+    prices = sorted(q.price for q in quotes)
+    return 1.0 - prices[0] / prices[-1]
+
+
+def availability_timelines(archive: MultiCloudArchive,
+                           sample_times: Sequence[float]
+                           ) -> Dict[str, np.ndarray]:
+    """Mean published availability per vendor over a common time grid.
+
+    Vendors without an availability dataset (GCP) are absent from the
+    result -- exactly the gap the paper's archive service fills by
+    recording whatever each vendor does publish.
+    """
+    table = archive.store.table(AVAILABILITY_TABLE)
+    sums: Dict[str, np.ndarray] = {}
+    counts: Dict[str, np.ndarray] = {}
+    for key in table.series_keys("availability"):
+        vendor = key.dimension_dict[DIM_VENDOR]
+        series = table.series(key)
+        assert series is not None
+        values = np.array([np.nan if v is None else float(v)
+                           for v in series.resample(sample_times)])
+        if vendor not in sums:
+            sums[vendor] = np.zeros(len(sample_times))
+            counts[vendor] = np.zeros(len(sample_times))
+        good = ~np.isnan(values)
+        sums[vendor][good] += values[good]
+        counts[vendor][good] += 1
+    out: Dict[str, np.ndarray] = {}
+    for vendor in sums:
+        with np.errstate(invalid="ignore"):
+            out[vendor] = np.where(counts[vendor] > 0,
+                                   sums[vendor] / np.maximum(counts[vendor], 1),
+                                   np.nan)
+    return out

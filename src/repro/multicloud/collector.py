@@ -1,0 +1,134 @@
+"""Multi-vendor collection into a unified global-key schema.
+
+Section 7 of the paper: a shared schema with *global keys* -- the
+timestamp, plus hardware details -- lets a single archive hold every
+vendor's spot datasets and support cross-vendor analyses.  One table per
+dataset, with a ``Vendor`` dimension; the hardware profile rides along as
+dimensions so joins on equivalent machines are a filter away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..timeseries import Record, TimeSeriesStore
+from .vendor import Access, VendorAdapter, VendorOffering
+
+PRICE_TABLE = "mc_price"
+AVAILABILITY_TABLE = "mc_availability"
+INTERRUPTION_TABLE = "mc_interruption"
+
+DIM_VENDOR = "Vendor"
+DIM_TYPE = "InstanceType"
+DIM_REGION = "Region"
+DIM_VCPUS = "VCpus"
+DIM_MEMORY = "MemoryGiB"
+DIM_ACCEL = "Accelerator"
+
+
+def _dimensions(offering: VendorOffering) -> Dict[str, str]:
+    hardware = offering.hardware
+    return {
+        DIM_VENDOR: offering.vendor,
+        DIM_TYPE: offering.instance_type,
+        DIM_REGION: offering.region,
+        DIM_VCPUS: str(hardware.vcpus),
+        DIM_MEMORY: str(int(round(hardware.memory_gib))),
+        DIM_ACCEL: hardware.accelerator or "none",
+    }
+
+
+@dataclass
+class MultiCloudReport:
+    """What one multi-vendor round collected."""
+
+    per_vendor_records: Dict[str, int]
+    datasets_missing: Dict[str, List[str]]
+
+    @property
+    def total_records(self) -> int:
+        return sum(self.per_vendor_records.values())
+
+
+class MultiCloudArchive:
+    """Unified archive over any number of vendor adapters."""
+
+    def __init__(self, vendors: Sequence[VendorAdapter]):
+        by_name = {}
+        for vendor in vendors:
+            if vendor.name in by_name:
+                raise ValueError(f"duplicate vendor {vendor.name!r}")
+            by_name[vendor.name] = vendor
+        self.vendors: Dict[str, VendorAdapter] = by_name
+        self.store = TimeSeriesStore()
+        for table in (PRICE_TABLE, AVAILABILITY_TABLE, INTERRUPTION_TABLE):
+            self.store.create_table(table)
+
+    # -- collection -------------------------------------------------------
+
+    def collect(self, timestamp: float,
+                max_offerings_per_vendor: Optional[int] = None) -> MultiCloudReport:
+        """One collection round: every vendor, every dataset it publishes."""
+        per_vendor: Dict[str, int] = {}
+        missing: Dict[str, List[str]] = {}
+        for name, vendor in self.vendors.items():
+            offerings = vendor.offerings()
+            if max_offerings_per_vendor is not None:
+                offerings = offerings[:max_offerings_per_vendor]
+            written = 0
+            for offering in offerings:
+                dims = _dimensions(offering)
+                price = vendor.spot_price(offering.instance_type,
+                                          offering.region, timestamp)
+                if price is not None:
+                    self.store.table(PRICE_TABLE).write(
+                        Record.make(dims, "spot_price", price, timestamp))
+                    written += 1
+                score = vendor.availability_score(
+                    offering.instance_type, offering.region, timestamp)
+                if score is not None:
+                    self.store.table(AVAILABILITY_TABLE).write(
+                        Record.make(dims, "availability", int(score), timestamp))
+                    written += 1
+                ratio = vendor.interruption_ratio(
+                    offering.instance_type, offering.region, timestamp)
+                if ratio is not None:
+                    self.store.table(INTERRUPTION_TABLE).write(
+                        Record.make(dims, "interruption_ratio", float(ratio),
+                                    timestamp))
+                    written += 1
+            per_vendor[name] = written
+            missing[name] = [
+                dataset for dataset, access in (
+                    ("price", vendor.access.price),
+                    ("availability", vendor.access.availability),
+                    ("interruption", vendor.access.interruption))
+                if access is Access.NONE
+            ]
+        return MultiCloudReport(per_vendor, missing)
+
+    # -- reads --------------------------------------------------------------
+
+    def price_at(self, vendor: str, instance_type: str, region: str,
+                 timestamp: float) -> Optional[float]:
+        value = self.store.table(PRICE_TABLE).value_at(
+            "spot_price",
+            self._lookup_dims(vendor, instance_type, region), timestamp)
+        return None if value is None else float(value)
+
+    def _lookup_dims(self, vendor: str, instance_type: str,
+                     region: str) -> Dict[str, str]:
+        adapter = self.vendors[vendor]
+        for offering in adapter.offerings():
+            if (offering.instance_type == instance_type
+                    and offering.region == region):
+                return _dimensions(offering)
+        raise KeyError(f"{vendor} does not offer {instance_type} in {region}")
+
+    def vendors_with_dataset(self, dataset: str) -> List[str]:
+        """Vendors publishing a dataset at all (Section 7's access table)."""
+        attr = {"price": "price", "availability": "availability",
+                "interruption": "interruption"}[dataset]
+        return sorted(name for name, vendor in self.vendors.items()
+                      if getattr(vendor.access, attr) is not Access.NONE)

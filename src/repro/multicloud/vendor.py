@@ -1,0 +1,98 @@
+"""Vendor abstraction for multi-cloud spot datasets (paper Section 7).
+
+The paper's "extending service for various cloud vendors" observes that
+each vendor exposes a *different subset* of spot information through a
+*different access medium*:
+
+============  ==========  ==============  ====================
+dataset       AWS         Microsoft Azure Google Cloud
+============  ==========  ==============  ====================
+spot price    API         API             web portal only
+availability  API (SPS)   web portal only --
+interruption  web only    web portal only --
+============  ==========  ==============  ====================
+
+A :class:`VendorAdapter` normalizes that surface: every dataset read
+returns either a value or ``None`` when the vendor simply does not publish
+it, and :class:`DatasetAccess` records *how* it is reachable so collectors
+can route API reads and web scrapes appropriately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple
+
+
+class Access(str, enum.Enum):
+    """How a vendor exposes one dataset."""
+
+    API = "api"
+    WEB = "web"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class DatasetAccess:
+    """Access medium per dataset for one vendor."""
+
+    price: Access
+    availability: Access
+    interruption: Access
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """The paper's proposed *global key*: vendor-neutral hardware identity.
+
+    Joining on (timestamp, hardware profile) lets analyses compare spot
+    behaviour of equivalent machines across vendors even though every
+    vendor names its types differently.
+    """
+
+    vcpus: int
+    memory_gib: float
+    accelerator: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple[int, int, str]:
+        """Coarse join key: vcpus, memory bucket, accelerator family."""
+        return (self.vcpus, int(round(self.memory_gib)),
+                self.accelerator or "none")
+
+
+@dataclass(frozen=True)
+class VendorOffering:
+    """One orderable (type, region) pair of a vendor."""
+
+    vendor: str
+    instance_type: str
+    region: str
+    hardware: HardwareProfile
+
+
+class VendorAdapter(Protocol):
+    """Uniform read surface over one vendor's spot datasets."""
+
+    name: str
+    access: DatasetAccess
+
+    def offerings(self) -> List[VendorOffering]:
+        """All orderable (type, region) pairs with hardware profiles."""
+        ...
+
+    def spot_price(self, instance_type: str, region: str,
+                   timestamp: float) -> Optional[float]:
+        """Current spot $/hour, or None when the vendor publishes none."""
+        ...
+
+    def availability_score(self, instance_type: str, region: str,
+                           timestamp: float) -> Optional[int]:
+        """Vendor availability score (AWS SPS-like), or None."""
+        ...
+
+    def interruption_ratio(self, instance_type: str, region: str,
+                           timestamp: float) -> Optional[float]:
+        """Trailing interruption ratio, or None."""
+        ...

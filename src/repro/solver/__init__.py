@@ -1,0 +1,20 @@
+"""Bin-packing solver substrate (MIP-solver stand-in for OR-Tools/CBC)."""
+
+from .binpack import (
+    BranchAndBoundResult,
+    InfeasibleError,
+    best_fit_decreasing,
+    bin_count,
+    branch_and_bound,
+    first_fit_decreasing,
+    is_valid_packing,
+    lower_bound_l1,
+    lower_bound_l2,
+    pack,
+)
+
+__all__ = [
+    "BranchAndBoundResult", "InfeasibleError", "best_fit_decreasing",
+    "bin_count", "branch_and_bound", "first_fit_decreasing",
+    "is_valid_packing", "lower_bound_l1", "lower_bound_l2", "pack",
+]

@@ -1,0 +1,21 @@
+"""Embedded time-series store (Amazon Timestream stand-in).
+
+Dimensioned records, change-point (dedup) compression, filtered range
+queries, resampling, aggregation, and retention sweeps.
+"""
+
+from .compression import ChangePointSeries
+from .query import QuerySpec, group_aggregate, resample_matrix, run_query, update_intervals
+from .record import DimensionKey, Record, SeriesKey, Value, dimension_key
+from .persistence import dump_store, dump_table, load_store, load_table
+from .store import RetentionPolicy, TimeSeriesStore
+from .table import Table, TableStats
+
+__all__ = [
+    "ChangePointSeries",
+    "QuerySpec", "group_aggregate", "resample_matrix", "run_query", "update_intervals",
+    "DimensionKey", "Record", "SeriesKey", "Value", "dimension_key",
+    "RetentionPolicy", "TimeSeriesStore",
+    "dump_store", "dump_table", "load_store", "load_table",
+    "Table", "TableStats",
+]

@@ -1,0 +1,79 @@
+"""Change-point (dedup) compression for step-valued series.
+
+SpotLake's datasets are step functions: the placement score, the advisor
+bucket and the spot price hold their value for long stretches.  Storing one
+row per collection round wastes space and hides the update events the
+paper's Figure 10 analyses.  The codec therefore stores only *changes*
+(plus the first observation), and can reconstruct the value at any observed
+instant or the full step series.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .record import Value
+
+
+@dataclass
+class ChangePointSeries:
+    """A compressed step-valued series.
+
+    Appends must be in non-decreasing time order.  ``observed_until`` tracks
+    the last time a value was *observed* (even if unchanged), so the series
+    distinguishes "no data yet" from "unchanged since".
+    """
+
+    times: List[float] = field(default_factory=list)
+    values: List[Value] = field(default_factory=list)
+    observed_until: float = float("-inf")
+    observation_count: int = 0
+
+    def append(self, time: float, value: Value) -> bool:
+        """Record an observation; returns True when it was a change point."""
+        if time < self.observed_until:
+            raise ValueError(
+                f"out-of-order append: {time} < {self.observed_until}")
+        self.observed_until = time
+        self.observation_count += 1
+        if self.values and self.values[-1] == value:
+            return False
+        self.times.append(time)
+        self.values.append(value)
+        return True
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.times
+
+    def value_at(self, time: float) -> Optional[Value]:
+        """Value in force at ``time`` (None before the first observation)."""
+        idx = bisect_right(self.times, time)
+        if idx == 0:
+            return None
+        return self.values[idx - 1]
+
+    def change_points(self, start: float = float("-inf"),
+                      end: float = float("inf")) -> List[Tuple[float, Value]]:
+        """Change events inside [start, end]."""
+        return [(t, v) for t, v in zip(self.times, self.values)
+                if start <= t <= end]
+
+    def update_intervals(self) -> List[float]:
+        """Elapsed seconds between consecutive change points (Figure 10)."""
+        return [b - a for a, b in zip(self.times, self.times[1:])]
+
+    def resample(self, sample_times: Sequence[float]) -> List[Optional[Value]]:
+        """Step-function values at each of the given instants."""
+        return [self.value_at(t) for t in sample_times]
+
+    def compression_ratio(self) -> float:
+        """Observations stored per observation ingested (lower is better)."""
+        if self.observation_count == 0:
+            return 1.0
+        return len(self.times) / self.observation_count

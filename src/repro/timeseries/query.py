@@ -1,0 +1,98 @@
+"""Query layer over tables: filtered range reads, resampling, aggregation.
+
+Provides the read operations SpotLake's serving layer and the paper's
+analyses need: aligned resampled matrices for correlation work (Figure 8),
+update-interval extraction (Figure 10), and grouped aggregates for the
+heatmaps (Figures 3-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .record import Record, SeriesKey
+from .table import Table
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A declarative range query against one table."""
+
+    measure_name: Optional[str] = None
+    filters: Dict[str, str] = field(default_factory=dict)
+    start: float = float("-inf")
+    end: float = float("inf")
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError("query end precedes start")
+
+
+def run_query(table: Table, spec: QuerySpec) -> List[Record]:
+    """Change-point records matching the spec, time-ordered."""
+    return table.scan(spec.measure_name, spec.filters or None,
+                      spec.start, spec.end)
+
+
+def resample_matrix(table: Table, measure_name: str,
+                    sample_times: Sequence[float],
+                    filters: Optional[Dict[str, str]] = None,
+                    ) -> Tuple[List[SeriesKey], np.ndarray]:
+    """Aligned step-function samples: one row per series, one column per time.
+
+    Values before a series' first observation are NaN.  Non-numeric series
+    raise ``TypeError`` -- resampling is for numeric measures.
+    """
+    keys = table.series_keys(measure_name, filters)
+    matrix = np.full((len(keys), len(sample_times)), np.nan)
+    for row, key in enumerate(keys):
+        series = table.series(key)
+        assert series is not None
+        for col, value in enumerate(series.resample(sample_times)):
+            if value is None:
+                continue
+            if isinstance(value, str):
+                raise TypeError(
+                    f"series {key} holds strings; resample numeric measures only")
+            matrix[row, col] = float(value)
+    return keys, matrix
+
+
+def update_intervals(table: Table, measure_name: str,
+                     filters: Optional[Dict[str, str]] = None) -> List[float]:
+    """Pooled elapsed-time-between-updates samples across matching series."""
+    intervals: List[float] = []
+    for key in table.series_keys(measure_name, filters):
+        series = table.series(key)
+        assert series is not None
+        intervals.extend(series.update_intervals())
+    return intervals
+
+
+def group_aggregate(table: Table, measure_name: str,
+                    group_fn: Callable[[SeriesKey], Optional[str]],
+                    sample_times: Sequence[float],
+                    agg: Callable[[np.ndarray], float] = np.nanmean,
+                    ) -> Dict[str, float]:
+    """Aggregate resampled values per group label.
+
+    ``group_fn`` maps a series to its group (None = exclude).  Used for the
+    per-class / per-size / per-region means of Figures 3, 4, and 5.
+    """
+    keys, matrix = resample_matrix(table, measure_name, sample_times)
+    buckets: Dict[str, List[np.ndarray]] = {}
+    for row, key in enumerate(keys):
+        label = group_fn(key)
+        if label is None:
+            continue
+        buckets.setdefault(label, []).append(matrix[row])
+    out: Dict[str, float] = {}
+    for label, rows in buckets.items():
+        stacked = np.vstack(rows)
+        if np.all(np.isnan(stacked)):
+            continue
+        out[label] = float(agg(stacked))
+    return out

@@ -1,0 +1,75 @@
+"""Multi-table time-series store with retention policies.
+
+The store is the embedded stand-in for Amazon Timestream: named tables,
+batched writes, per-table retention windows, and store-wide statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from .record import Record
+from .table import Table
+
+
+@dataclass
+class RetentionPolicy:
+    """Drop change points older than ``max_age_seconds`` (None = keep all)."""
+
+    max_age_seconds: Optional[float] = None
+
+    def cutoff(self, now: float) -> Optional[float]:
+        if self.max_age_seconds is None:
+            return None
+        return now - self.max_age_seconds
+
+
+class TimeSeriesStore:
+    """A collection of named tables sharing one retention sweep."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+        self._policies: Dict[str, RetentionPolicy] = {}
+
+    def create_table(self, name: str,
+                     retention: Optional[RetentionPolicy] = None) -> Table:
+        """Create (or return the existing) table called ``name``."""
+        if name not in self._tables:
+            self._tables[name] = Table(name)
+            self._policies[name] = retention or RetentionPolicy()
+        return self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"no table named {name!r}") from None
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def write(self, table_name: str, records: Iterable[Record]) -> int:
+        """Batch write; the table must already exist."""
+        return self.table(table_name).write_records(records)
+
+    def apply_retention(self, now: float) -> Dict[str, int]:
+        """Run the retention sweep; returns dropped counts per table."""
+        dropped: Dict[str, int] = {}
+        for name, table in self._tables.items():
+            cutoff = self._policies[name].cutoff(now)
+            if cutoff is not None:
+                dropped[name] = table.evict_before(cutoff)
+        return dropped
+
+    def stats(self) -> Dict[str, dict]:
+        """Ingestion statistics per table."""
+        return {
+            name: {
+                "records_written": table.stats.records_written,
+                "change_points_stored": table.stats.change_points_stored,
+                "series": len(table),
+                "dedup_ratio": table.stats.dedup_ratio,
+            }
+            for name, table in self._tables.items()
+        }

@@ -1,0 +1,144 @@
+"""A Timestream-like table: many compressed series, queryable by dimensions.
+
+The table indexes series by (measure name, dimension set) and additionally
+keeps per-dimension inverted indexes so dimension-filter queries do not scan
+every series.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .compression import ChangePointSeries
+from .record import DimensionKey, Record, SeriesKey, Value, dimension_key
+
+
+@dataclass
+class TableStats:
+    """Ingestion/storage statistics for one table."""
+
+    records_written: int = 0
+    change_points_stored: int = 0
+    series_count: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Stored change points per written record (1.0 = no dedup win)."""
+        if self.records_written == 0:
+            return 1.0
+        return self.change_points_stored / self.records_written
+
+
+class Table:
+    """One logical dataset (e.g. "sps", "advisor", "price")."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._series: Dict[SeriesKey, ChangePointSeries] = {}
+        # inverted index: (dim name, dim value) -> series keys
+        self._index: Dict[Tuple[str, str], Set[SeriesKey]] = defaultdict(set)
+        self._measures: Dict[str, Set[SeriesKey]] = defaultdict(set)
+        self.stats = TableStats()
+
+    # -- writes ---------------------------------------------------------------
+
+    def write(self, record: Record) -> bool:
+        """Ingest one record; returns True when it created a change point."""
+        key = SeriesKey.of(record)
+        series = self._series.get(key)
+        if series is None:
+            series = ChangePointSeries()
+            self._series[key] = series
+            self._measures[record.measure_name].add(key)
+            for dim in record.dimensions:
+                self._index[dim].add(key)
+            self.stats.series_count += 1
+        changed = series.append(record.time, record.value)
+        self.stats.records_written += 1
+        if changed:
+            self.stats.change_points_stored += 1
+        return changed
+
+    def write_records(self, records: Iterable[Record]) -> int:
+        """Batch ingest; returns the number of change points created."""
+        return sum(1 for r in records if self.write(r))
+
+    # -- series lookup -----------------------------------------------------------
+
+    def series_keys(self, measure_name: Optional[str] = None,
+                    filters: Optional[Dict[str, str]] = None) -> List[SeriesKey]:
+        """Series matching a measure and/or dimension filters."""
+        candidates: Optional[Set[SeriesKey]] = None
+        if measure_name is not None:
+            candidates = set(self._measures.get(measure_name, set()))
+        if filters:
+            for item in filters.items():
+                indexed = self._index.get(item, set())
+                candidates = set(indexed) if candidates is None else candidates & indexed
+        if candidates is None:
+            candidates = set(self._series)
+        return sorted(candidates, key=lambda k: (k.measure_name, k.dimensions))
+
+    def series(self, key: SeriesKey) -> Optional[ChangePointSeries]:
+        return self._series.get(key)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # -- reads -----------------------------------------------------------------
+
+    def value_at(self, measure_name: str, dimensions: Dict[str, str],
+                 time: float) -> Optional[Value]:
+        """Point lookup of the value in force at ``time``."""
+        key = SeriesKey(measure_name, dimension_key(dimensions))
+        series = self._series.get(key)
+        return series.value_at(time) if series else None
+
+    def latest(self, measure_name: str,
+               filters: Optional[Dict[str, str]] = None) -> List[Record]:
+        """Last observed value of every matching series."""
+        out: List[Record] = []
+        for key in self.series_keys(measure_name, filters):
+            series = self._series[key]
+            if not series.is_empty:
+                out.append(Record(key.dimensions, key.measure_name,
+                                  series.values[-1], series.times[-1]))
+        return out
+
+    def scan(self, measure_name: Optional[str] = None,
+             filters: Optional[Dict[str, str]] = None,
+             start: float = float("-inf"),
+             end: float = float("inf")) -> List[Record]:
+        """All change-point records in [start, end], time-ordered."""
+        out: List[Record] = []
+        for key in self.series_keys(measure_name, filters):
+            for t, v in self._series[key].change_points(start, end):
+                out.append(Record(key.dimensions, key.measure_name, v, t))
+        out.sort(key=lambda r: r.time)
+        return out
+
+    # -- retention -----------------------------------------------------------------
+
+    def evict_before(self, cutoff: float) -> int:
+        """Drop change points strictly before ``cutoff``.
+
+        The last change point at or before the cutoff is retained (its value
+        is still in force), matching tiered-retention semantics.  Returns
+        the number of change points dropped.
+        """
+        dropped = 0
+        for series in self._series.values():
+            keep_from = 0
+            for i, t in enumerate(series.times):
+                if t < cutoff:
+                    keep_from = i
+                else:
+                    break
+            if keep_from > 0:
+                dropped += keep_from
+                del series.times[:keep_from]
+                del series.values[:keep_from]
+        self.stats.change_points_stored -= dropped
+        return dropped

@@ -1,0 +1,26 @@
+"""Analysis-test fixtures: a small backfilled archive over 40 days."""
+
+import numpy as np
+import pytest
+
+from repro import ServiceConfig, SpotLakeService
+
+
+@pytest.fixture(scope="package")
+def filled_service():
+    service = SpotLakeService(ServiceConfig(seed=0))
+    pools = service.cloud.catalog.all_pools()
+    rng = np.random.default_rng(11)
+    subset = [pools[i] for i in rng.choice(len(pools), 200, replace=False)]
+    start = service.cloud.clock.start
+    times = [start + d * 86400.0 + h * 43200.0
+             for d in range(40) for h in (0, 1)]
+    service.bulk_backfill(times, pools=subset)
+    service._times = times
+    service._pools = subset
+    return service
+
+
+@pytest.fixture(scope="package")
+def sample_times(filled_service):
+    return filled_service._times

@@ -1,0 +1,53 @@
+"""Tests for the capacity sweep (Figure 7)."""
+
+import pytest
+
+from repro.analysis import capacity_sweep, drops_by_category, representative_type
+
+
+@pytest.fixture(scope="module")
+def sweep(cloud):
+    return capacity_sweep(cloud, cloud.clock.start + 30 * 86400.0,
+                          capacities=(1, 10, 50))
+
+
+class TestRepresentativeType:
+    def test_prefers_xlarge(self, cloud):
+        name = representative_type(cloud.catalog, "M")
+        assert name.endswith(".xlarge")
+
+    def test_smallest_when_no_xlarge(self, cloud):
+        name = representative_type(cloud.catalog, "DL")
+        assert name == "dl1.24xlarge"  # only size the family has
+
+    def test_unknown_class_none(self, cloud):
+        assert representative_type(cloud.catalog, "ZZ") is None
+
+
+class TestCapacitySweep:
+    def test_one_type_per_class(self, sweep, cloud):
+        classes = {cloud.catalog.instance_type(n).class_letter
+                   for n in sweep.instance_types}
+        assert len(classes) == len(sweep.instance_types)
+
+    def test_scores_monotone_nonincreasing(self, sweep):
+        for name in sweep.instance_types:
+            row = sweep.scores[name]
+            assert all(a >= b - 1e-9 for a, b in zip(row, row[1:]))
+
+    def test_drop_helper(self, sweep):
+        for name in sweep.instance_types:
+            assert sweep.drop(name) == pytest.approx(
+                sweep.scores[name][0] - sweep.scores[name][-1])
+
+    def test_accelerated_drops_hardest(self, sweep, cloud):
+        drops = drops_by_category(sweep, cloud.catalog)
+        assert drops["accelerated"] >= drops["general"]
+        assert drops["storage"] >= drops["general"]
+
+    def test_explicit_region_and_types(self, cloud):
+        sweep = capacity_sweep(cloud, cloud.clock.start,
+                               instance_types=["m5.xlarge"],
+                               capacities=(1, 50), region="us-east-1")
+        assert sweep.instance_types == ["m5.xlarge"]
+        assert len(sweep.scores["m5.xlarge"]) == 2

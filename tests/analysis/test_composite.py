@@ -1,0 +1,48 @@
+"""Tests for the composite-query analysis (Figure 6)."""
+
+import pytest
+
+from repro.analysis import composite_query_study
+
+
+@pytest.fixture(scope="module")
+def study(cloud):
+    return composite_query_study(cloud, cloud.clock.start + 30 * 86400.0,
+                                 samples_per_sum=12, seed=2)
+
+
+class TestCompositeStudy:
+    def test_sum_stratification(self, study):
+        """Every attainable individual-sum value is represented."""
+        sums = {o.individual_sum for o in study.observations}
+        assert sums <= set(range(3, 10))
+        assert len(sums) >= 5
+
+    def test_triples_are_offered(self, study, cloud):
+        for obs in study.observations[:20]:
+            for name in obs.instance_types:
+                assert cloud.catalog.is_offered(name, obs.region)
+
+    def test_scores_within_api_range(self, study):
+        for obs in study.observations:
+            assert 1 <= obs.composite_score <= 10
+            assert 3 <= obs.individual_sum <= 9
+
+    def test_shares_sum_to_100(self, study):
+        shares = study.shares()
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_composite_floor_property(self, study):
+        """The sum of individual scores is (essentially) the floor of the
+        composite score -- below-sum cases are rare exceptions."""
+        shares = study.shares()
+        assert shares["composite_below"] < 10.0
+        assert shares["composite_above"] > shares["composite_below"]
+
+    def test_scatter_counts_total(self, study):
+        counts = study.scatter_counts()
+        assert sum(counts.values()) == len(study.observations)
+
+    def test_empty_shares(self):
+        from repro.analysis import CompositeStudy
+        assert CompositeStudy([]).shares()["equal"] == 0.0

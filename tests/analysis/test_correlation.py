@@ -1,0 +1,64 @@
+"""Tests for the Pearson correlation study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import correlation_study, pearson
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, x * 2 + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series_nan(self):
+        assert np.isnan(pearson(np.ones(5), np.arange(5.0)))
+
+    def test_too_short_nan(self):
+        assert np.isnan(pearson(np.array([1.0]), np.array([2.0])))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.zeros(3), np.zeros(4))
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+
+class TestCorrelationStudy:
+    def test_all_pairs_present(self, filled_service, sample_times):
+        study = correlation_study(filled_service.archive, sample_times)
+        assert set(study.coefficients) == {"sps_if", "if_price", "sps_price"}
+        assert study.pools_evaluated > 0
+
+    def test_coefficients_bounded(self, filled_service, sample_times):
+        study = correlation_study(filled_service.archive, sample_times)
+        for values in study.coefficients.values():
+            if len(values):
+                assert np.all(np.abs(values) <= 1.0 + 1e-9)
+
+    def test_near_zero_mass(self, filled_service, sample_times):
+        """The paper's headline: no dataset pair correlates strongly."""
+        study = correlation_study(filled_service.archive, sample_times)
+        for pair, values in study.coefficients.items():
+            if len(values) >= 20:
+                assert study.share_below_abs(pair, 0.5) > 0.5, pair
+
+    def test_cdf_monotone(self, filled_service, sample_times):
+        study = correlation_study(filled_service.archive, sample_times)
+        xs, fs = study.cdf("if_price")
+        if len(fs):
+            assert np.all(np.diff(fs) >= 0)
+            assert fs[-1] == pytest.approx(1.0)
+
+    def test_cdf_on_grid(self, filled_service, sample_times):
+        study = correlation_study(filled_service.archive, sample_times)
+        xs, fs = study.cdf("if_price", grid=[-1.0, 0.0, 1.0])
+        assert list(xs) == [-1.0, 0.0, 1.0]
+        assert fs[-1] == pytest.approx(1.0)

@@ -1,0 +1,71 @@
+"""Tests for the temporal/spatial heatmap aggregations."""
+
+import numpy as np
+
+from repro.analysis import (
+    Heatmap,
+    spatial_heatmap,
+    spatial_vs_temporal_variation,
+    temporal_heatmap,
+)
+
+
+class TestHeatmapType:
+    def test_row_means_skip_all_nan_rows(self):
+        hm = Heatmap(["a", "b"], ["x"],
+                     np.array([[1.0], [np.nan]]))
+        assert hm.row_means() == {"a": 1.0}
+
+    def test_overall_mean_ignores_nan(self):
+        hm = Heatmap(["a"], ["x", "y"], np.array([[2.0, np.nan]]))
+        assert hm.overall_mean() == 2.0
+
+
+class TestTemporal:
+    def test_shape_and_range(self, filled_service, sample_times):
+        catalog = filled_service.cloud.catalog
+        day_times = [sample_times[d * 2:(d + 1) * 2] for d in range(40)]
+        hm = temporal_heatmap(filled_service.archive, catalog, day_times, "sps")
+        assert hm.values.shape == (len(catalog.classes), 40)
+        finite = hm.values[~np.isnan(hm.values)]
+        assert np.all((finite >= 1.0) & (finite <= 3.0))
+
+    def test_if_dataset(self, filled_service, sample_times):
+        catalog = filled_service.cloud.catalog
+        day_times = [sample_times[d * 2:(d + 1) * 2] for d in range(10)]
+        hm = temporal_heatmap(filled_service.archive, catalog, day_times,
+                              "if_score")
+        finite = hm.values[~np.isnan(hm.values)]
+        assert len(finite) > 0
+
+    def test_unknown_dataset(self, filled_service, sample_times):
+        import pytest
+        catalog = filled_service.cloud.catalog
+        with pytest.raises(ValueError):
+            temporal_heatmap(filled_service.archive, catalog,
+                             [sample_times[:2]], "weather")
+
+
+class TestSpatial:
+    def test_shape(self, filled_service, sample_times):
+        catalog = filled_service.cloud.catalog
+        hm = spatial_heatmap(filled_service.archive, catalog,
+                             sample_times[::8], "sps")
+        assert hm.values.shape == (len(catalog.classes), 17)
+
+    def test_na_cells_for_missing_pools(self, filled_service, sample_times):
+        """A 200-pool sample cannot cover every (class, region) cell."""
+        catalog = filled_service.cloud.catalog
+        hm = spatial_heatmap(filled_service.archive, catalog,
+                             sample_times[::8], "sps")
+        assert np.any(np.isnan(hm.values))
+
+    def test_spatial_exceeds_temporal(self, filled_service, sample_times):
+        catalog = filled_service.cloud.catalog
+        day_times = [sample_times[d * 2:(d + 1) * 2] for d in range(40)]
+        temporal = temporal_heatmap(filled_service.archive, catalog,
+                                    day_times, "sps")
+        spatial = spatial_heatmap(filled_service.archive, catalog,
+                                  sample_times[::8], "sps")
+        variation = spatial_vs_temporal_variation(temporal, spatial)
+        assert variation["spatial_std"] > variation["temporal_std"]

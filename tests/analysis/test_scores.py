@@ -1,0 +1,66 @@
+"""Tests for the score conversion utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    BUCKET_TO_SCORE,
+    categorize,
+    interruption_free_score,
+    mean_score,
+    score_from_bucket,
+)
+
+
+class TestInterruptionFreeScore:
+    @pytest.mark.parametrize("ratio,score", [
+        (0.0, 3.0), (0.049, 3.0), (0.05, 2.5), (0.099, 2.5),
+        (0.10, 2.0), (0.15, 1.5), (0.20, 1.0), (0.9, 1.0),
+    ])
+    def test_paper_mapping(self, ratio, score):
+        """The paper maps <5% -> 3.0 down to >20% -> 1.0 in 0.5 steps."""
+        assert interruption_free_score(ratio) == score
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            interruption_free_score(-0.1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_always_valid_score(self, ratio):
+        assert interruption_free_score(ratio) in BUCKET_TO_SCORE
+
+    @given(st.floats(min_value=0.0, max_value=0.95))
+    def test_monotone_nonincreasing(self, ratio):
+        assert interruption_free_score(ratio + 0.05) <= \
+            interruption_free_score(ratio)
+
+
+class TestScoreFromBucket:
+    def test_all_buckets(self):
+        assert [score_from_bucket(i) for i in range(5)] == \
+            [3.0, 2.5, 2.0, 1.5, 1.0]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            score_from_bucket(5)
+
+
+class TestCategorize:
+    def test_experiment_categories(self):
+        assert categorize(3.0) == "H"
+        assert categorize(2.0) == "M"
+        assert categorize(1.0) == "L"
+
+    def test_intermediate_excluded(self):
+        assert categorize(2.5) == ""
+        assert categorize(1.5) == ""
+
+
+class TestMeanScore:
+    def test_mean(self):
+        assert mean_score([1.0, 3.0]) == 2.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(mean_score([]))

@@ -1,0 +1,54 @@
+"""Tests for the size-grouped score analysis (Figure 5)."""
+
+from repro.analysis import scores_by_size, size_trend_slope
+from repro.cloudsim.catalog import SIZE_LADDER
+
+
+class TestScoresBySize:
+    def test_only_populous_sizes(self, filled_service, sample_times):
+        result = scores_by_size(filled_service.archive,
+                                filled_service.cloud.catalog,
+                                sample_times[::8], min_types=10)
+        counts = {s: 0 for s in SIZE_LADDER}
+        for itype in filled_service.cloud.catalog.instance_types:
+            counts[itype.size] += 1
+        for size, n in zip(result.sizes, result.type_counts):
+            assert n == counts[size]
+            assert n > 10
+
+    def test_sizes_ordered_small_to_large(self, filled_service, sample_times):
+        result = scores_by_size(filled_service.archive,
+                                filled_service.cloud.catalog,
+                                sample_times[::8])
+        ranks = [SIZE_LADDER.index(s) for s in result.sizes]
+        assert ranks == sorted(ranks)
+
+    def test_scores_in_range(self, filled_service, sample_times):
+        result = scores_by_size(filled_service.archive,
+                                filled_service.cloud.catalog,
+                                sample_times[::8])
+        assert all(1.0 <= v <= 3.0 for v in result.sps_means)
+        assert all(1.0 <= v <= 3.0 for v in result.if_means)
+
+    def test_decreasing_trend(self, filled_service, sample_times):
+        """Figure 5: larger sizes score lower on both datasets."""
+        result = scores_by_size(filled_service.archive,
+                                filled_service.cloud.catalog,
+                                sample_times[::8])
+        assert size_trend_slope(result, "sps") < 0
+        assert size_trend_slope(result, "if") < 0
+
+    def test_as_rows(self, filled_service, sample_times):
+        result = scores_by_size(filled_service.archive,
+                                filled_service.cloud.catalog,
+                                sample_times[::8])
+        rows = result.as_rows()
+        assert len(rows) == len(result.sizes)
+        assert {"size", "sps", "if_score", "types"} <= set(rows[0])
+
+
+class TestSlope:
+    def test_short_series_zero(self):
+        from repro.analysis import SizeScores
+        single = SizeScores(["large"], [3.0], [2.0], [12])
+        assert size_trend_slope(single) == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the checkpointed batch-job simulator."""
+
+import pytest
+
+from repro.apps import BatchJobSimulator, JobSpec, compare_policies
+from repro.apps import CheapestPolicy, CombinedScorePolicy
+from repro.cloudsim import SimulatedCloud
+
+
+@pytest.fixture()
+def sim(fresh_cloud):
+    return BatchJobSimulator(fresh_cloud)
+
+
+def reliable_pool(cloud, t):
+    """An H-H pool (fulfills immediately, rarely interrupted)."""
+    from repro.analysis.scores import interruption_free_score
+    for pool in cloud.catalog.all_pools():
+        itype, region, zone = pool
+        if cloud.placement.zone_score(itype, region, zone, t) == 3:
+            ratio = cloud.advisor.interruption_ratio(itype, region, t)
+            if interruption_free_score(ratio) == 3.0:
+                return pool
+    raise AssertionError("no reliable pool found")
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(work_hours=0)
+        with pytest.raises(ValueError):
+            JobSpec(work_hours=1, checkpoint_interval_hours=0)
+
+
+class TestBatchJobSimulator:
+    def test_reliable_pool_completes_on_time(self, fresh_cloud, sim):
+        t = fresh_cloud.clock.start + 10 * 86400.0
+        pool = reliable_pool(fresh_cloud, t)
+        result = sim.run(JobSpec(work_hours=4), pool, t)
+        assert result.completed
+        assert result.makespan_hours < 6.0
+        assert result.billed_hours >= 4.0
+        assert result.cost > 0
+
+    def test_accounting_identity(self, fresh_cloud, sim):
+        """billed = useful + wasted when the job completes."""
+        t = fresh_cloud.clock.start + 10 * 86400.0
+        pool = reliable_pool(fresh_cloud, t)
+        for hours in (2, 8, 16):
+            result = sim.run(JobSpec(work_hours=hours), pool, t)
+            if result.completed:
+                useful = result.billed_hours - result.wasted_hours
+                assert useful == pytest.approx(hours, abs=1e-6)
+                assert 0.0 <= result.efficiency <= 1.0
+
+    def test_interruptions_waste_work(self, fresh_cloud, sim):
+        """Across many jobs on risky pools, interruptions produce waste."""
+        t = fresh_cloud.clock.start + 10 * 86400.0
+        risky = [p for p in fresh_cloud.catalog.all_pools()
+                 if fresh_cloud.placement.zone_score(*p, t) == 1][:25]
+        wasted = 0.0
+        interrupted = 0
+        for pool in risky:
+            result = sim.run(JobSpec(work_hours=12,
+                                     checkpoint_interval_hours=2), pool, t)
+            wasted += result.wasted_hours
+            interrupted += result.interruptions
+        assert interrupted > 0
+        assert wasted > 0.0
+
+    def test_makespan_at_least_work(self, fresh_cloud, sim):
+        t = fresh_cloud.clock.start + 10 * 86400.0
+        pool = reliable_pool(fresh_cloud, t)
+        result = sim.run(JobSpec(work_hours=6), pool, t)
+        assert result.makespan_hours >= 6.0 - 1e-9
+
+
+class TestComparePolicies:
+    def test_outcomes_per_policy(self, fresh_cloud):
+        t = fresh_cloud.clock.start + 10 * 86400.0
+        pools = fresh_cloud.catalog.all_pools()[::150][:30]
+        outcomes = compare_policies(
+            fresh_cloud, [CheapestPolicy(), CombinedScorePolicy()],
+            pools, JobSpec(work_hours=6), t, jobs_per_policy=6)
+        assert [o.policy for o in outcomes] == ["cheapest", "combined"]
+        for outcome in outcomes:
+            assert 0.0 <= outcome.completion_rate <= 1.0
+            assert outcome.mean_cost >= 0.0

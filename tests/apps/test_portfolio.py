@@ -1,0 +1,98 @@
+"""Tests for the portfolio allocator."""
+
+import pytest
+
+from repro.apps.portfolio import (
+    Allocation,
+    Portfolio,
+    build_portfolio,
+    efficient_frontier,
+    interruption_risk,
+)
+from repro.apps.selection import PoolView
+
+
+def view(name, region, price, sps, ifs):
+    return PoolView((name, region, f"{region}a"), price, sps, ifs)
+
+
+SAFE_CHEAP = view("a", "r1", 0.05, 3, 3.0)
+SAFE_DEAR = view("b", "r2", 0.20, 3, 3.0)
+RISKY_CHEAP = view("c", "r3", 0.01, 1, 1.0)
+MEDIUM = view("d", "r4", 0.08, 2, 2.0)
+VIEWS = [SAFE_CHEAP, SAFE_DEAR, RISKY_CHEAP, MEDIUM]
+
+
+class TestRiskModel:
+    def test_monotone_in_scores(self):
+        assert interruption_risk(SAFE_CHEAP) < interruption_risk(MEDIUM)
+        assert interruption_risk(MEDIUM) < interruption_risk(RISKY_CHEAP)
+
+    def test_hh_matches_table3(self):
+        assert interruption_risk(SAFE_CHEAP) == pytest.approx(0.15)
+
+
+class TestBuildPortfolio:
+    def test_meets_fleet_and_budget(self):
+        portfolio = build_portfolio(VIEWS, fleet_size=10, risk_budget=0.30)
+        assert portfolio is not None
+        assert portfolio.total_instances == 10
+        assert portfolio.expected_interruption_rate <= 0.30 + 1e-9
+
+    def test_diversification_constraints(self):
+        portfolio = build_portfolio(VIEWS, fleet_size=10, risk_budget=0.30,
+                                    max_pool_share=0.4)
+        assert portfolio is not None
+        assert portfolio.max_single_pool_share() <= 0.4
+        assert len(portfolio.regions) >= 2
+
+    def test_tight_budget_excludes_risky_pools(self):
+        views = VIEWS + [view("e", "r5", 0.30, 3, 3.0)]
+        portfolio = build_portfolio(views, fleet_size=10, risk_budget=0.22)
+        assert portfolio is not None
+        pools = {a.view.pool[0] for a in portfolio.allocations}
+        assert "c" not in pools  # the risky pool cannot fit a 0.22 budget
+        assert portfolio.expected_interruption_rate <= 0.22 + 1e-9
+
+    def test_infeasible_fleet_under_budget_is_none(self):
+        """Caps plus a tight budget can make the fleet impossible; the
+        allocator reports that instead of overshooting the budget."""
+        assert build_portfolio(VIEWS, fleet_size=10, risk_budget=0.20) is None
+
+    def test_infeasible_returns_none(self):
+        only_risky = [RISKY_CHEAP]
+        assert build_portfolio(only_risky, fleet_size=5,
+                               risk_budget=0.2) is None
+
+    def test_region_requirement(self):
+        one_region = [view("a", "r1", 0.05, 3, 3.0),
+                      view("b", "r1", 0.06, 3, 3.0)]
+        assert build_portfolio(one_region, fleet_size=4,
+                               min_regions=2, max_pool_share=0.5) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_portfolio(VIEWS, fleet_size=0)
+        with pytest.raises(ValueError):
+            build_portfolio(VIEWS, fleet_size=4, max_pool_share=0.0)
+
+
+class TestFrontier:
+    def test_cost_nonincreasing_with_looser_budget(self):
+        frontier = efficient_frontier(VIEWS, fleet_size=10,
+                                      budgets=(0.25, 0.45, 0.9))
+        costs = [p.hourly_cost for _, p in frontier if p is not None]
+        assert len(costs) >= 2
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_real_catalog_portfolio(self, cloud):
+        """Build a portfolio over real simulated pools."""
+        from repro.apps.selection import snapshot_pools
+        t = cloud.clock.start + 20 * 86400.0
+        pools = cloud.catalog.all_pools()[::97][:40]
+        views = snapshot_pools(cloud, pools, t)
+        portfolio = build_portfolio(views, fleet_size=20, risk_budget=0.5,
+                                    min_regions=2)
+        assert portfolio is not None
+        assert portfolio.total_instances == 20
+        assert portfolio.hourly_cost > 0

@@ -1,0 +1,89 @@
+"""Tests for accounts and the rolling unique-query quota."""
+
+import pytest
+
+from repro.cloudsim import Account, AccountPool, QuotaExceededError, make_query_key
+from repro.cloudsim.accounts import QUOTA_WINDOW_SECONDS
+
+
+def key(i: int):
+    return make_query_key([f"type-{i}"], ["r1"], 1, True)
+
+
+class TestAccount:
+    def test_quota_enforced(self):
+        account = Account("a", quota=3)
+        for i in range(3):
+            account.charge(key(i), now=0.0)
+        with pytest.raises(QuotaExceededError):
+            account.charge(key(99), now=1.0)
+
+    def test_repeats_are_free(self):
+        """Re-issuing an already-seen query never counts (paper Sec 3.1)."""
+        account = Account("a", quota=1)
+        account.charge(key(0), now=0.0)
+        for _ in range(10):
+            account.charge(key(0), now=5.0)  # no raise
+        assert account.unique_queries_used(5.0) == 1
+
+    def test_window_expiry(self):
+        account = Account("a", quota=1)
+        account.charge(key(0), now=0.0)
+        later = QUOTA_WINDOW_SECONDS + 1.0
+        assert account.remaining(later) == 1
+        account.charge(key(1), now=later)  # no raise
+
+    def test_would_charge(self):
+        account = Account("a", quota=2)
+        assert account.would_charge(key(0), 0.0)
+        account.charge(key(0), 0.0)
+        assert not account.would_charge(key(0), 1.0)
+
+    def test_uniqueness_is_set_based(self):
+        """Order of types/regions does not create a new unique query."""
+        a = make_query_key(["t1", "t2"], ["r1", "r2"], 1, True)
+        b = make_query_key(["t2", "t1"], ["r2", "r1"], 1, True)
+        assert a == b
+
+    def test_capacity_changes_uniqueness(self):
+        a = make_query_key(["t1"], ["r1"], 1, True)
+        b = make_query_key(["t1"], ["r1"], 10, True)
+        assert a != b
+
+
+class TestAccountPool:
+    def test_needs_at_least_one(self):
+        with pytest.raises(ValueError):
+            AccountPool(0)
+
+    def test_prefers_already_charged_account(self):
+        pool = AccountPool(2, quota=5)
+        first = pool.acquire(key(0), 0.0)
+        first.charge(key(0), 0.0)
+        again = pool.acquire(key(0), 1.0)
+        assert again is first
+
+    def test_spreads_new_queries(self):
+        pool = AccountPool(2, quota=2)
+        used = set()
+        for i in range(4):
+            account = pool.acquire(key(i), 0.0)
+            account.charge(key(i), 0.0)
+            used.add(account.name)
+        assert len(used) == 2
+
+    def test_exhausted_pool_raises(self):
+        pool = AccountPool(1, quota=1)
+        account = pool.acquire(key(0), 0.0)
+        account.charge(key(0), 0.0)
+        with pytest.raises(QuotaExceededError):
+            pool.acquire(key(1), 0.0)
+
+    def test_size_for(self):
+        assert AccountPool.size_for(2226, quota=50) == 45
+        assert AccountPool.size_for(50, quota=50) == 1
+        assert AccountPool.size_for(51, quota=50) == 2
+
+    def test_total_remaining(self):
+        pool = AccountPool(3, quota=10)
+        assert pool.total_remaining(0.0) == 30

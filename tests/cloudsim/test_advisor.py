@@ -1,0 +1,66 @@
+"""Tests for the spot instance advisor engine."""
+
+import pytest
+
+from repro.cloudsim import bucket_index, bucket_label
+from repro.cloudsim.advisor import INTERRUPTION_BUCKETS
+
+
+class TestBuckets:
+    @pytest.mark.parametrize("ratio,label", [
+        (0.0, "<5%"), (0.049, "<5%"), (0.05, "5-10%"), (0.12, "10-15%"),
+        (0.17, "15-20%"), (0.20, ">20%"), (0.9, ">20%"),
+    ])
+    def test_bucket_label(self, ratio, label):
+        assert bucket_label(ratio) == label
+
+    def test_bucket_index_range(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(10.0) == len(INTERRUPTION_BUCKETS) - 1
+
+
+class TestAdvisorEngine:
+    def test_entry_fields(self, cloud):
+        t = cloud.clock.start + 10 * 86400.0
+        entry = cloud.advisor.entry("m5.large", "us-east-1", t)
+        assert entry.instance_type == "m5.large"
+        assert entry.region == "us-east-1"
+        assert 0 <= entry.interruption_bucket <= 4
+        assert entry.interruption_label == bucket_label(
+            cloud.advisor.interruption_ratio("m5.large", "us-east-1", t))
+        assert 0 <= entry.savings_percent <= 100
+
+    def test_snapshot_covers_all_offerings(self, cloud):
+        snapshot = cloud.advisor.web_snapshot(cloud.clock.start)
+        offering = cloud.catalog.offering_map()
+        expected = sum(len(regions) for regions in offering.values())
+        assert len(snapshot) == expected
+
+    def test_value_frozen_between_refreshes(self, cloud):
+        """The advisor republishes on a slow cadence; the reported ratio is
+        constant between refresh instants (Figure 10's long intervals)."""
+        advisor = cloud.advisor
+        t = cloud.clock.start + 20 * 86400.0
+        frozen_at = advisor.snapshot_time("m5.large", "us-east-1", t)
+        later = frozen_at + 3600.0  # an hour after the refresh
+        assert advisor.interruption_ratio("m5.large", "us-east-1", later) == \
+            advisor.interruption_ratio("m5.large", "us-east-1", frozen_at + 7200.0)
+
+    def test_refresh_cadence_days(self, cloud):
+        advisor = cloud.advisor
+        period = advisor._refresh_period("m5.large", "us-east-1")
+        assert 4 * 86400.0 <= period <= 12 * 86400.0
+
+    def test_snapshot_time_not_in_future(self, cloud):
+        advisor = cloud.advisor
+        t = cloud.clock.start + 45 * 86400.0
+        assert advisor.snapshot_time("c5.xlarge", "eu-west-1", t) <= t
+
+    def test_savings_uses_pricing_when_available(self, cloud):
+        t = cloud.clock.start + 10 * 86400.0
+        itype = cloud.catalog.instance_type("m5.large")
+        savings = cloud.advisor.savings_percent(itype, "us-east-1", t)
+        frozen = cloud.advisor.snapshot_time("m5.large", "us-east-1", t)
+        spot = cloud.pricing.spot_price(itype, "us-east-1", frozen)
+        expected = round(100 * (1 - spot / itype.on_demand_price))
+        assert savings == expected

@@ -1,0 +1,72 @@
+"""Calibration regression tests: the simulated world keeps matching the
+paper's published distributions (Table 2 and the Figure 3 family effects).
+
+These are the guardrails for anyone touching the market constants: if a
+change moves a marginal distribution off its paper target, these fail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scores import interruption_free_score
+
+
+@pytest.fixture(scope="module")
+def samples(cloud):
+    """Scores for a deterministic pool/time sample grid."""
+    rng = np.random.default_rng(1)
+    pools = cloud.catalog.all_pools()
+    idx = rng.choice(len(pools), 1500, replace=False)
+    t0 = cloud.clock.start
+    out = []
+    for i in idx:
+        itype, region, zone = pools[i]
+        category = cloud.catalog.instance_type(itype).category
+        for day in (10, 90, 170):
+            ts = t0 + day * 86400.0
+            sps = cloud.placement.zone_score(itype, region, zone, ts)
+            ifs = interruption_free_score(
+                cloud.advisor.interruption_ratio(itype, region, ts))
+            out.append((category, sps, ifs))
+    return out
+
+
+class TestTable2Targets:
+    def test_sps_distribution(self, samples):
+        """Paper: 87.88% / 3.81% / 8.31% for scores 3 / 2 / 1."""
+        scores = np.array([s for _, s, _ in samples])
+        share3 = np.mean(scores == 3)
+        share2 = np.mean(scores == 2)
+        share1 = np.mean(scores == 1)
+        assert 0.82 < share3 < 0.93
+        assert 0.01 < share2 < 0.08
+        assert 0.04 < share1 < 0.14
+        assert share1 > share2  # the distinctive inversion of Table 2
+
+    def test_if_distribution(self, samples):
+        """Paper: 33.05 / 25.92 / 13.86 / 6.33 / 20.84 % for 3.0 .. 1.0."""
+        scores = np.array([f for _, _, f in samples])
+        targets = {3.0: 0.3305, 2.5: 0.2592, 2.0: 0.1386,
+                   1.5: 0.0633, 1.0: 0.2084}
+        for value, target in targets.items():
+            share = float(np.mean(scores == value))
+            assert abs(share - target) < 0.08, (value, share, target)
+
+
+class TestFigure3FamilyEffects:
+    def test_accelerated_below_average(self, samples):
+        """Paper: accelerated 12.07% below average SPS, 34.98% below IF."""
+        all_sps = np.mean([s for _, s, _ in samples])
+        all_if = np.mean([f for _, _, f in samples])
+        accel_sps = np.mean([s for c, s, _ in samples if c == "accelerated"])
+        accel_if = np.mean([f for c, _, f in samples if c == "accelerated"])
+        sps_gap = 1 - accel_sps / all_sps
+        if_gap = 1 - accel_if / all_if
+        assert 0.05 < sps_gap < 0.30
+        assert 0.20 < if_gap < 0.50
+        assert if_gap > sps_gap  # the IF penalty is the larger one
+
+    def test_overall_averages(self, samples):
+        """Paper: mean SPS 2.8, mean interruption-free score 2.22."""
+        assert abs(np.mean([s for _, s, _ in samples]) - 2.8) < 0.15
+        assert abs(np.mean([f for _, _, f in samples]) - 2.22) < 0.15

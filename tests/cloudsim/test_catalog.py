@@ -1,0 +1,112 @@
+"""Tests for the instance/region/zone catalog."""
+
+import pytest
+
+from repro.cloudsim import Catalog, UnknownInstanceTypeError, UnknownRegionError
+from repro.cloudsim.catalog import SIZE_LADDER
+
+
+class TestPaperScale:
+    """The catalog matches the paper's headline numbers exactly."""
+
+    def test_547_types_17_regions_63_zones(self, cloud):
+        summary = cloud.catalog.summary()
+        assert summary["instance_types"] == 547
+        assert summary["regions"] == 17
+        assert summary["availability_zones"] == 63
+
+    def test_every_type_offered_somewhere(self, cloud):
+        offering = cloud.catalog.offering_map()
+        assert len(offering) == 547
+        assert all(offering.values())
+
+
+class TestInstanceType:
+    def test_name_composition(self, cloud):
+        itype = cloud.catalog.instance_type("p3.2xlarge")
+        assert itype.family.name == "p3"
+        assert itype.size == "2xlarge"
+        assert itype.class_letter == "P"
+        assert itype.category == "accelerated"
+
+    def test_vcpus_scale_with_size(self, cloud):
+        small = cloud.catalog.instance_type("m5.large")
+        big = cloud.catalog.instance_type("m5.24xlarge")
+        assert big.vcpus == 48 * small.vcpus
+
+    def test_metal_matches_largest_virtual(self, cloud):
+        metal = cloud.catalog.instance_type("m5.metal")
+        largest = cloud.catalog.instance_type("m5.24xlarge")
+        assert metal.vcpus == largest.vcpus
+
+    def test_accelerator_premium_raises_price(self, cloud):
+        gpu = cloud.catalog.instance_type("p3.2xlarge")
+        cpu = cloud.catalog.instance_type("c5.2xlarge")
+        assert gpu.on_demand_price > cpu.on_demand_price
+
+    def test_memory_by_category(self, cloud):
+        memory = cloud.catalog.instance_type("r5.xlarge")
+        compute = cloud.catalog.instance_type("c5.xlarge")
+        assert memory.memory_gib > compute.memory_gib
+
+    def test_size_rank_monotone(self):
+        ranks = [SIZE_LADDER.index(s) for s in ("large", "xlarge", "2xlarge", "16xlarge")]
+        assert ranks == sorted(ranks)
+
+    def test_unknown_type_raises(self, cloud):
+        with pytest.raises(UnknownInstanceTypeError):
+            cloud.catalog.instance_type("z999.mega")
+
+
+class TestRegions:
+    def test_zone_names(self, cloud):
+        region = cloud.catalog.region("us-east-1")
+        assert region.zones[0] == "us-east-1a"
+        assert len(region.zones) == region.az_count
+
+    def test_unknown_region_raises(self, cloud):
+        with pytest.raises(UnknownRegionError):
+            cloud.catalog.region("mars-north-1")
+
+
+class TestOfferings:
+    def test_deterministic(self):
+        a = Catalog(seed=3)
+        b = Catalog(seed=3)
+        assert a.offering_map() == b.offering_map()
+
+    def test_seed_changes_offerings(self):
+        a = Catalog(seed=3)
+        b = Catalog(seed=4)
+        assert a.offering_map() != b.offering_map()
+
+    def test_zones_subset_of_region(self, cloud):
+        catalog = cloud.catalog
+        region = catalog.region("eu-west-1")
+        for name in ("m5.large", "p3.2xlarge", "t3.micro"):
+            zones = catalog.supported_zones(name, region)
+            assert set(zones) <= set(region.zones)
+
+    def test_new_families_sparser(self, cloud):
+        catalog = cloud.catalog
+        old = len(catalog.regions_offering("m5.large"))
+        new = len(catalog.regions_offering("dl1.24xlarge"))
+        assert new < old
+
+    def test_all_pools_consistent_with_offering_map(self, cloud):
+        catalog = cloud.catalog
+        pools = catalog.all_pools()
+        offering = catalog.offering_map()
+        from collections import Counter
+        counted = Counter((t, r) for t, r, _z in pools)
+        for (t, r), count in counted.items():
+            assert offering[t][r] == count
+
+    def test_classes_in_paper_order(self, cloud):
+        classes = cloud.catalog.classes
+        assert classes[:4] == ["T", "M", "A", "C"]
+        assert classes.index("P") < classes.index("I")
+
+    def test_tiny_catalog_shape(self, tiny_catalog):
+        assert tiny_catalog.summary()["instance_types"] == 3
+        assert tiny_catalog.summary()["availability_zones"] == 5

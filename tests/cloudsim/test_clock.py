@@ -1,0 +1,42 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.cloudsim import SimulationClock, PAPER_WINDOW_START
+from repro.cloudsim.clock import SECONDS_PER_DAY
+
+
+class TestSimulationClock:
+    def test_starts_at_paper_window(self):
+        clock = SimulationClock()
+        assert clock.now() == PAPER_WINDOW_START
+        assert clock.datetime().isoformat().startswith("2022-01-01T00:00:00")
+
+    def test_advance(self):
+        clock = SimulationClock()
+        clock.advance(30.0)
+        clock.advance_minutes(2)
+        assert clock.now() == PAPER_WINDOW_START + 150.0
+
+    def test_advance_days(self):
+        clock = SimulationClock()
+        clock.advance_days(2.5)
+        assert clock.elapsed() == 2.5 * SECONDS_PER_DAY
+        assert clock.elapsed_days() == 2.5
+
+    def test_cannot_move_backwards(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(PAPER_WINDOW_START - 1.0)
+
+    def test_set_forward(self):
+        clock = SimulationClock()
+        clock.set(PAPER_WINDOW_START + 100.0)
+        assert clock.now() == PAPER_WINDOW_START + 100.0
+
+    def test_custom_start(self):
+        clock = SimulationClock(start=1000.0)
+        assert clock.start == 1000.0
+        assert clock.elapsed() == 0.0

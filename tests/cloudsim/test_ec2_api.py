@@ -1,0 +1,138 @@
+"""Tests for the boto3-like client and its constraint enforcement."""
+
+import pytest
+
+from repro.cloudsim import (
+    Account,
+    QuotaExceededError,
+    RequestNotFoundError,
+    SimulatedCloud,
+    UnknownRegionError,
+    ValidationError,
+)
+from repro.cloudsim.ec2_api import MAX_SPS_RESULTS, PRICE_HISTORY_MAX_DAYS
+
+
+@pytest.fixture()
+def client(fresh_cloud):
+    return fresh_cloud.client(Account("test", quota=100))
+
+
+class TestPlacementScores:
+    def test_basic_query(self, client):
+        rows = client.get_spot_placement_scores(["m5.large"], ["us-east-1"])
+        assert len(rows) == 1
+        assert rows[0]["Region"] == "us-east-1"
+        assert 1 <= rows[0]["Score"] <= 10
+
+    def test_single_az_rows(self, fresh_cloud, client):
+        rows = client.get_spot_placement_scores(
+            ["m5.large"], ["us-east-1"], single_availability_zone=True)
+        zones = fresh_cloud.catalog.supported_zones("m5.large", "us-east-1")
+        assert {r["AvailabilityZoneId"] for r in rows} <= set(zones)
+
+    def test_result_cap_ten(self, fresh_cloud, client):
+        regions = [r.code for r in fresh_cloud.catalog.regions]
+        rows = client.get_spot_placement_scores(
+            ["m5.large"], regions, single_availability_zone=True)
+        assert len(rows) == MAX_SPS_RESULTS
+
+    def test_max_results_validated(self, client):
+        with pytest.raises(ValidationError):
+            client.get_spot_placement_scores(["m5.large"], ["us-east-1"],
+                                             max_results=11)
+
+    def test_quota_enforced_but_repeats_free(self, fresh_cloud):
+        client = fresh_cloud.client(Account("tiny", quota=2))
+        client.get_spot_placement_scores(["m5.large"], ["us-east-1"])
+        client.get_spot_placement_scores(["m5.large"], ["us-east-1"])  # repeat
+        client.get_spot_placement_scores(["c5.large"], ["us-east-1"])
+        with pytest.raises(QuotaExceededError):
+            client.get_spot_placement_scores(["r5.large"], ["us-east-1"])
+
+    def test_empty_arguments_rejected(self, client):
+        with pytest.raises(ValidationError):
+            client.get_spot_placement_scores([], ["us-east-1"])
+        with pytest.raises(ValidationError):
+            client.get_spot_placement_scores(["m5.large"], [])
+        with pytest.raises(ValidationError):
+            client.get_spot_placement_scores(["m5.large"], ["us-east-1"],
+                                             target_capacity=0)
+
+    def test_unknown_region_rejected(self, client):
+        with pytest.raises(UnknownRegionError):
+            client.get_spot_placement_scores(["m5.large"], ["nowhere-1"])
+
+
+class TestPriceHistory:
+    def test_returns_change_points(self, fresh_cloud, client):
+        now = fresh_cloud.clock.now()
+        fresh_cloud.clock.advance_days(30)
+        rows = client.describe_spot_price_history(
+            ["m5.large"], now, fresh_cloud.clock.now(), region="us-east-1")
+        assert rows
+        assert all(r["SpotPrice"] > 0 for r in rows)
+        times = [r["Timestamp"] for r in rows]
+        assert times == sorted(times)
+
+    def test_three_month_limit(self, fresh_cloud, client):
+        fresh_cloud.clock.advance_days(PRICE_HISTORY_MAX_DAYS + 10)
+        now = fresh_cloud.clock.now()
+        with pytest.raises(ValidationError):
+            client.describe_spot_price_history(
+                ["m5.large"], now - (PRICE_HISTORY_MAX_DAYS + 5) * 86400.0,
+                now, region="us-east-1")
+
+    def test_region_or_zone_required(self, fresh_cloud, client):
+        now = fresh_cloud.clock.now()
+        with pytest.raises(ValidationError):
+            client.describe_spot_price_history(["m5.large"], now, now)
+
+
+class TestSpotRequests:
+    def test_request_lifecycle_via_api(self, fresh_cloud, client):
+        rid = client.request_spot_instances("m5.large", "us-east-1a", 0.10,
+                                            persistent=True)
+        status = client.describe_spot_instance_requests([rid])[0]
+        assert status["SpotInstanceRequestId"] == rid
+        assert status["State"] in ("pending-evaluation", "holding")
+        fresh_cloud.clock.advance(3600.0)
+        later = client.describe_spot_instance_requests([rid])[0]
+        assert later["State"] in ("pending-evaluation", "holding",
+                                  "fulfilled", "terminal")
+
+    def test_cancel(self, fresh_cloud, client):
+        rid = client.request_spot_instances("m5.large", "us-east-1a", 0.10)
+        fresh_cloud.clock.advance(60.0)
+        client.cancel_spot_instance_requests([rid])
+        fresh_cloud.clock.advance(1.0)
+        assert client.describe_spot_instance_requests([rid])[0]["State"] == "terminal"
+
+    def test_unknown_request_raises(self, client):
+        with pytest.raises(RequestNotFoundError):
+            client.describe_spot_instance_requests(["sir-ffffffff"])
+
+
+class TestOfferings:
+    def test_zone_offerings(self, fresh_cloud, client):
+        rows = client.describe_instance_type_offerings("us-east-1")
+        assert rows
+        assert all(row["Location"].startswith("us-east-1") for row in rows)
+
+    def test_region_offerings(self, client):
+        rows = client.describe_instance_type_offerings(
+            "us-east-1", location_type="region")
+        assert all(row["Location"] == "us-east-1" for row in rows)
+
+    def test_bad_location_type(self, client):
+        with pytest.raises(ValidationError):
+            client.describe_instance_type_offerings("us-east-1",
+                                                    location_type="planet")
+
+
+class TestAdvisorNotInApi:
+    def test_advisor_web_only(self, fresh_cloud, client):
+        """The advisor has no client method -- web snapshot only."""
+        assert not hasattr(client, "describe_spot_advisor")
+        snapshot = fresh_cloud.advisor_web_snapshot()
+        assert snapshot

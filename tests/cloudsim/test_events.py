@@ -1,0 +1,76 @@
+"""Tests for configurable capacity events."""
+
+import pytest
+
+from repro.cloudsim import CapacityEvent, Catalog, JUNE_2_EVENT, SpotMarket
+from repro.cloudsim.events import default_events, total_depth
+
+
+class TestCapacityEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityEvent(10, 5, 0.1)
+        with pytest.raises(ValueError):
+            CapacityEvent(0, 1, 0.1, type_fraction=1.5)
+        with pytest.raises(ValueError):
+            CapacityEvent(0, 1, -0.1)
+
+    def test_outside_window_zero(self):
+        event = CapacityEvent(10, 12, 0.2, type_fraction=1.0)
+        assert event.depth_at(0, "m5.large", 9.9) == 0.0
+        assert event.depth_at(0, "m5.large", 12.1) == 0.0
+
+    def test_plateau_depth(self):
+        event = CapacityEvent(10, 14, 0.2, type_fraction=1.0, ramp_days=1.0)
+        assert event.depth_at(0, "m5.large", 12.0) == pytest.approx(0.2)
+
+    def test_ramps(self):
+        event = CapacityEvent(10, 14, 0.2, type_fraction=1.0, ramp_days=1.0)
+        assert event.depth_at(0, "m5.large", 10.5) == pytest.approx(0.1)
+        assert event.depth_at(0, "m5.large", 13.5) == pytest.approx(0.1)
+
+    def test_membership_stable(self):
+        event = CapacityEvent(0, 10, 0.2, type_fraction=0.5, label="e")
+        first = event.affects(0, "m5.large")
+        assert all(event.affects(0, "m5.large") == first for _ in range(5))
+
+    def test_membership_fraction(self):
+        event = CapacityEvent(0, 10, 0.2, type_fraction=0.5, label="e")
+        names = [f"type-{i}" for i in range(600)]
+        hits = sum(event.affects(0, n) for n in names)
+        assert 240 < hits < 360
+
+    def test_total_depth_sums_overlaps(self):
+        events = [CapacityEvent(0, 10, 0.1, 1.0, ramp_days=0.0, label="a"),
+                  CapacityEvent(5, 15, 0.2, 1.0, ramp_days=0.0, label="b")]
+        assert total_depth(events, 0, "x", 7.0) == pytest.approx(0.3)
+
+
+class TestMarketIntegration:
+    def test_default_schedule_is_june2(self):
+        assert default_events() == [JUNE_2_EVENT]
+
+    def test_custom_event_schedule(self):
+        catalog = Catalog(seed=0)
+        quiet = SpotMarket(catalog, seed=0, events=[])
+        stormy = SpotMarket(catalog, seed=0, events=[
+            CapacityEvent(50, 52, 0.5, type_fraction=1.0, label="storm")])
+        t_storm = quiet.epoch + 51 * 86400.0
+        pool = catalog.all_pools()[0]
+        assert stormy.headroom(*pool, t_storm) < quiet.headroom(*pool, t_storm)
+        t_calm = quiet.epoch + 40 * 86400.0
+        assert stormy.headroom(*pool, t_calm) == quiet.headroom(*pool, t_calm)
+
+    def test_event_visible_in_scores(self):
+        """A deep market-wide event pushes placement scores down."""
+        catalog = Catalog(seed=0)
+        market = SpotMarket(catalog, seed=0, events=[
+            CapacityEvent(50, 52, 0.5, type_fraction=1.0, label="storm")])
+        from repro.cloudsim import PlacementScoreEngine
+        engine = PlacementScoreEngine(market)
+        pools = catalog.all_pools()[::300]
+        during = sum(engine.zone_score(*p, market.epoch + 51 * 86400.0)
+                     for p in pools)
+        before = sum(engine.zone_score(*p, market.epoch + 40 * 86400.0)
+                     for p in pools)
+        assert during < before

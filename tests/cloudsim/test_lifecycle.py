@@ -1,0 +1,144 @@
+"""Tests for the spot request lifecycle state machine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloudsim import (
+    ALLOWED_TRANSITIONS,
+    RequestState,
+    SimulatedCloud,
+    UnsupportedOfferingError,
+    ValidationError,
+)
+from repro.cloudsim.lifecycle import (
+    continuous_if,
+    continuous_sps,
+    interruption_rate_per_hour,
+    not_fulfilled_probability,
+    weibull_scale_for_rate,
+)
+from repro.cloudsim.placement import THRESHOLD_2, THRESHOLD_3
+
+
+def submit(cloud, itype="m5.large", zone="us-east-1a", **kwargs):
+    return cloud.request_simulator.submit(
+        itype, zone.rstrip("abcdef"), zone, bid_price=1.0,
+        created_at=cloud.clock.now(), **kwargs)
+
+
+class TestStateMachine:
+    def test_timeline_uses_legal_transitions(self, fresh_cloud):
+        for i in range(30):
+            request = submit(fresh_cloud, persistent=True)
+            previous = RequestState.PENDING_EVALUATION
+            for event in request.events:
+                assert event.state in ALLOWED_TRANSITIONS[previous]
+                previous = event.state
+
+    def test_state_before_submission_raises(self, fresh_cloud):
+        request = submit(fresh_cloud)
+        with pytest.raises(ValidationError):
+            request.state_at(request.created_at - 1.0)
+
+    def test_initial_state_pending(self, fresh_cloud):
+        request = submit(fresh_cloud)
+        assert request.state_at(request.created_at) in (
+            RequestState.PENDING_EVALUATION, RequestState.HOLDING)
+
+    def test_unsupported_zone_raises(self, fresh_cloud):
+        catalog = fresh_cloud.catalog
+        itype = "dl1.24xlarge"
+        offered = {r.code for r in catalog.regions_offering(itype)}
+        missing_region = next(r for r in catalog.regions
+                              if r.code not in offered)
+        with pytest.raises(UnsupportedOfferingError):
+            submit(fresh_cloud, itype=itype, zone=missing_region.zones[0])
+
+    def test_nonpositive_bid_raises(self, fresh_cloud):
+        with pytest.raises(ValidationError):
+            fresh_cloud.request_simulator.submit(
+                "m5.large", "us-east-1", "us-east-1a", bid_price=0.0,
+                created_at=fresh_cloud.clock.now())
+
+    def test_cancel_terminates(self, fresh_cloud):
+        request = submit(fresh_cloud)
+        fresh_cloud.request_simulator.cancel(request, request.created_at + 10.0)
+        assert request.state_at(request.created_at + 11.0) is RequestState.TERMINAL
+
+    def test_persistent_request_refulfills(self, fresh_cloud):
+        """Some persistent request with an interruption re-enters pending."""
+        refulfilled = False
+        for _ in range(300):
+            request = submit(fresh_cloud, persistent=True)
+            if len(request.fulfillment_times()) > 1:
+                refulfilled = True
+                break
+        assert refulfilled
+
+    def test_interruptions_follow_fulfillments(self, fresh_cloud):
+        for _ in range(50):
+            request = submit(fresh_cloud, persistent=True)
+            fulfills = request.fulfillment_times()
+            for interrupt in request.interruption_times():
+                assert any(f < interrupt for f in fulfills)
+
+    def test_scores_recorded_at_submit(self, fresh_cloud):
+        request = submit(fresh_cloud)
+        assert request.sps_at_submit in (1, 2, 3)
+        assert request.if_score_at_submit in (1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+class TestContinuousLatents:
+    def test_continuous_sps_monotone(self):
+        values = [continuous_sps(h) for h in (0.0, 0.2, THRESHOLD_2,
+                                              0.425, THRESHOLD_3, 0.7, 1.0)]
+        assert values == sorted(values)
+
+    def test_continuous_sps_band_alignment(self):
+        assert continuous_sps(THRESHOLD_3) == 3.0
+        assert 2.0 <= continuous_sps((THRESHOLD_2 + THRESHOLD_3) / 2) < 3.0
+        assert continuous_sps(0.1) < 2.0
+
+    def test_continuous_if_monotone_decreasing_in_ratio(self):
+        assert continuous_if(0.0) > continuous_if(0.1) > continuous_if(0.4)
+        assert continuous_if(0.0) <= 3.35
+        assert continuous_if(1.0) >= 0.5
+
+
+class TestOutcomeCalibration:
+    def test_high_band_always_fulfills(self):
+        assert not_fulfilled_probability(THRESHOLD_3, 3.0) == 0.0
+        assert not_fulfilled_probability(0.9, 1.0) == 0.0
+
+    def test_deep_low_band_never_fulfills(self):
+        assert not_fulfilled_probability(0.05, 2.0) == 1.0
+
+    def test_high_if_raises_nf_when_scarce(self):
+        low_h = 0.35
+        assert not_fulfilled_probability(low_h, 3.0) >= \
+            not_fulfilled_probability(low_h, 1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.sampled_from([1.0, 1.5, 2.0, 2.5, 3.0]))
+    @settings(max_examples=80)
+    def test_nf_probability_valid(self, h, ifs):
+        p = not_fulfilled_probability(h, ifs)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=0.42))
+    @settings(max_examples=80)
+    def test_hazard_positive(self, h, ratio):
+        assert interruption_rate_per_hour(h, ratio) > 0.0
+
+    def test_hazard_increases_with_ratio(self):
+        assert interruption_rate_per_hour(0.7, 0.35) > \
+            interruption_rate_per_hour(0.7, 0.01)
+
+    def test_weibull_scale_matches_24h_mass(self):
+        rate = 0.02
+        scale = weibull_scale_for_rate(rate, shape=0.5)
+        p24 = 1 - math.exp(-((24 * 3600.0 / scale) ** 0.5))
+        assert abs(p24 - (1 - math.exp(-rate * 24))) < 1e-9

@@ -1,0 +1,123 @@
+"""Tests for the latent spot-market model."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cloudsim import Catalog, SpotMarket, reclaim_ratio_from_u
+from repro.cloudsim.events import JUNE_2_EVENT
+from repro.cloudsim.market import CATEGORY_BASE, RECLAIM_QUANTILE_KNOTS
+
+EVENT_DAY_START = JUNE_2_EVENT.day_start
+EVENT_DAY_END = JUNE_2_EVENT.day_end
+
+
+class TestHeadroom:
+    def test_bounded(self, cloud):
+        market = cloud.market
+        for day in (0, 50, 120, 180):
+            t = market.epoch + day * 86400.0
+            for pool in cloud.catalog.all_pools()[::500]:
+                h = market.headroom(*pool, t)
+                assert 0.0 <= h <= 1.0
+
+    def test_deterministic_across_instances(self):
+        catalog = Catalog(seed=0)
+        a = SpotMarket(catalog, seed=0)
+        b = SpotMarket(catalog, seed=0)
+        t = a.epoch + 40 * 86400.0
+        for pool in catalog.all_pools()[::800]:
+            assert a.headroom(*pool, t) == b.headroom(*pool, t)
+
+    def test_accelerated_scarcer_on_average(self, cloud):
+        market = cloud.market
+        t = market.epoch + 60 * 86400.0
+        accel, general = [], []
+        for itype, region, zone in cloud.catalog.all_pools()[::40]:
+            h = market.headroom(itype, region, zone, t)
+            category = cloud.catalog.instance_type(itype).category
+            if category == "accelerated":
+                accel.append(h)
+            elif category == "general":
+                general.append(h)
+        assert np.mean(accel) < np.mean(general)
+
+    def test_larger_sizes_scarcer(self, cloud):
+        market = cloud.market
+        t = market.epoch + 60 * 86400.0
+        small = market.base_headroom("m5.large", "us-east-1", "us-east-1a")
+        large = market.base_headroom("m5.24xlarge", "us-east-1", "us-east-1a")
+        assert large < small
+
+    def test_event_dip(self, cloud):
+        """Most types lose headroom during the June-2 event window."""
+        market = cloud.market
+        affected = 0
+        total = 0
+        mid_event = market.epoch + (EVENT_DAY_START + EVENT_DAY_END) / 2 * 86400.0
+        for itype, region, zone in cloud.catalog.all_pools()[::300]:
+            total += 1
+            depth = market._event_depth(itype, market.day_of(mid_event))
+            if depth > 0:
+                affected += 1
+        assert affected / total > 0.6
+
+    def test_temporal_variation_small(self, cloud):
+        """Day-to-day movement stays within the designed amplitude."""
+        market = cloud.market
+        pool = cloud.catalog.all_pools()[10]
+        values = [market.headroom(*pool, market.epoch + d * 86400.0)
+                  for d in range(0, 120, 3)]
+        assert max(values) - min(values) < 0.30
+
+
+class TestReclaim:
+    def test_pressure_in_unit_interval(self, cloud):
+        market = cloud.market
+        t = market.epoch + 30 * 86400.0
+        for itype, region, _z in cloud.catalog.all_pools()[::400]:
+            assert 0.0 <= market.reclaim_pressure(itype, region, t) <= 1.0
+
+    def test_ratio_nonnegative_bounded(self, cloud):
+        market = cloud.market
+        t = market.epoch + 30 * 86400.0
+        for itype, region, _z in cloud.catalog.all_pools()[::400]:
+            ratio = market.interruption_ratio(itype, region, t)
+            assert 0.0 <= ratio <= RECLAIM_QUANTILE_KNOTS[-1][1]
+
+    def test_accelerated_reclaimed_harder(self, cloud):
+        market = cloud.market
+        t = market.epoch + 30 * 86400.0
+        accel, general = [], []
+        for itype, region, _z in cloud.catalog.all_pools()[::40]:
+            ratio = market.interruption_ratio(itype, region, t)
+            category = cloud.catalog.instance_type(itype).category
+            if category == "accelerated":
+                accel.append(ratio)
+            elif category == "general":
+                general.append(ratio)
+        assert np.mean(accel) > np.mean(general)
+
+
+class TestReclaimQuantileMap:
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_monotone_and_bounded(self, u):
+        ratio = reclaim_ratio_from_u(u)
+        assert 0.0 <= ratio <= RECLAIM_QUANTILE_KNOTS[-1][1]
+
+    @given(st.floats(min_value=0.0, max_value=0.99))
+    @settings(max_examples=50)
+    def test_monotone_nondecreasing(self, u):
+        assert reclaim_ratio_from_u(u + 0.01) >= reclaim_ratio_from_u(u)
+
+    def test_knot_values(self):
+        assert reclaim_ratio_from_u(0.0) == 0.0
+        assert abs(reclaim_ratio_from_u(0.3305) - 0.05) < 1e-9
+        assert reclaim_ratio_from_u(1.0) == RECLAIM_QUANTILE_KNOTS[-1][1]
+
+
+class TestCategoryBases:
+    def test_accelerated_lowest(self):
+        assert CATEGORY_BASE["accelerated"] == min(CATEGORY_BASE.values())
+
+    def test_general_highest(self):
+        assert CATEGORY_BASE["general"] == max(CATEGORY_BASE.values())

@@ -1,0 +1,117 @@
+"""Tests for the spot placement score engine."""
+
+import pytest
+
+from repro.cloudsim import PlacementScoreEngine, ValidationError
+from repro.cloudsim.placement import (
+    COMPOSITE_MAX_SCORE,
+    SINGLE_TYPE_MAX_SCORE,
+    THRESHOLD_2,
+    THRESHOLD_3,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(cloud):
+    return cloud.placement
+
+
+@pytest.fixture(scope="module")
+def t0(cloud):
+    return cloud.clock.start + 20 * 86400.0
+
+
+class TestQuantization:
+    def test_thresholds(self):
+        assert PlacementScoreEngine.quantize(THRESHOLD_3) == 3
+        assert PlacementScoreEngine.quantize(THRESHOLD_3 - 1e-9) == 2
+        assert PlacementScoreEngine.quantize(THRESHOLD_2) == 2
+        assert PlacementScoreEngine.quantize(THRESHOLD_2 - 1e-9) == 1
+        assert PlacementScoreEngine.quantize(-5.0) == 1
+        assert PlacementScoreEngine.quantize(2.0) == 3
+
+
+class TestSingleTypeScores:
+    def test_zone_score_in_single_type_range(self, cloud, engine, t0):
+        for pool in cloud.catalog.all_pools()[::900]:
+            score = engine.zone_score(*pool, t0)
+            assert 1 <= score <= SINGLE_TYPE_MAX_SCORE
+
+    def test_region_score_at_least_best_zone(self, cloud, engine, t0):
+        itype, region = "m5.large", "us-east-1"
+        zones = cloud.catalog.supported_zones(itype, region)
+        best = max(engine.zone_score(itype, region, z, t0) for z in zones)
+        assert engine.region_score(itype, region, t0) >= best
+
+    def test_unoffered_region_raises(self, cloud, engine, t0):
+        itype = "dl1.24xlarge"
+        regions = {r.code for r in cloud.catalog.regions_offering(itype)}
+        missing = next(r.code for r in cloud.catalog.regions
+                       if r.code not in regions)
+        with pytest.raises(ValidationError):
+            engine.region_score(itype, missing, t0)
+
+    def test_capacity_lowers_score(self, cloud, engine, t0):
+        for itype in ("p3.2xlarge", "d2.xlarge", "m5.large"):
+            region = cloud.catalog.regions_offering(itype)[0].code
+            low = engine.region_score(itype, region, t0, target_capacity=1)
+            high = engine.region_score(itype, region, t0, target_capacity=50)
+            assert high <= low
+
+    def test_accelerated_capacity_sensitivity_higher(self, cloud, engine, t0):
+        gpu = cloud.catalog.instance_type("p3.2xlarge")
+        general = cloud.catalog.instance_type("m5.2xlarge")
+        assert engine._capacity_penalty(gpu, 50) > engine._capacity_penalty(general, 50)
+
+
+class TestCompositeScores:
+    def test_single_type_passthrough(self, cloud, engine, t0):
+        score = engine.composite_region_score(["m5.large"], "us-east-1", t0)
+        assert score == engine.region_score("m5.large", "us-east-1", t0)
+
+    def test_composite_at_least_sum_usually(self, cloud, engine, t0):
+        triples = [
+            ("m5.large", "c5.large", "r5.large"),
+            ("t3.micro", "m5.xlarge", "c5.xlarge"),
+            ("m5.large", "i3.large", "c5.2xlarge"),
+        ]
+        at_least = 0
+        for triple in triples:
+            region = "us-east-1"
+            total = sum(engine.region_score(t, region, t0) for t in triple)
+            composite = engine.composite_region_score(list(triple), region, t0)
+            assert composite <= COMPOSITE_MAX_SCORE
+            if composite >= min(total, COMPOSITE_MAX_SCORE):
+                at_least += 1
+        assert at_least >= 2  # the sum is (almost always) the floor
+
+    def test_empty_query_raises(self, engine, t0):
+        with pytest.raises(ValidationError):
+            engine.composite_region_score([], "us-east-1", t0)
+
+
+class TestScoreQuery:
+    def test_result_cap(self, cloud, engine, t0):
+        regions = [r.code for r in cloud.catalog.regions]
+        rows = engine.score_query(["m5.large"], regions, t0,
+                                  single_availability_zone=True)
+        assert len(rows) <= 10
+
+    def test_rows_sorted_by_score(self, cloud, engine, t0):
+        rows = engine.score_query(["m5.large"], ["us-east-1", "eu-west-1"],
+                                  t0, single_availability_zone=True)
+        scores = [r.score for r in rows]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_region_level_rows(self, engine, t0):
+        rows = engine.score_query(["m5.large"], ["us-east-1"], t0)
+        assert len(rows) == 1
+        assert rows[0].availability_zone is None
+        assert rows[0].location == "us-east-1"
+
+    def test_skips_unoffered_regions(self, cloud, engine, t0):
+        itype = "dl1.24xlarge"
+        offered = {r.code for r in cloud.catalog.regions_offering(itype)}
+        all_regions = [r.code for r in cloud.catalog.regions]
+        rows = engine.score_query([itype], all_regions, t0)
+        assert {r.region for r in rows} <= offered

@@ -1,0 +1,85 @@
+"""Tests for the post-2017-policy pricing engine."""
+
+import pytest
+
+from repro.cloudsim.pricing import BASE_DISCOUNT_MIN, DISCOUNT_JITTER, HEADROOM_COUPLING
+
+
+@pytest.fixture(scope="module")
+def t0(cloud):
+    return cloud.clock.start + 15 * 86400.0
+
+
+class TestSpotPrice:
+    def test_below_on_demand(self, cloud, t0):
+        for name in ("m5.large", "p3.2xlarge", "t3.micro", "i3.large"):
+            itype = cloud.catalog.instance_type(name)
+            region = cloud.catalog.regions_offering(name)[0].code
+            spot = cloud.pricing.spot_price(itype, region, t0)
+            assert 0 < spot < itype.on_demand_price
+
+    def test_minimum_discount(self, cloud, t0):
+        itype = cloud.catalog.instance_type("m5.large")
+        spot = cloud.pricing.spot_price(itype, "us-east-1", t0)
+        max_price = itype.on_demand_price * (
+            1 - BASE_DISCOUNT_MIN + DISCOUNT_JITTER + HEADROOM_COUPLING)
+        assert spot <= max_price + 1e-9
+
+    def test_piecewise_constant(self, cloud, t0):
+        """The price holds between change points (post-2017 smoothness)."""
+        price_a = cloud.pricing.spot_price("m5.large", "us-east-1", t0)
+        price_b = cloud.pricing.spot_price("m5.large", "us-east-1", t0 + 60.0)
+        assert price_a == price_b
+
+    def test_deterministic(self, cloud, t0):
+        region = cloud.catalog.regions_offering("c5.xlarge")[0].code
+        a = cloud.pricing.spot_price("c5.xlarge", region, t0)
+        b = cloud.pricing.spot_price("c5.xlarge", region, t0)
+        assert a == b
+
+    def test_zone_specific(self, cloud, t0):
+        zones = cloud.catalog.supported_zones("m5.large", "us-east-1")
+        prices = {cloud.pricing.spot_price("m5.large", "us-east-1", t0, z)
+                  for z in zones}
+        assert len(prices) >= 1  # zones may differ; all valid
+
+    def test_savings_fraction(self, cloud, t0):
+        savings = cloud.pricing.savings_fraction("m5.large", "us-east-1", t0)
+        assert 0.0 < savings < 1.0
+
+
+class TestPriceHistory:
+    def test_history_sorted_and_bounded(self, cloud, t0):
+        history = cloud.pricing.price_history("m5.large", "us-east-1",
+                                              t0, t0 + 30 * 86400.0)
+        times = [p.timestamp for p in history]
+        assert times == sorted(times)
+        assert times[0] >= cloud.clock.start
+        assert all(t0 <= t <= t0 + 30 * 86400.0 or i == 0
+                   for i, t in enumerate(times))
+
+    def test_history_includes_price_in_force(self, cloud, t0):
+        """The first row reflects the price already in force at start."""
+        history = cloud.pricing.price_history("m5.large", "us-east-1",
+                                              t0, t0 + 86400.0)
+        assert history  # never empty: the in-force price is included
+        current = cloud.pricing.spot_price("m5.large", "us-east-1", t0)
+        assert history[0].price == current
+
+    def test_changes_occur_over_a_month(self, cloud, t0):
+        history = cloud.pricing.price_history("m5.large", "us-east-1",
+                                              t0, t0 + 30 * 86400.0)
+        assert len(history) >= 2  # ~every 3 days in expectation
+
+    def test_inverted_range_raises(self, cloud, t0):
+        with pytest.raises(ValueError):
+            cloud.pricing.price_history("m5.large", "us-east-1", t0, t0 - 1)
+
+    def test_history_consistent_with_point_lookup(self, cloud, t0):
+        history = cloud.pricing.price_history("m5.large", "us-east-1",
+                                              t0, t0 + 20 * 86400.0)
+        for point in history[1:3]:
+            looked_up = cloud.pricing.spot_price(
+                "m5.large", "us-east-1", point.timestamp + 1.0,
+                point.availability_zone)
+            assert looked_up == point.price

@@ -1,0 +1,64 @@
+"""Tests for the SpotLake archive facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpotLakeArchive
+
+
+@pytest.fixture()
+def archive():
+    a = SpotLakeArchive()
+    a.put_sps("m5.large", "us-east-1", "us-east-1a", 3, 0)
+    a.put_sps("m5.large", "us-east-1", "us-east-1a", 2, 100)
+    a.put_advisor("m5.large", "us-east-1", 0.03, 3.0, 70, 0)
+    a.put_advisor("m5.large", "us-east-1", 0.12, 2.0, 72, 100)
+    a.put_price("m5.large", "us-east-1", "us-east-1a", 0.035, 0)
+    return a
+
+
+class TestPointReads:
+    def test_sps_at(self, archive):
+        assert archive.sps_at("m5.large", "us-east-1", "us-east-1a", 50) == 3
+        assert archive.sps_at("m5.large", "us-east-1", "us-east-1a", 150) == 2
+        assert archive.sps_at("m5.large", "us-east-1", "us-east-1a", -1) is None
+        assert archive.sps_at("nope", "us-east-1", "us-east-1a", 50) is None
+
+    def test_if_score_at(self, archive):
+        assert archive.if_score_at("m5.large", "us-east-1", 50) == 3.0
+        assert archive.if_score_at("m5.large", "us-east-1", 150) == 2.0
+
+    def test_savings_at(self, archive):
+        assert archive.savings_at("m5.large", "us-east-1", 150) == 72
+
+    def test_price_at(self, archive):
+        assert archive.price_at("m5.large", "us-east-1", "us-east-1a", 1) == 0.035
+
+
+class TestBulkReads:
+    def test_sps_matrix(self, archive):
+        keys, matrix = archive.sps_matrix([0, 50, 150])
+        assert matrix.shape == (1, 3)
+        assert list(matrix[0]) == [3, 3, 2]
+
+    def test_if_matrix(self, archive):
+        _, matrix = archive.if_score_matrix([50, 150])
+        assert list(matrix[0]) == [3.0, 2.0]
+
+    def test_history(self, archive):
+        rows = archive.history("sps", "sps",
+                               {"InstanceType": "m5.large"}, 0, 1e9)
+        assert [r.value for r in rows] == [3, 2]
+
+    def test_update_intervals(self, archive):
+        assert archive.update_interval_samples("sps") == [100.0]
+        assert archive.update_interval_samples("if_score") == [100.0]
+        assert archive.update_interval_samples("price") == []
+
+    def test_unknown_dataset_rejected(self, archive):
+        with pytest.raises(ValueError):
+            archive.update_interval_samples("weather")
+
+    def test_stats_tables(self, archive):
+        stats = archive.stats()
+        assert set(stats) == {"sps", "advisor", "price"}

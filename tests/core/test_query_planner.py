@@ -1,0 +1,77 @@
+"""Tests for the bin-packed SPS query planner."""
+
+import pytest
+
+from repro.core import SpsQuery, pack_example, plan_for_catalog, plan_for_offering_map
+
+
+SMALL_MAP = {
+    "a.large": {"r1": 6, "r2": 4, "r3": 3, "r4": 3},
+    "b.large": {"r1": 2, "r2": 2},
+}
+
+
+class TestPlanForOfferingMap:
+    def test_queries_respect_row_cap(self):
+        plan = plan_for_offering_map(SMALL_MAP, capacity=10)
+        for query in plan.queries:
+            rows = sum(SMALL_MAP[query.instance_type][r] for r in query.regions)
+            assert rows <= 10
+
+    def test_every_pair_covered_exactly_once(self):
+        plan = plan_for_offering_map(SMALL_MAP)
+        covered = [(q.instance_type, r) for q in plan.queries for r in q.regions]
+        expected = [(t, r) for t, regions in SMALL_MAP.items() for r in regions]
+        assert sorted(covered) == sorted(expected)
+
+    def test_counts(self):
+        plan = plan_for_offering_map(SMALL_MAP)
+        assert plan.naive_query_count == 6
+        # a: 6+4=10, 3+3=6 -> 2 bins; b: 2+2=4 -> 1 bin
+        assert plan.optimized_query_count == 3
+        assert plan.reduction_factor == 2.0
+
+    def test_pair_bound(self):
+        plan = plan_for_offering_map(SMALL_MAP)
+        assert plan.pair_bound_query_count == 2 * 4  # 2 types x 4 regions seen
+        assert plan.bound_reduction_factor == 8 / 3
+
+    def test_naive_algorithm(self):
+        plan = plan_for_offering_map(SMALL_MAP, algorithm="naive")
+        assert plan.optimized_query_count == plan.naive_query_count
+        assert all(len(q.regions) == 1 for q in plan.queries)
+
+    def test_ffd_algorithm_valid(self):
+        plan = plan_for_offering_map(SMALL_MAP, algorithm="ffd")
+        covered = [(q.instance_type, r) for q in plan.queries for r in q.regions]
+        assert len(covered) == len(set(covered)) == 6
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            plan_for_offering_map(SMALL_MAP, algorithm="magic")
+
+    def test_oversized_region_clamped(self):
+        """A region with more zones than the cap still fits in one query
+        (the API would truncate its rows)."""
+        plan = plan_for_offering_map({"a.large": {"big": 14}}, capacity=10)
+        assert plan.optimized_query_count == 1
+
+
+class TestCatalogPlan:
+    def test_full_catalog_scale(self, cloud):
+        plan = plan_for_catalog(cloud.catalog)
+        assert plan.pair_bound_query_count == 9299  # 547 x 17, the paper's bound
+        assert 1800 < plan.optimized_query_count < 2600  # paper: 2,226
+        assert plan.bound_reduction_factor > 3.5  # paper: ~4.5x
+
+    def test_pack_example_shape(self, cloud):
+        groups = pack_example(cloud.catalog.offering_map(), "p3.2xlarge")
+        for group in groups:
+            assert sum(zones for _, zones in group) <= 10
+
+
+class TestSpsQuery:
+    def test_expected_rows(self):
+        query = SpsQuery("m5.large", ("r1", "r2", "r3"))
+        assert query.expected_rows == 3
+        assert query.single_availability_zone

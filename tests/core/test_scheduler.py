@@ -1,0 +1,85 @@
+"""Tests for the collection scheduler."""
+
+import pytest
+
+from repro.cloudsim import SimulationClock
+from repro.core import CollectionScheduler
+from repro.core.collectors import CollectionReport
+
+
+def make_job(counter):
+    def collect():
+        counter.append(1)
+        return CollectionReport(queries_issued=1)
+    return collect
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        scheduler = CollectionScheduler(SimulationClock())
+        scheduler.register("a", make_job([]))
+        with pytest.raises(ValueError):
+            scheduler.register("a", make_job([]))
+
+    def test_nonpositive_period_rejected(self):
+        scheduler = CollectionScheduler(SimulationClock())
+        with pytest.raises(ValueError):
+            scheduler.register("a", make_job([]), period=0)
+
+
+class TestExecution:
+    def test_cadence(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        runs = []
+        scheduler.register("sps", make_job(runs), period=600)
+        total = scheduler.run_for(3600, step=600)
+        # fires at t=0, 600, ..., 3600 -> 7 runs
+        assert sum(runs) == 7
+        assert total == 7
+
+    def test_mixed_periods(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        fast, slow = [], []
+        scheduler.register("fast", make_job(fast), period=600)
+        scheduler.register("slow", make_job(slow), period=1800)
+        scheduler.run_for(3600, step=600)
+        assert sum(fast) == 7
+        assert sum(slow) == 3  # t=0, 1800, 3600
+
+    def test_initial_delay(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        runs = []
+        scheduler.register("later", make_job(runs), period=600,
+                           initial_delay=1200)
+        scheduler.run_for(1200, step=600)
+        assert sum(runs) == 1
+
+    def test_history_recorded(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        scheduler.register("a", make_job([]), period=600)
+        scheduler.run_for(600, step=600)
+        assert [name for _, name in scheduler.history] == ["a", "a"]
+
+    def test_catchup_after_stall(self):
+        """A long stall fires the job once, then resumes the cadence."""
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        runs = []
+        job = scheduler.register("a", make_job(runs), period=600)
+        scheduler.run_due()
+        clock.advance(10_000)  # miss many periods
+        scheduler.run_due()
+        assert sum(runs) == 2
+        assert job.next_due > clock.now()
+
+    def test_job_report_stored(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        job = scheduler.register("a", make_job([]), period=600)
+        scheduler.run_due()
+        assert job.last_report.queries_issued == 1
+        assert job.runs == 1

@@ -1,0 +1,101 @@
+"""Tests for the API-gateway/Lambda-style serving layer."""
+
+import json
+
+import pytest
+
+from repro.core import ApiGateway, SpotLakeArchive
+
+
+@pytest.fixture()
+def gateway():
+    archive = SpotLakeArchive()
+    archive.put_sps("m5.large", "us-east-1", "us-east-1a", 3, 0)
+    archive.put_sps("m5.large", "us-east-1", "us-east-1a", 2, 100)
+    archive.put_advisor("m5.large", "us-east-1", 0.03, 3.0, 70, 0)
+    archive.put_price("m5.large", "us-east-1", "us-east-1a", 0.035, 0)
+    return ApiGateway(archive)
+
+
+class TestRouting:
+    def test_routes_listed(self, gateway):
+        assert "/sps/history" in gateway.routes()
+        assert "/latest" in gateway.routes()
+
+    def test_unknown_route_404(self, gateway):
+        assert gateway.get("/nope").status == 404
+
+
+class TestHistoryEndpoints:
+    def test_sps_history(self, gateway):
+        response = gateway.get("/sps/history", {
+            "instance_type": "m5.large", "region": "us-east-1",
+            "start": "0", "end": "1000"})
+        assert response.status == 200
+        assert response.body["count"] == 2
+        assert response.body["rows"][0]["value"] == 3
+        json.loads(response.json())  # serializable
+
+    def test_advisor_history_measures(self, gateway):
+        ok = gateway.get("/advisor/history", {
+            "instance_type": "m5.large", "region": "us-east-1",
+            "start": "0", "end": "10", "measure": "savings"})
+        assert ok.status == 200
+        bad = gateway.get("/advisor/history", {
+            "instance_type": "m5.large", "region": "us-east-1",
+            "start": "0", "end": "10", "measure": "weather"})
+        assert bad.status == 400
+
+    def test_price_history(self, gateway):
+        response = gateway.get("/price/history", {
+            "start": "0", "end": "10"})
+        assert response.status == 200
+        assert response.body["count"] == 1
+
+    def test_missing_range_400(self, gateway):
+        assert gateway.get("/sps/history", {}).status == 400
+
+    def test_inverted_range_400(self, gateway):
+        response = gateway.get("/sps/history",
+                               {"start": "10", "end": "0"})
+        assert response.status == 400
+
+    def test_filters_narrow_results(self, gateway):
+        response = gateway.get("/sps/history", {
+            "instance_type": "c5.large", "start": "0", "end": "1000"})
+        assert response.status == 200
+        assert response.body["count"] == 0
+
+
+class TestLatest:
+    def test_full_payload(self, gateway):
+        response = gateway.get("/latest", {
+            "instance_type": "m5.large", "region": "us-east-1",
+            "zone": "us-east-1a", "at": "150"})
+        assert response.status == 200
+        assert response.body["sps"] == 2
+        assert response.body["if_score"] == 3.0
+        assert response.body["spot_price"] == 0.035
+
+    def test_region_only_payload(self, gateway):
+        response = gateway.get("/latest", {
+            "instance_type": "m5.large", "region": "us-east-1", "at": "50"})
+        assert response.status == 200
+        assert "sps" not in response.body
+        assert response.body["savings"] == 70
+
+    def test_missing_parameters_400(self, gateway):
+        assert gateway.get("/latest", {"region": "us-east-1"}).status == 400
+
+    def test_bad_timestamp_400(self, gateway):
+        response = gateway.get("/latest", {
+            "instance_type": "m5.large", "region": "us-east-1",
+            "at": "noon"})
+        assert response.status == 400
+
+
+class TestStats:
+    def test_stats_endpoint(self, gateway):
+        response = gateway.get("/stats")
+        assert response.status == 200
+        assert response.body["sps"]["records_written"] == 2

@@ -1,0 +1,16 @@
+"""Experiment-test fixtures: a moderate stratified case set with results."""
+
+import pytest
+
+from repro import SimulatedCloud
+from repro.experiments import ExperimentRunner, sample_cases
+
+
+@pytest.fixture(scope="package")
+def experiment():
+    cloud = SimulatedCloud(seed=0)
+    submit = cloud.clock.start + 35 * 86400.0
+    cloud.clock.set(submit)
+    cases = sample_cases(cloud, submit, per_combo=40)
+    results = ExperimentRunner(cloud).run_all(cases)
+    return cloud, submit, cases, results

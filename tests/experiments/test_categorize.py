@@ -1,0 +1,47 @@
+"""Tests for score categorization and candidate scanning."""
+
+from repro.experiments import COMBOS, Candidate, combo_counts, scan_candidates
+
+
+class TestCandidate:
+    def test_combo_labels(self):
+        assert Candidate("a", "r", "ra", 3, 3.0).combo == "H-H"
+        assert Candidate("a", "r", "ra", 3, 1.0).combo == "H-L"
+        assert Candidate("a", "r", "ra", 2, 2.0).combo == "M-M"
+        assert Candidate("a", "r", "ra", 1, 3.0).combo == "L-H"
+        assert Candidate("a", "r", "ra", 1, 1.0).combo == "L-L"
+
+    def test_non_experiment_combos_excluded(self):
+        assert Candidate("a", "r", "ra", 3, 2.0).combo is None  # H-M unused
+        assert Candidate("a", "r", "ra", 2, 2.5).combo is None  # 2.5 excluded
+        assert Candidate("a", "r", "ra", 2, 3.0).combo is None  # M-H unused
+
+
+class TestScanCandidates:
+    def test_candidates_have_valid_combos(self, cloud):
+        candidates = scan_candidates(cloud, cloud.clock.start, max_pools=2000)
+        assert candidates
+        assert all(c.combo in COMBOS for c in candidates)
+
+    def test_scores_consistent_with_engines(self, cloud):
+        from repro.analysis.scores import interruption_free_score
+        t = cloud.clock.start
+        for c in scan_candidates(cloud, t, max_pools=500)[:20]:
+            assert c.sps_score == cloud.placement.zone_score(
+                c.instance_type, c.region, c.availability_zone, t)
+            ratio = cloud.advisor.interruption_ratio(c.instance_type, c.region, t)
+            assert c.if_score == interruption_free_score(ratio)
+
+    def test_combo_counts_shape(self, cloud):
+        candidates = scan_candidates(cloud, cloud.clock.start, max_pools=4000)
+        counts = combo_counts(candidates)
+        assert set(counts) == set(COMBOS)
+        assert sum(counts.values()) == len(candidates)
+
+    def test_lh_is_scarce(self, cloud):
+        """The paper found L-H the scarcest combination; so does the
+        simulated market (full-scan counts)."""
+        candidates = scan_candidates(cloud, cloud.clock.start + 35 * 86400.0)
+        counts = combo_counts(candidates)
+        nonzero = {c: n for c, n in counts.items() if n}
+        assert min(nonzero, key=nonzero.get) == "L-H"

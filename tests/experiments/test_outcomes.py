@@ -1,0 +1,85 @@
+"""Tests for Table 3 / Figure 11 outcome aggregation."""
+
+import math
+
+import numpy as np
+
+from repro.experiments import (
+    COMBOS,
+    fulfillment_latency_cdfs,
+    run_duration_cdfs,
+    table3,
+)
+
+
+class TestTable3:
+    def test_rows_in_paper_order(self, experiment):
+        _, _, _, results = experiment
+        rows = table3(results)
+        order = [r.combo for r in rows]
+        assert order == [c for c in COMBOS if c in order]
+
+    def test_percentages_bounded(self, experiment):
+        _, _, _, results = experiment
+        for row in table3(results):
+            assert 0.0 <= row.not_fulfilled_percent <= 100.0
+            assert 0.0 <= row.interrupted_percent <= 100.0
+            assert row.cases > 0
+
+    def test_high_sps_rows_fully_fulfilled(self, experiment):
+        _, _, _, results = experiment
+        by_combo = {r.combo: r for r in table3(results)}
+        assert by_combo["H-H"].not_fulfilled_percent == 0.0
+        assert by_combo["H-L"].not_fulfilled_percent == 0.0
+
+    def test_hh_least_interrupted(self, experiment):
+        _, _, _, results = experiment
+        rows = table3(results)
+        by_combo = {r.combo: r for r in rows}
+        assert by_combo["H-H"].interrupted_percent == min(
+            r.interrupted_percent for r in rows)
+
+
+class TestLatencyCdfs:
+    def test_cdf_monotone(self, experiment):
+        _, _, _, results = experiment
+        cdfs = fulfillment_latency_cdfs(results)
+        for combo, (xs, fs) in cdfs.series.items():
+            if len(xs):
+                assert np.all(np.diff(xs) >= 0)
+                assert np.all(np.diff(fs) >= 0)
+                assert fs[-1] == 1.0
+
+    def test_high_fulfills_faster_than_low(self, experiment):
+        _, _, _, results = experiment
+        cdfs = fulfillment_latency_cdfs(results)
+        assert cdfs.median("H-H") < cdfs.median("L-L")
+
+    def test_fraction_below(self, experiment):
+        _, _, _, results = experiment
+        cdfs = fulfillment_latency_cdfs(results)
+        assert 0.0 <= cdfs.fraction_below("H-H", 135.0) <= 1.0
+        assert cdfs.fraction_below("H-H", 1e12) == 1.0
+
+    def test_missing_combo_nan(self, experiment):
+        _, _, _, results = experiment
+        cdfs = fulfillment_latency_cdfs([])
+        assert math.isnan(cdfs.median("H-H"))
+        assert math.isnan(cdfs.fraction_below("H-H", 10.0))
+
+
+class TestRunDurationCdfs:
+    def test_only_interrupted_cases_counted(self, experiment):
+        _, _, _, results = experiment
+        cdfs = run_duration_cdfs(results)
+        expected = sum(1 for r in results
+                       if r.combo == "H-H" and r.first_run_duration is not None)
+        xs, _ = cdfs.series["H-H"]
+        assert len(xs) == expected
+
+    def test_hh_runs_longest(self, experiment):
+        _, _, _, results = experiment
+        cdfs = run_duration_cdfs(results)
+        medians = {c: cdfs.median(c) for c in COMBOS
+                   if not math.isnan(cdfs.median(c))}
+        assert max(medians, key=medians.get) == "H-H"

@@ -1,0 +1,76 @@
+"""Tests for the 24-hour persistent-request experiment runner."""
+
+import pytest
+
+from repro import SimulatedCloud
+from repro.experiments import ExperimentRunner, sample_cases
+from repro.experiments.runner import EXPERIMENT_HORIZON_HOURS
+
+
+class TestRunner:
+    def test_result_fields(self, experiment):
+        _, _, cases, results = experiment
+        assert len(results) == len(cases)
+        for result in results[:30]:
+            assert result.combo == result.candidate.combo
+            if result.fulfilled:
+                assert result.fulfillment_latency is not None
+                assert result.fulfillment_latency >= 0
+            else:
+                assert not result.interrupted
+                assert result.fulfillment_latency is None
+
+    def test_outcome_labels(self, experiment):
+        _, _, _, results = experiment
+        labels = {r.outcome_label for r in results}
+        assert labels <= {"NoInterrupt", "Interrupted", "NoFulfill"}
+        assert len(labels) == 3  # a balanced design produces all three
+
+    def test_high_sps_always_fulfilled(self, experiment):
+        _, _, _, results = experiment
+        for result in results:
+            if result.candidate.sps_score == 3:
+                assert result.fulfilled
+
+    def test_run_duration_consistency(self, experiment):
+        _, _, _, results = experiment
+        for result in results:
+            if result.first_run_duration is not None:
+                assert result.interrupted
+                assert result.first_run_duration > 0
+                assert result.first_run_duration <= \
+                    EXPERIMENT_HORIZON_HOURS * 3600.0
+
+    def test_bid_is_on_demand_price(self, experiment):
+        cloud, _, _, results = experiment
+        result = results[0]
+        request = cloud.get_request(result.request_id)
+        itype = cloud.catalog.instance_type(result.candidate.instance_type)
+        assert request.bid_price == itype.on_demand_price
+        assert request.persistent
+
+    def test_coarse_and_literal_polling_agree(self):
+        """The trace-based fast path and the literal 5 s polling loop see
+        the same fulfillments and interruptions of one request, within one
+        poll step of rounding."""
+        cloud = SimulatedCloud(seed=0)
+        submit = cloud.clock.start + 35 * 86400.0
+        cloud.clock.set(submit)
+        cases = sample_cases(cloud, submit, per_combo=4)
+        runner = ExperimentRunner(cloud, poll_interval=5.0)
+        for case in cases[:8]:
+            result = runner.run_case(case)
+            request = cloud.get_request(result.request_id)
+            fulfills, interrupts, _ = runner._poll(result.request_id,
+                                                   request.created_at)
+            true_fulfills = [t for t in request.fulfillment_times()
+                             if t <= request.created_at + runner.horizon]
+            # polling can miss a cycle shorter than one poll interval, but
+            # never invents one; what it sees aligns within one step
+            assert len(fulfills) <= len(true_fulfills)
+            assert bool(fulfills) == bool(true_fulfills)
+            if fulfills:
+                assert any(0 <= fulfills[0] - t <= 5.0 for t in true_fulfills)
+            true_interrupts = [t for t in request.interruption_times()
+                               if t <= request.created_at + runner.horizon]
+            assert len(interrupts) <= len(true_interrupts)

@@ -1,0 +1,55 @@
+"""Tests for experiment case sampling."""
+
+from collections import Counter
+
+from repro.experiments import sample_cases
+from repro.experiments.sampler import prefer_cheap
+
+
+class TestSampleCases:
+    def test_balanced_strata(self, cloud):
+        t = cloud.clock.start + 35 * 86400.0
+        cases = sample_cases(cloud, t, per_combo=30)
+        counts = Counter(c.combo for c in cases)
+        assert all(n <= 30 for n in counts.values())
+        assert counts["H-H"] == 30  # abundant combos hit the target
+
+    def test_default_target_is_scarcest(self, cloud):
+        t = cloud.clock.start + 35 * 86400.0
+        cases = sample_cases(cloud, t, max_pools=6000)
+        counts = Counter(c.combo for c in cases)
+        if len(counts) > 1:
+            assert max(counts.values()) <= min(counts.values()) * 2
+
+    def test_deterministic(self, cloud):
+        t = cloud.clock.start + 35 * 86400.0
+        a = sample_cases(cloud, t, per_combo=10, seed=4)
+        b = sample_cases(cloud, t, per_combo=10, seed=4)
+        assert a == b
+
+    def test_spread_over_types(self, cloud):
+        """The sampler round-robins over instance types, so a stratum draws
+        from many distinct types rather than a popular few."""
+        t = cloud.clock.start + 35 * 86400.0
+        cases = sample_cases(cloud, t, per_combo=40)
+        from repro.experiments import scan_candidates
+        candidates = scan_candidates(cloud, t)
+        for combo in ("H-H", "H-L"):
+            picked_types = {c.instance_type for c in cases if c.combo == combo}
+            available_types = {c.instance_type for c in candidates
+                               if c.combo == combo}
+            assert len(picked_types) >= min(len(available_types), 30)
+
+    def test_empty_scan(self, cloud):
+        assert sample_cases(cloud, cloud.clock.start, max_pools=0) == []
+
+
+class TestPreferCheap:
+    def test_small_sizes_first(self, cloud):
+        from repro.experiments import scan_candidates
+        t = cloud.clock.start + 35 * 86400.0
+        candidates = scan_candidates(cloud, t, max_pools=3000)
+        ordered = prefer_cheap(cloud.catalog, candidates)
+        ranks = [cloud.catalog.instance_type(c.instance_type).size_rank
+                 for c in ordered]
+        assert ranks == sorted(ranks)

@@ -1,0 +1,107 @@
+"""Cross-module property-based tests on system invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import SimulatedCloud
+from repro.cloudsim import ALLOWED_TRANSITIONS, RequestState
+from repro.core import SpotLakeArchive
+from repro.timeseries import Record, Table
+
+#: One shared world for the property tests (hypothesis re-runs are cheap
+#: against the lazily evaluated market).
+_CLOUD = SimulatedCloud(seed=0)
+_POOLS = _CLOUD.catalog.all_pools()
+
+pool_strategy = st.integers(min_value=0, max_value=len(_POOLS) - 1)
+day_strategy = st.floats(min_value=0.0, max_value=181.0)
+
+
+class TestMarketInvariants:
+    @given(pool_strategy, day_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_headroom_always_in_unit_interval(self, pool_index, day):
+        itype, region, zone = _POOLS[pool_index]
+        t = _CLOUD.clock.start + day * 86400.0
+        assert 0.0 <= _CLOUD.market.headroom(itype, region, zone, t) <= 1.0
+
+    @given(pool_strategy, day_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_score_consistent_with_headroom(self, pool_index, day):
+        """The published score is exactly the quantized effective headroom."""
+        from repro.cloudsim.placement import THRESHOLD_2, THRESHOLD_3
+        itype, region, zone = _POOLS[pool_index]
+        t = _CLOUD.clock.start + day * 86400.0
+        h = _CLOUD.placement.effective_headroom(itype, region, zone, t)
+        score = _CLOUD.placement.zone_score(itype, region, zone, t)
+        if h >= THRESHOLD_3:
+            assert score == 3
+        elif h >= THRESHOLD_2:
+            assert score == 2
+        else:
+            assert score == 1
+
+    @given(pool_strategy, day_strategy,
+           st.integers(min_value=1, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_never_raises_score(self, pool_index, day, capacity):
+        itype, region, zone = _POOLS[pool_index]
+        t = _CLOUD.clock.start + day * 86400.0
+        single = _CLOUD.placement.zone_score(itype, region, zone, t, 1)
+        many = _CLOUD.placement.zone_score(itype, region, zone, t, capacity)
+        assert many <= single
+
+    @given(pool_strategy, day_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_price_below_on_demand(self, pool_index, day):
+        itype, region, zone = _POOLS[pool_index]
+        t = _CLOUD.clock.start + day * 86400.0
+        price = _CLOUD.pricing.spot_price(itype, region, t, zone)
+        assert 0 < price < _CLOUD.catalog.instance_type(itype).on_demand_price
+
+
+class TestLifecycleInvariants:
+    @given(pool_strategy, day_strategy)
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    def test_every_timeline_is_legal(self, pool_index, day):
+        itype, region, zone = _POOLS[pool_index]
+        t = _CLOUD.clock.start + day * 86400.0
+        request = _CLOUD.request_simulator.submit(
+            itype, region, zone, bid_price=1.0, created_at=t,
+            persistent=True)
+        previous = RequestState.PENDING_EVALUATION
+        for event in request.events:
+            assert event.state in ALLOWED_TRANSITIONS[previous]
+            assert event.timestamp >= request.created_at
+            previous = event.state
+        times = [e.timestamp for e in request.events]
+        assert times == sorted(times)
+
+
+class TestArchiveInvariants:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=1000),
+                              st.integers(min_value=1, max_value=3)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_archive_point_reads_match_last_write(self, writes):
+        """Whatever order of (time, value) observations is archived, the
+        point-read at any write instant returns the latest value written
+        at or before it."""
+        archive = SpotLakeArchive()
+        writes = sorted(writes, key=lambda wv: wv[0])
+        for t, v in writes:
+            archive.put_sps("a.large", "r1", "r1a", v, float(t))
+        for t, _ in writes:
+            expected = [v for (wt, v) in writes if wt <= t][-1]
+            assert archive.sps_at("a.large", "r1", "r1a", float(t)) == expected
+
+    @given(st.lists(st.integers(min_value=1, max_value=3), min_size=1,
+                    max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_dedup_never_loses_information(self, values):
+        table = Table("t")
+        for t, v in enumerate(values):
+            table.write(Record.make({"k": "x"}, "m", v, float(t)))
+        for t, v in enumerate(values):
+            assert table.value_at("m", {"k": "x"}, float(t)) == v

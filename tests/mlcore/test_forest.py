@@ -1,0 +1,63 @@
+"""Tests for the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore import RandomForestClassifier, accuracy
+
+
+def noisy_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = ((X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+         + (X[:, 2] > 1).astype(int))
+    return X, y
+
+
+class TestFit:
+    def test_learns_signal(self):
+        X, y = noisy_data()
+        forest = RandomForestClassifier(n_estimators=30, random_state=0)
+        forest.fit(X[:200], y[:200])
+        assert accuracy(y[200:], forest.predict(X[200:])) > 0.80
+
+    def test_deterministic_given_seed(self):
+        X, y = noisy_data()
+        a = RandomForestClassifier(n_estimators=10, random_state=5).fit(X, y)
+        b = RandomForestClassifier(n_estimators=10, random_state=5).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_proba_shape_and_simplex(self):
+        X, y = noisy_data(100)
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X[:10])
+        assert proba.shape == (10, int(y.max()) + 1)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_handles_class_missing_from_bootstrap(self):
+        """A rare class can vanish from a bootstrap draw without breaking
+        probability alignment."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 2))
+        y = np.zeros(50, dtype=int)
+        y[:2] = 2  # rare top class
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape[1] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = noisy_data(150)
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        importances = forest.feature_importances()
+        assert importances.shape == (4,)
+        assert abs(importances.sum() - 1.0) < 1e-9
+        # the dominant signal feature should matter most or near-most
+        assert importances[0] >= np.sort(importances)[-2]

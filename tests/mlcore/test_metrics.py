@@ -1,0 +1,89 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mlcore import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    macro_f1,
+    precision_recall_f1,
+)
+
+labels = st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                  max_size=50)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_partial(self):
+        assert accuracy([0, 1, 2, 2], [0, 1, 0, 0]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0])
+
+    @given(labels)
+    def test_self_accuracy_is_one(self, y):
+        assert accuracy(y, y) == 1.0
+
+
+class TestConfusionMatrix:
+    def test_known_case(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert cm.tolist() == [[1, 1], [0, 2]]
+
+    def test_explicit_class_count(self):
+        cm = confusion_matrix([0], [0], n_classes=3)
+        assert cm.shape == (3, 3)
+
+    @given(labels)
+    def test_total_preserved(self, y):
+        cm = confusion_matrix(y, list(reversed(y)))
+        assert cm.sum() == len(y)
+
+
+class TestPrecisionRecallF1:
+    def test_known_case(self):
+        stats = precision_recall_f1([0, 0, 1, 1], [0, 1, 1, 1])
+        assert stats["precision"][1] == pytest.approx(2 / 3)
+        assert stats["recall"][0] == pytest.approx(0.5)
+
+    def test_zero_division_is_zero(self):
+        stats = precision_recall_f1([0, 0], [1, 1], n_classes=2)
+        assert stats["precision"][0] == 0.0
+        assert stats["f1"][0] == 0.0
+
+    @given(labels)
+    def test_f1_bounded(self, y):
+        stats = precision_recall_f1(y, y[::-1])
+        assert np.all(stats["f1"] >= 0.0) and np.all(stats["f1"] <= 1.0)
+
+    @given(labels)
+    def test_perfect_prediction_f1_one_for_present_classes(self, y):
+        stats = precision_recall_f1(y, y)
+        present = np.unique(y)
+        assert np.all(stats["f1"][present] == 1.0)
+
+
+class TestMacroF1:
+    def test_macro_average(self):
+        value = macro_f1([0, 0, 1, 1], [0, 1, 1, 1])
+        per_class = precision_recall_f1([0, 0, 1, 1], [0, 1, 1, 1])["f1"]
+        assert value == pytest.approx(per_class.mean())
+
+
+class TestReport:
+    def test_human_readable(self):
+        report = classification_report([0, 1, 1], [0, 1, 0],
+                                       class_names=["cat", "dog"])
+        assert "cat" in report and "dog" in report
+        assert "accuracy" in report

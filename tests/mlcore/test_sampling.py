@@ -1,0 +1,89 @@
+"""Tests for stratified under-sampling and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore import stratified_undersample, train_test_split
+
+
+class TestStratifiedUndersample:
+    def test_balances_to_smallest(self):
+        items = [("a", i) for i in range(20)] + [("b", i) for i in range(5)]
+        sampled = stratified_undersample(items, stratum_of=lambda x: x[0],
+                                         seed=0)
+        counts = {"a": 0, "b": 0}
+        for label, _ in sampled:
+            counts[label] += 1
+        assert counts == {"a": 5, "b": 5}
+
+    def test_explicit_target(self):
+        items = [("a", i) for i in range(20)] + [("b", i) for i in range(10)]
+        sampled = stratified_undersample(items, stratum_of=lambda x: x[0],
+                                         per_stratum=3, seed=0)
+        assert len(sampled) == 6
+
+    def test_small_strata_kept_whole(self):
+        items = [("a", i) for i in range(2)] + [("b", i) for i in range(10)]
+        sampled = stratified_undersample(items, stratum_of=lambda x: x[0],
+                                         per_stratum=5, seed=0)
+        labels = [x[0] for x in sampled]
+        assert labels.count("a") == 2
+        assert labels.count("b") == 5
+
+    def test_spread_over_secondary_label(self):
+        """The spread function round-robins so no secondary value hogs the
+        sample (the paper's uniform type/zone distribution)."""
+        items = [("s", f"type{i % 4}", i) for i in range(40)]
+        sampled = stratified_undersample(
+            items, stratum_of=lambda x: x[0],
+            spread_of=lambda x: x[1], per_stratum=8, seed=0)
+        spread_counts = {}
+        for _, t, _ in sampled:
+            spread_counts[t] = spread_counts.get(t, 0) + 1
+        assert set(spread_counts.values()) == {2}  # 8 picks over 4 types
+
+    def test_empty(self):
+        assert stratified_undersample([], stratum_of=lambda x: x) == []
+
+    def test_deterministic(self):
+        items = [("a", i) for i in range(30)]
+        a = stratified_undersample(items, stratum_of=lambda x: x[0],
+                                   per_stratum=5, seed=3)
+        b = stratified_undersample(items, stratum_of=lambda x: x[0],
+                                   per_stratum=5, seed=3)
+        assert a == b
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.array([0, 1] * 10)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.3, seed=0)
+        assert len(Xtr) + len(Xte) == 20
+        assert len(Xte) == 6  # 30% of each class
+
+    def test_stratification_preserves_classes(self):
+        y = np.array([0] * 30 + [1] * 10)
+        X = np.zeros((40, 1))
+        _, _, ytr, yte = train_test_split(X, y, 0.25, seed=1)
+        assert set(np.unique(yte)) == {0, 1}
+
+    def test_no_overlap(self):
+        X = np.arange(30).reshape(30, 1)
+        y = np.zeros(30, dtype=int)
+        Xtr, Xte, _, _ = train_test_split(X, y, 0.4, seed=2)
+        assert not set(Xtr[:, 0]) & set(Xte[:, 0])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), 1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(3), 0.3)
+
+    def test_unstratified_mode(self):
+        X = np.arange(20).reshape(20, 1)
+        y = np.zeros(20, dtype=int)
+        _, Xte, _, _ = train_test_split(X, y, 0.25, seed=0, stratify=False)
+        assert len(Xte) == 5

@@ -1,0 +1,89 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore import DecisionTreeClassifier
+
+
+def xor_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestFit:
+    def test_perfectly_separable(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert list(tree.predict(X)) == [0, 0, 1, 1]
+
+    def test_xor_needs_depth_two(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.depth() >= 2
+        assert np.mean(tree.predict(X) == y) > 0.95
+
+    def test_max_depth_respected(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert tree.depth() <= 1
+
+    def test_min_samples_split(self):
+        X, y = xor_data(50)
+        shallow = DecisionTreeClassifier(min_samples_split=40).fit(X, y)
+        deep = DecisionTreeClassifier().fit(X, y)
+        assert shallow.depth() <= deep.depth()
+
+    def test_pure_node_stops(self):
+        X = np.zeros((10, 1))
+        y = np.zeros(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+
+    def test_constant_feature_is_leaf(self):
+        X = np.ones((6, 1))
+        y = np.array([0, 1, 0, 1, 0, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0  # no valid split on a constant column
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((2, 1)), np.array([-1, 0]))
+
+    def test_one_dim_x_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5))
+
+    def test_bad_min_samples(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+
+class TestProba:
+    def test_rows_sum_to_one(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        proba = tree.predict_proba(X[:20])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_max_features_subsampling(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_features=1, random_state=0).fit(X, y)
+        assert tree.depth() >= 1

@@ -1,0 +1,132 @@
+"""Tests for the Section-7 multi-vendor layer."""
+
+import numpy as np
+import pytest
+
+from repro.cloudsim import SimulatedCloud
+from repro.multicloud import (
+    Access,
+    AwsAdapter,
+    AzureAdapter,
+    GcpAdapter,
+    HardwareProfile,
+    MultiCloudArchive,
+    availability_timelines,
+    cheapest_by_vendor,
+    cross_vendor_savings,
+)
+
+T0 = 1640995200.0 + 10 * 86400.0
+
+
+@pytest.fixture(scope="module")
+def vendors(cloud):
+    return [AwsAdapter(cloud), AzureAdapter(), GcpAdapter()]
+
+
+@pytest.fixture(scope="module")
+def archive(vendors):
+    archive = MultiCloudArchive(vendors)
+    for day in (0, 1, 2):
+        archive.collect(T0 + day * 86400.0, max_offerings_per_vendor=200)
+    return archive
+
+
+class TestAccessSurfaces:
+    def test_paper_access_table(self, vendors):
+        """Section 7's vendor-by-dataset access matrix."""
+        by_name = {v.name: v for v in vendors}
+        assert by_name["aws"].access.price is Access.API
+        assert by_name["aws"].access.availability is Access.API
+        assert by_name["aws"].access.interruption is Access.WEB
+        assert by_name["azure"].access.price is Access.API
+        assert by_name["azure"].access.availability is Access.WEB
+        assert by_name["gcp"].access.price is Access.WEB
+        assert by_name["gcp"].access.availability is Access.NONE
+        assert by_name["gcp"].access.interruption is Access.NONE
+
+    def test_gcp_publishes_price_only(self, vendors):
+        gcp = next(v for v in vendors if v.name == "gcp")
+        offering = gcp.offerings()[0]
+        assert gcp.spot_price(offering.instance_type, offering.region, T0) > 0
+        assert gcp.availability_score(offering.instance_type,
+                                      offering.region, T0) is None
+        assert gcp.interruption_ratio(offering.instance_type,
+                                      offering.region, T0) is None
+
+    def test_azure_availability_from_eviction(self, vendors):
+        azure = next(v for v in vendors if v.name == "azure")
+        offering = azure.offerings()[0]
+        score = azure.availability_score(offering.instance_type,
+                                         offering.region, T0)
+        assert score in (1, 2, 3)
+
+
+class TestOfferings:
+    def test_vendor_specific_naming(self, vendors):
+        names = {v.name: {o.instance_type for o in v.offerings()}
+                 for v in vendors}
+        assert any(n.startswith("Standard_") for n in names["azure"])
+        assert any(n.startswith("e2-") or n.startswith("n2-")
+                   for n in names["gcp"])
+        assert not names["aws"] & names["azure"]
+
+    def test_hardware_profiles_attached(self, vendors):
+        for vendor in vendors:
+            offering = vendor.offerings()[0]
+            assert offering.hardware.vcpus > 0
+            assert offering.hardware.memory_gib > 0
+
+
+class TestCollection:
+    def test_missing_datasets_reported(self, archive):
+        report = archive.collect(T0 + 3 * 86400.0,
+                                 max_offerings_per_vendor=50)
+        assert report.datasets_missing["gcp"] == ["availability",
+                                                  "interruption"]
+        assert report.datasets_missing["aws"] == []
+        assert report.total_records > 0
+
+    def test_vendor_dimension_separates_series(self, archive):
+        assert archive.vendors_with_dataset("price") == ["aws", "azure", "gcp"]
+        assert archive.vendors_with_dataset("availability") == ["aws", "azure"]
+        assert archive.vendors_with_dataset("interruption") == ["aws", "azure"]
+
+    def test_duplicate_vendor_rejected(self, vendors):
+        with pytest.raises(ValueError):
+            MultiCloudArchive([vendors[0], vendors[0]])
+
+    def test_price_readback(self, archive, vendors):
+        gcp = next(v for v in vendors if v.name == "gcp")
+        offering = gcp.offerings()[0]
+        archived = archive.price_at("gcp", offering.instance_type,
+                                    offering.region, T0 + 3 * 86400.0)
+        assert archived is not None
+        assert archived > 0
+
+
+class TestCrossVendorAnalysis:
+    def test_hardware_matched_quotes(self, archive):
+        quotes = cheapest_by_vendor(archive, HardwareProfile(8, 32.0), T0)
+        assert len(quotes) >= 2  # general 8-vcpu boxes exist everywhere
+        prices = [q.price for q in quotes]
+        assert prices == sorted(prices)
+        assert len({q.vendor for q in quotes}) == len(quotes)
+
+    def test_cross_vendor_savings(self, archive):
+        quotes = cheapest_by_vendor(archive, HardwareProfile(8, 32.0), T0)
+        savings = cross_vendor_savings(quotes)
+        assert savings is not None
+        assert 0.0 <= savings < 1.0
+
+    def test_savings_undefined_for_single_quote(self):
+        assert cross_vendor_savings([]) is None
+
+    def test_availability_timelines_skip_gcp(self, archive):
+        timelines = availability_timelines(
+            archive, [T0, T0 + 86400.0, T0 + 2 * 86400.0])
+        assert "gcp" not in timelines
+        assert {"aws", "azure"} <= set(timelines)
+        for series in timelines.values():
+            good = series[~np.isnan(series)]
+            assert np.all((good >= 1.0) & (good <= 3.0))

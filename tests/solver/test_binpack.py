@@ -1,0 +1,115 @@
+"""Tests for the bin-packing solvers, including optimality properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import (
+    InfeasibleError,
+    best_fit_decreasing,
+    branch_and_bound,
+    first_fit_decreasing,
+    is_valid_packing,
+    lower_bound_l1,
+    lower_bound_l2,
+    pack,
+)
+
+weights_strategy = st.lists(st.integers(min_value=1, max_value=10),
+                            min_size=0, max_size=16)
+
+
+class TestValidation:
+    def test_oversized_item_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            first_fit_decreasing([11], 10)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            first_fit_decreasing([0], 10)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            first_fit_decreasing([1], 0)
+
+
+class TestLowerBounds:
+    def test_l1(self):
+        assert lower_bound_l1([5, 5, 5], 10) == 2
+        assert lower_bound_l1([], 10) == 0
+
+    def test_l2_at_least_l1(self):
+        weights = [6, 6, 6, 2, 2, 2]
+        assert lower_bound_l2(weights, 10) >= lower_bound_l1(weights, 10)
+
+    def test_l2_big_items(self):
+        # three items > capacity/2 can never share bins
+        assert lower_bound_l2([6, 6, 6], 10) == 3
+
+
+class TestHeuristics:
+    def test_ffd_known_case(self):
+        bins = first_fit_decreasing([6, 4, 4, 3, 3], 10)
+        assert is_valid_packing(bins, [6, 4, 4, 3, 3], 10)
+        assert len(bins) == 2
+
+    def test_bfd_known_case(self):
+        bins = best_fit_decreasing([7, 5, 5, 3], 10)
+        assert is_valid_packing(bins, [7, 5, 5, 3], 10)
+        assert len(bins) == 2
+
+    def test_empty(self):
+        assert first_fit_decreasing([], 10) == []
+        assert branch_and_bound([], 10).bins == []
+
+
+class TestExact:
+    def test_beats_or_ties_ffd_on_hard_case(self):
+        # FFD is suboptimal here: optimal is 3 bins
+        weights = [4, 4, 4, 4, 4, 4, 3, 3, 3, 3, 3, 3]
+        result = branch_and_bound(weights, 12)
+        assert is_valid_packing(result.bins, weights, 12)
+        assert len(result.bins) <= len(first_fit_decreasing(weights, 12))
+        if result.optimal:
+            assert len(result.bins) >= result.lower_bound
+
+    def test_reports_node_count(self):
+        result = branch_and_bound([5, 5, 5, 5], 10)
+        assert result.nodes_explored > 0
+
+    def test_budget_falls_back_gracefully(self):
+        weights = [3, 4, 5, 6, 7] * 4
+        result = branch_and_bound(weights, 10, node_budget=10)
+        assert is_valid_packing(result.bins, weights, 10)
+
+
+class TestPack:
+    def test_exact_default(self):
+        bins = pack([5, 5, 5, 5], 10)
+        assert len(bins) == 2
+
+    def test_heuristic_mode(self):
+        bins = pack([5, 5, 5, 5], 10, exact=False)
+        assert is_valid_packing(bins, [5, 5, 5, 5], 10)
+
+
+class TestProperties:
+    @given(weights_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_exact_packing_valid_and_bounded(self, weights):
+        result = branch_and_bound(weights, 10)
+        assert is_valid_packing(result.bins, weights, 10)
+        assert len(result.bins) >= lower_bound_l1(weights, 10)
+        assert len(result.bins) <= len(first_fit_decreasing(weights, 10))
+
+    @given(weights_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_exact_optimal_when_claimed(self, weights):
+        result = branch_and_bound(weights, 10)
+        if result.optimal:
+            assert len(result.bins) >= lower_bound_l2(weights, 10)
+
+    @given(weights_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_heuristics_valid(self, weights):
+        for solver in (first_fit_decreasing, best_fit_decreasing):
+            assert is_valid_packing(solver(weights, 10), weights, 10)

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.algorithm == "exact"
+        assert args.seed == 0
+
+
+class TestCommands:
+    def test_plan(self, capsys):
+        assert main(["plan", "--algorithm", "ffd"]) == 0
+        out = capsys.readouterr().out
+        assert "packed queries" in out
+        assert "9299" in out.replace(",", "")
+
+    def test_collect_restricted(self, capsys, tmp_path):
+        code = main(["collect", "--types", "m5.large", "c5.xlarge",
+                     "--rounds", "2", "--output", str(tmp_path / "snap")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "round 0" in out and "round 1" in out
+        assert (tmp_path / "snap" / "sps.jsonl").exists()
+
+    def test_query(self, capsys):
+        assert main(["query", "--type", "m5.large",
+                     "--region", "us-east-1", "--zone", "us-east-1a"]) == 0
+        out = capsys.readouterr().out
+        assert "sps:" in out
+        assert "spot_price:" in out
+
+    def test_query_bad_region(self, capsys):
+        assert main(["query", "--type", "m5.large",
+                     "--region", "us-east-1",
+                     "--zone", ""]) == 0  # zone optional -> region payload
+
+    def test_experiment_small(self, capsys):
+        assert main(["experiment", "--per-combo", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "H-H" in out and "not-fulfilled" in out

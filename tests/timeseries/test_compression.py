@@ -1,0 +1,95 @@
+"""Tests for change-point (dedup) compression."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timeseries import ChangePointSeries
+
+
+class TestAppend:
+    def test_dedups_repeats(self):
+        series = ChangePointSeries()
+        changed = [series.append(t, v) for t, v in
+                   [(0, 3), (10, 3), (20, 3), (30, 2), (40, 2), (50, 3)]]
+        assert changed == [True, False, False, True, False, True]
+        assert len(series) == 3
+        assert series.observation_count == 6
+
+    def test_out_of_order_rejected(self):
+        series = ChangePointSeries()
+        series.append(10, 1)
+        with pytest.raises(ValueError):
+            series.append(5, 2)
+
+    def test_equal_time_allowed(self):
+        series = ChangePointSeries()
+        series.append(10, 1)
+        series.append(10, 2)  # same instant, new value
+        assert series.value_at(10) == 2
+
+
+class TestValueAt:
+    def test_before_first_is_none(self):
+        series = ChangePointSeries()
+        series.append(10, 1)
+        assert series.value_at(9.99) is None
+
+    def test_step_semantics(self):
+        series = ChangePointSeries()
+        series.append(0, "a")
+        series.append(10, "b")
+        assert series.value_at(0) == "a"
+        assert series.value_at(9.99) == "a"
+        assert series.value_at(10) == "b"
+        assert series.value_at(1e9) == "b"
+
+
+class TestDerived:
+    def test_update_intervals(self):
+        series = ChangePointSeries()
+        for t, v in [(0, 1), (5, 2), (20, 3)]:
+            series.append(t, v)
+        assert series.update_intervals() == [5, 15]
+
+    def test_change_points_range(self):
+        series = ChangePointSeries()
+        for t, v in [(0, 1), (5, 2), (20, 3)]:
+            series.append(t, v)
+        assert series.change_points(4, 20) == [(5, 2), (20, 3)]
+
+    def test_resample(self):
+        series = ChangePointSeries()
+        series.append(0, 1)
+        series.append(10, 2)
+        assert series.resample([-1, 0, 5, 15]) == [None, 1, 1, 2]
+
+    def test_compression_ratio(self):
+        series = ChangePointSeries()
+        for t in range(10):
+            series.append(t, 7)
+        assert series.compression_ratio() == 0.1
+
+    def test_empty_ratio(self):
+        assert ChangePointSeries().compression_ratio() == 1.0
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                    max_size=60))
+    def test_reconstruction_is_lossless_at_observation_times(self, values):
+        """Compressing then resampling at the observation instants returns
+        exactly the observed values."""
+        series = ChangePointSeries()
+        times = list(range(len(values)))
+        for t, v in zip(times, values):
+            series.append(float(t), v)
+        assert series.resample([float(t) for t in times]) == values
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=2,
+                    max_size=60))
+    def test_stored_points_never_adjacent_equal(self, values):
+        series = ChangePointSeries()
+        for t, v in enumerate(values):
+            series.append(float(t), v)
+        stored = series.values
+        assert all(a != b for a, b in zip(stored, stored[1:]))

@@ -1,0 +1,87 @@
+"""Tests for the query layer (resampling, aggregation, update intervals)."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import (
+    QuerySpec,
+    Record,
+    Table,
+    group_aggregate,
+    resample_matrix,
+    run_query,
+    update_intervals,
+)
+
+
+@pytest.fixture()
+def table():
+    t = Table("sps")
+    for itype, steps in (("m5.large", [(0, 3), (10, 2)]),
+                         ("c5.large", [(0, 1), (30, 3)])):
+        for time, value in steps:
+            t.write(Record.make({"it": itype}, "sps", value, time))
+    return t
+
+
+class TestQuerySpec:
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            QuerySpec(start=10, end=0)
+
+    def test_run_query_filters(self, table):
+        records = run_query(table, QuerySpec(measure_name="sps",
+                                             filters={"it": "m5.large"}))
+        assert len(records) == 2
+        assert all(r.dimension_dict["it"] == "m5.large" for r in records)
+
+    def test_run_query_range(self, table):
+        records = run_query(table, QuerySpec(measure_name="sps", start=5, end=20))
+        assert [r.value for r in records] == [2]
+
+
+class TestResample:
+    def test_matrix_shape_and_values(self, table):
+        keys, matrix = resample_matrix(table, "sps", [0, 15, 40])
+        assert matrix.shape == (2, 3)
+        by_type = {k.dimension_dict["it"]: matrix[i]
+                   for i, k in enumerate(keys)}
+        assert list(by_type["m5.large"]) == [3, 2, 2]
+        assert list(by_type["c5.large"]) == [1, 1, 3]
+
+    def test_nan_before_first_observation(self, table):
+        _, matrix = resample_matrix(table, "sps", [-5, 0])
+        assert np.all(np.isnan(matrix[:, 0]))
+        assert not np.any(np.isnan(matrix[:, 1]))
+
+    def test_string_series_rejected(self):
+        t = Table("labels")
+        t.write(Record.make({"it": "x"}, "label", "hello", 0))
+        with pytest.raises(TypeError):
+            resample_matrix(t, "label", [0])
+
+
+class TestUpdateIntervals:
+    def test_pooled(self, table):
+        intervals = update_intervals(table, "sps")
+        assert sorted(intervals) == [10, 30]
+
+    def test_filtered(self, table):
+        assert update_intervals(table, "sps", {"it": "c5.large"}) == [30]
+
+
+class TestGroupAggregate:
+    def test_grouping(self, table):
+        groups = group_aggregate(
+            table, "sps",
+            group_fn=lambda k: k.dimension_dict["it"].split(".")[0],
+            sample_times=[0, 15, 40])
+        assert set(groups) == {"m5", "c5"}
+        assert groups["m5"] == pytest.approx(np.mean([3, 2, 2]))
+
+    def test_none_excludes(self, table):
+        groups = group_aggregate(
+            table, "sps",
+            group_fn=lambda k: None,
+            sample_times=[0])
+        assert groups == {}

@@ -1,0 +1,62 @@
+"""Tests for the multi-table store and retention policies."""
+
+import pytest
+
+from repro.timeseries import Record, RetentionPolicy, TimeSeriesStore
+
+
+def rec(value, t):
+    return Record.make({"it": "m5.large"}, "sps", value, t)
+
+
+class TestStore:
+    def test_create_and_get(self):
+        store = TimeSeriesStore()
+        table = store.create_table("sps")
+        assert store.table("sps") is table
+        assert store.table_names() == ["sps"]
+
+    def test_create_idempotent(self):
+        store = TimeSeriesStore()
+        a = store.create_table("sps")
+        b = store.create_table("sps")
+        assert a is b
+
+    def test_missing_table_raises(self):
+        with pytest.raises(KeyError):
+            TimeSeriesStore().table("nope")
+
+    def test_write_batch(self):
+        store = TimeSeriesStore()
+        store.create_table("sps")
+        changes = store.write("sps", [rec(3, 0), rec(3, 10), rec(2, 20)])
+        assert changes == 2
+
+    def test_stats(self):
+        store = TimeSeriesStore()
+        store.create_table("sps")
+        store.write("sps", [rec(3, 0), rec(3, 10)])
+        stats = store.stats()
+        assert stats["sps"]["records_written"] == 2
+        assert stats["sps"]["change_points_stored"] == 1
+        assert stats["sps"]["dedup_ratio"] == 0.5
+
+
+class TestRetention:
+    def test_policy_applied(self):
+        store = TimeSeriesStore()
+        store.create_table("sps", RetentionPolicy(max_age_seconds=100))
+        store.write("sps", [rec(3, 0), rec(2, 50), rec(1, 200)])
+        dropped = store.apply_retention(now=250)
+        assert dropped["sps"] == 1  # only the t=0 point ages out
+
+    def test_no_policy_keeps_everything(self):
+        store = TimeSeriesStore()
+        store.create_table("sps")
+        store.write("sps", [rec(3, 0), rec(2, 50)])
+        assert store.apply_retention(now=1e9) == {}
+
+    def test_policy_cutoff(self):
+        policy = RetentionPolicy(max_age_seconds=60)
+        assert policy.cutoff(100) == 40
+        assert RetentionPolicy().cutoff(100) is None

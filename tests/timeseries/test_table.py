@@ -1,0 +1,91 @@
+"""Tests for the dimensioned time-series table."""
+
+from repro.timeseries import Record, Table
+
+
+def rec(value, t, it="m5.large", region="us-east-1", zone="a",
+        measure="sps"):
+    return Record.make({"it": it, "region": region, "zone": zone},
+                       measure, value, t)
+
+
+class TestWrites:
+    def test_series_created_per_dimension_set(self):
+        table = Table("t")
+        table.write(rec(3, 0))
+        table.write(rec(3, 10, it="c5.large"))
+        assert len(table) == 2
+
+    def test_batch_write_returns_change_count(self):
+        table = Table("t")
+        changes = table.write_records([rec(3, 0), rec(3, 10), rec(2, 20)])
+        assert changes == 2
+
+    def test_stats(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(3, 10), rec(2, 20)])
+        assert table.stats.records_written == 3
+        assert table.stats.change_points_stored == 2
+        assert table.stats.dedup_ratio == 2 / 3
+
+
+class TestReads:
+    def test_value_at(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 20)])
+        dims = {"it": "m5.large", "region": "us-east-1", "zone": "a"}
+        assert table.value_at("sps", dims, 10) == 3
+        assert table.value_at("sps", dims, 25) == 2
+        assert table.value_at("sps", dims, -1) is None
+        assert table.value_at("sps", {"it": "nope"}, 10) is None
+
+    def test_latest(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 20), rec(1, 5, it="c5.large")])
+        latest = table.latest("sps")
+        assert len(latest) == 2
+        by_type = {r.dimension_dict["it"]: r.value for r in latest}
+        assert by_type == {"m5.large": 2, "c5.large": 1}
+
+    def test_latest_with_filters(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(1, 5, it="c5.large")])
+        latest = table.latest("sps", {"it": "c5.large"})
+        assert len(latest) == 1
+
+    def test_scan_time_ordered(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 20), rec(1, 5, it="c5.large")])
+        scanned = table.scan("sps")
+        times = [r.time for r in scanned]
+        assert times == sorted(times)
+
+    def test_scan_with_range(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 20), rec(1, 40)])
+        assert len(table.scan("sps", start=10, end=30)) == 1
+
+    def test_dimension_index_consistency(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(1, 5, region="eu-west-1")])
+        keys = table.series_keys("sps", {"region": "eu-west-1"})
+        assert len(keys) == 1
+        assert keys[0].dimension_dict["region"] == "eu-west-1"
+
+
+class TestRetention:
+    def test_evict_keeps_value_in_force(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 20), rec(1, 40)])
+        dropped = table.evict_before(30)
+        assert dropped == 1  # the t=0 point goes; t=20 remains in force
+        dims = {"it": "m5.large", "region": "us-east-1", "zone": "a"}
+        assert table.value_at("sps", dims, 30) == 2
+        assert table.value_at("sps", dims, 45) == 1
+
+    def test_evict_updates_stats(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 20), rec(1, 40)])
+        before = table.stats.change_points_stored
+        dropped = table.evict_before(50)
+        assert table.stats.change_points_stored == before - dropped
