@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Repository lint entry point: spotlint invariant checks + (when
+# available) a conventional ruff style pass.  Extra arguments are passed
+# through to `repro lint`, e.g. scripts/lint.sh --format json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.cli lint src/repro "$@"
+
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests
+else
+    echo "ruff not installed; style pass skipped (spotlint ran)"
+fi

@@ -59,6 +59,8 @@ def capacity_sweep(cloud: SimulatedCloud, timestamp: float,
     type (or evaluated in the single given region).
     """
     catalog = cloud.catalog
+    # spotlint: disable=QUO001 -- Fig-7 analysis probe of the deterministic
+    # engine, not the collection path; the paper ran these as ad-hoc queries
     placement = cloud.placement
     if instance_types is None:
         instance_types = [t for t in

@@ -68,6 +68,8 @@ def composite_query_study(cloud: SimulatedCloud, timestamp: float,
     """
     rng = np.random.default_rng(seed)
     catalog = cloud.catalog
+    # spotlint: disable=QUO001 -- Fig-6 analysis probe of the deterministic
+    # engine, not the collection path; the paper ran these as ad-hoc queries
     placement = cloud.placement
     names = catalog.instance_type_names
     regions = [r.code for r in catalog.regions]

@@ -1,71 +1,30 @@
 """Score conversions used throughout the paper's analysis (Section 5).
 
-The advisor's categorical interruption frequency is converted to the
-*interruption-free score*: the lowest interruption bucket maps to 3.0 and
-the highest to 1.0, with the three middle buckets at 2.5, 2.0, 1.5 -- the
-same 1.0..3.0 range as the empirically observed single-type spot placement
-score, so the two datasets can be compared directly.
+The implementations live in :mod:`repro.scoring` at the package root --
+the lifecycle engine in ``cloudsim`` needs the same mapping, and importing
+it from here violated the package layering (``cloudsim`` -> ``analysis``).
+This module re-exports the names so the analysis layer keeps its natural
+import path.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from ..scoring import (  # noqa: F401
+    BUCKET_TO_SCORE,
+    IF_SCORE_VALUES,
+    SPS_VALUES,
+    categorize,
+    interruption_free_score,
+    mean_score,
+    score_from_bucket,
+)
 
-#: Interruption-free score per advisor bucket index (0 = "<5%" ... 4 = ">20%").
-BUCKET_TO_SCORE = (3.0, 2.5, 2.0, 1.5, 1.0)
-
-#: All interruption-free score values, descending.
-IF_SCORE_VALUES = (3.0, 2.5, 2.0, 1.5, 1.0)
-
-#: All single-type spot placement score values, descending.
-SPS_VALUES = (3, 2, 1)
-
-#: Advisor bucket upper bounds (exclusive), mirroring cloudsim.advisor.
-_BUCKET_UPPER = (0.05, 0.10, 0.15, 0.20, float("inf"))
-
-
-def interruption_free_score(ratio: float) -> float:
-    """Interruption-free score for a raw trailing-month interruption ratio.
-
-    >>> interruption_free_score(0.01)
-    3.0
-    >>> interruption_free_score(0.30)
-    1.0
-    """
-    if ratio < 0:
-        raise ValueError("interruption ratio cannot be negative")
-    for idx, upper in enumerate(_BUCKET_UPPER):
-        if ratio < upper:
-            return BUCKET_TO_SCORE[idx]
-    return BUCKET_TO_SCORE[-1]
-
-
-def score_from_bucket(bucket_index: int) -> float:
-    """Interruption-free score for an advisor bucket index (0..4)."""
-    if not 0 <= bucket_index < len(BUCKET_TO_SCORE):
-        raise ValueError(f"bucket index out of range: {bucket_index}")
-    return BUCKET_TO_SCORE[bucket_index]
-
-
-def categorize(score: float) -> str:
-    """Categorize a score into High / Medium / Low (paper Section 5.4).
-
-    The experiment design uses exactly 3.0 -> High, 2.0 -> Medium,
-    1.0 -> Low; intermediate interruption-free values (2.5, 1.5) fall into
-    the nearest-lower experiment category and are excluded by the paper's
-    sampler, which we mirror by returning an empty string for them.
-    """
-    if score == 3.0:
-        return "H"
-    if score == 2.0:
-        return "M"
-    if score == 1.0:
-        return "L"
-    return ""
-
-
-def mean_score(values: Sequence[float]) -> float:
-    """Plain mean used by the heatmap aggregations (empty -> nan)."""
-    if not values:
-        return float("nan")
-    return sum(values) / len(values)
+__all__ = [
+    "BUCKET_TO_SCORE",
+    "IF_SCORE_VALUES",
+    "SPS_VALUES",
+    "categorize",
+    "interruption_free_score",
+    "mean_score",
+    "score_from_bucket",
+]

@@ -62,6 +62,8 @@ class BatchJobSimulator:
     def run(self, job: JobSpec, pool: Pool, start_time: float) -> JobResult:
         """Execute one job on one pool starting at ``start_time``."""
         itype, region, zone = pool
+        # spotlint: disable=QUO001 -- billing probe: the job simulator reads
+        # the market price a customer is charged, not a SpotLake collection
         price = self.cloud.pricing.spot_price(itype, region, start_time, zone)
         request = self.cloud.request_simulator.submit(
             itype, region, zone,

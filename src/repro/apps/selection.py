@@ -56,9 +56,12 @@ def snapshot_pools(cloud: SimulatedCloud, pools: Sequence[Pool],
     times = np.linspace(timestamp - history_days * 86400.0, timestamp,
                         history_samples)
     for itype, region, zone in pools:
+        # spotlint: disable=QUO001 -- user-side decision probe: a customer
+        # reads current price/SPS/advisor from the console, outside
+        # SpotLake's collection accounts (next two lines likewise)
         price = cloud.pricing.spot_price(itype, region, timestamp, zone)
-        sps = cloud.placement.zone_score(itype, region, zone, timestamp)
-        ratio = cloud.advisor.interruption_ratio(itype, region, timestamp)
+        sps = cloud.placement.zone_score(itype, region, zone, timestamp)  # spotlint: disable=QUO001
+        ratio = cloud.advisor.interruption_ratio(itype, region, timestamp)  # spotlint: disable=QUO001
         sps_mean = if_mean = None
         if archive is not None:
             sps_hist = [archive.sps_at(itype, region, zone, t) for t in times]

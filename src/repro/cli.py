@@ -7,6 +7,7 @@ collection rounds, query the archive, and run the availability experiment.
     python -m repro.cli collect --types m5.large p3.2xlarge --rounds 3
     python -m repro.cli query --type m5.large --region us-east-1
     python -m repro.cli experiment --per-combo 40
+    python -m repro.cli lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -84,6 +85,43 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools import (
+        ConfigError,
+        lint_paths,
+        load_config,
+        registered_codes,
+        write_report,
+    )
+    from .devtools.config import find_pyproject
+
+    codes = None
+    if args.rules:
+        codes = [c.strip() for c in args.rules.split(",") if c.strip()]
+        unknown = sorted(set(codes) - set(registered_codes()))
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(unknown)} "
+                  f"(registered: {', '.join(registered_codes())})",
+                  file=sys.stderr)
+            return 2
+
+    paths = args.paths or ["src/repro"]
+    pyproject = args.config or find_pyproject(paths[0])
+    try:
+        config = load_config(pyproject)
+    except (ConfigError, OSError) as exc:
+        print(f"bad spotlint config {pyproject}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = lint_paths(paths, config, codes)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    write_report(result, sys.stdout, fmt=args.format,
+                 show_suppressed=args.show_suppressed)
+    return 0 if result.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SpotLake reproduction CLI")
@@ -117,6 +155,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--day", type=float, default=35.0,
                             help="submission day inside the window")
     experiment.set_defaults(func=_cmd_experiment)
+
+    lint = sub.add_parser(
+        "lint", help="run the spotlint invariant checks")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: src/repro)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule codes (default: all)")
+    lint.add_argument("--config", default=None,
+                      help="pyproject.toml to read [tool.spotlint] from "
+                           "(default: nearest to the linted path)")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also list suppressed findings (text format)")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

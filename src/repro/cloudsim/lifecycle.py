@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._util import stable_rng
+from ..scoring import interruption_free_score
 from .catalog import Catalog, InstanceType
 from .clock import SECONDS_PER_HOUR
 from .errors import UnsupportedOfferingError, ValidationError
@@ -319,7 +320,6 @@ class RequestSimulator:
         )
         request.sps_at_submit = self.placement.zone_score(
             itype, region, availability_zone, created_at)
-        from ..analysis.scores import interruption_free_score  # late: avoid cycle
         ratio = self.advisor.interruption_ratio(itype, region, created_at)
         request.if_score_at_submit = interruption_free_score(ratio)
         self._generate_timeline(request)

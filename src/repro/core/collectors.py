@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.scores import score_from_bucket
 from ..cloudsim import (
     AccountPool,
     AdvisorEntry,
@@ -25,6 +24,7 @@ from ..cloudsim import (
     SimulatedCloud,
     make_query_key,
 )
+from ..scoring import score_from_bucket
 from .archive import SpotLakeArchive
 from .query_planner import QueryPlan, SpsQuery, plan_for_catalog
 
@@ -101,7 +101,6 @@ class SpsCollector:
     def collect(self) -> CollectionReport:
         """Run the full plan once (one collection round)."""
         total = CollectionReport()
-        used_accounts = set()
         for query in self.plan.queries:
             result = self.run_query(query)
             total = total.merge(result)
@@ -124,6 +123,9 @@ class AdvisorCollector:
         now = self.cloud.clock.now()
         report = CollectionReport(queries_issued=1)
         for entry in self.scraper.fetch():
+            # spotlint: disable=QUO001 -- the advisor is web-only (paper
+            # Section 3.1): there is no API surface to route through; the
+            # scraper's snapshot carries buckets, the raw ratio is archived
             ratio = self.cloud.advisor.interruption_ratio(
                 entry.instance_type, entry.region, now)
             self.archive.put_advisor(
@@ -147,6 +149,9 @@ class PriceCollector:
         now = self.cloud.clock.now()
         report = CollectionReport(queries_issued=1)
         for itype, region, zone in self.pools:
+            # spotlint: disable=QUO001 -- the price-history API is not
+            # quota-limited (Section 2.1); the engine's current price equals
+            # the newest describe_spot_price_history point
             price = self.cloud.pricing.spot_price(itype, region, now, zone)
             self.archive.put_price(itype, region, zone, price, now)
             report.records_written += 1

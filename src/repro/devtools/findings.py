@@ -1,0 +1,77 @@
+"""Finding model shared by every spotlint rule and reporter.
+
+A finding is one violation of one invariant at one source location.  The
+model is deliberately flat (no severity ladder): every shipped rule guards
+an invariant whose violation corrupts archived data or breaks reproduction
+determinism, so all findings block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run: active findings plus bookkeeping."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def sort(self) -> None:
+        key = lambda f: (f.path, f.line, f.column, f.rule)  # noqa: E731
+        self.findings.sort(key=key)
+        self.suppressed.sort(key=key)
+        self.parse_errors.sort(key=key)
+
+    def as_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "parse_errors": [f.as_dict() for f in self.parse_errors],
+            "summary": {
+                "finding_count": len(self.findings),
+                "suppressed_count": len(self.suppressed),
+                "clean": self.clean,
+            },
+        }
+
+
+def parse_error_finding(path: str, exc: SyntaxError) -> Finding:
+    """A pseudo-finding for files the AST parser rejects."""
+    return Finding("PARSE", path, exc.lineno or 0, exc.offset or 0,
+                   f"syntax error: {exc.msg}")

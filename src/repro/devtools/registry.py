@@ -1,0 +1,88 @@
+"""Rule base class and registry.
+
+Rules self-register via the :func:`rule` decorator at import time; the
+engine asks the registry for instances.  Keeping registration declarative
+means adding a rule is one file with one decorated class -- the engine,
+CLI and reporters pick it up automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from .config import LintConfig
+from .findings import Finding
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str                 #: path as reported in findings
+    module: str               #: dotted module name ("repro.core.service")
+    package: str              #: first subpackage under repro ("" for top-level)
+    tree: ast.AST             #: parsed module
+    lines: Sequence[str]      #: raw source lines (no trailing newlines)
+    config: LintConfig
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(rule.code, self.path,
+                       getattr(node, "lineno", 0),
+                       getattr(node, "col_offset", 0) + 1,
+                       message)
+
+
+class Rule:
+    """Base class: one invariant, one code."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule patrols ``ctx`` at all (package scoping)."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a rule under its ``code``."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY and _REGISTRY[cls.code] is not cls:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def registered_codes() -> Tuple[str, ...]:
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def make_rules(codes: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instantiate the requested rules (all registered ones by default).
+
+    Unknown codes raise ``KeyError`` -- the CLI turns that into a usage
+    error (exit 2) rather than silently linting with fewer rules.
+    """
+    _ensure_loaded()
+    wanted = sorted(_REGISTRY) if codes is None else list(codes)
+    out = []
+    for code in wanted:
+        if code not in _REGISTRY:
+            raise KeyError(code)
+        out.append(_REGISTRY[code]())
+    return out
+
+
+def _ensure_loaded() -> None:
+    """Import the rule modules so their decorators run."""
+    from . import rules  # noqa: F401  (import side effect registers rules)

@@ -1,0 +1,39 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .findings import LintResult
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """Conventional ``path:line:col CODE message`` lines plus a summary."""
+    lines = []
+    for finding in result.parse_errors:
+        lines.append(f"{finding.location()} {finding.rule} {finding.message}")
+    for finding in result.findings:
+        lines.append(f"{finding.location()} {finding.rule} {finding.message}")
+    if show_suppressed:
+        for finding in result.suppressed:
+            lines.append(f"{finding.location()} {finding.rule} "
+                         f"{finding.message} [suppressed]")
+    status = "clean" if result.clean else \
+        f"{len(result.findings) + len(result.parse_errors)} finding(s)"
+    lines.append(f"spotlint: {status}, {len(result.suppressed)} "
+                 f"suppressed, {result.files_checked} file(s), "
+                 f"rules: {','.join(result.rules_run)}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result.as_dict(), indent=2, sort_keys=True)
+
+
+def write_report(result: LintResult, stream: IO[str], fmt: str = "text",
+                 show_suppressed: bool = False) -> None:
+    if fmt == "json":
+        stream.write(render_json(result) + "\n")
+    else:
+        stream.write(render_text(result, show_suppressed) + "\n")

@@ -1,0 +1,3 @@
+"""spotlint rule modules; importing this package registers every rule."""
+
+from . import clockflow, determinism, layering, quota  # noqa: F401

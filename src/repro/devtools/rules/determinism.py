@@ -1,0 +1,149 @@
+"""Determinism rules DET001-DET003.
+
+DESIGN.md's contract for the simulated substrate is "everything is a
+deterministic function of the catalog seed and the simulation clock".
+These rules catch the three ways that contract silently breaks:
+
+* DET001 -- reading the host wall clock where the sim ``Clock`` is the
+  only legal time source;
+* DET002 -- drawing from unseeded / process-global randomness;
+* DET003 -- letting PYTHONHASHSEED-dependent ordering (set iteration,
+  builtin ``hash`` on str) leak into computed output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import (
+    call_chain,
+    chain_suffix_matches,
+    is_set_expression,
+    is_wall_clock_call,
+)
+from ..findings import Finding
+from ..registry import FileContext, Rule, rule
+
+#: ``random``-module functions that touch the process-global PRNG.  The
+#: suffix match also catches ``numpy.random.<fn>`` module-level calls,
+#: which share the same global-state problem.
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "randbytes", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "lognormvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "triangular", "getrandbits", "seed",
+})
+
+#: Constructors that are fine seeded but nondeterministic bare.
+_SEED_REQUIRED = frozenset({"Random", "default_rng", "SystemRandom"})
+
+
+@rule
+class WallClockRule(Rule):
+    code = "DET001"
+    name = "wall-clock"
+    description = ("host wall-clock read in a simulation package; derive "
+                   "time from the simulation Clock instead")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.package in ctx.config.clocked_packages
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and is_wall_clock_call(node):
+                chain = call_chain(node)
+                yield ctx.finding(
+                    self, node,
+                    f"wall-clock read {'.'.join(chain)}() in package "
+                    f"{ctx.package!r}; every timestamp here must derive "
+                    f"from the simulation Clock (cloudsim.clock)")
+
+
+@rule
+class UnseededRandomnessRule(Rule):
+    code = "DET002"
+    name = "unseeded-randomness"
+    description = ("unseeded or process-global randomness; use "
+                   "repro._util.stable_rng / seeded generators")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_chain(node)
+            if chain is None:
+                continue
+            message = self._diagnose(node, chain)
+            if message:
+                yield ctx.finding(self, node, message)
+
+    def _diagnose(self, node: ast.Call, chain) -> str:
+        dotted = ".".join(chain)
+        if chain_suffix_matches(chain, ("os", "urandom")):
+            return "os.urandom() is nondeterministic; derive bytes from " \
+                   "repro._util.stable_hash"
+        if len(chain) >= 2 and chain[-2] == "uuid" and \
+                chain[-1] in ("uuid1", "uuid4"):
+            return f"{dotted}() is nondeterministic; build ids from the " \
+                   "seed and the sim clock instead"
+        if chain[0] == "secrets":
+            return f"{dotted}() draws from the OS entropy pool; the " \
+                   "reproduction must be seed-deterministic"
+        if chain[-1] in _SEED_REQUIRED and not node.args and not node.keywords:
+            return f"{dotted}() without a seed falls back to OS entropy; " \
+                   "pass an explicit seed (repro._util.stable_hash of the " \
+                   "identifying parts)"
+        if len(chain) >= 2 and chain[-2] == "random" and \
+                chain[-1] in _GLOBAL_RANDOM_FNS:
+            return f"{dotted}() uses the process-global PRNG; use a " \
+                   "seeded Generator (repro._util.stable_rng)"
+        return ""
+
+
+@rule
+class OrderingHazardRule(Rule):
+    code = "DET003"
+    name = "ordering-hazard"
+    description = ("set-iteration order or builtin hash() escaping into "
+                   "output; both depend on PYTHONHASHSEED")
+
+    #: Order-sensitive consumers: feeding a set into these bakes the
+    #: iteration order into a value.  sorted() is the sanctioned fix and
+    #: is deliberately absent.
+    _CONSUMERS = frozenset({"list", "tuple", "enumerate", "join"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and \
+                    is_set_expression(node.iter):
+                yield ctx.finding(
+                    self, node.iter,
+                    "iterating a set: element order depends on "
+                    "PYTHONHASHSEED; iterate sorted(...) instead")
+            elif isinstance(node, ast.comprehension) and \
+                    is_set_expression(node.iter):
+                yield ctx.finding(
+                    self, node.iter,
+                    "comprehension over a set: element order depends on "
+                    "PYTHONHASHSEED; iterate sorted(...) instead")
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        chain = call_chain(node)
+        if chain is None:
+            return
+        if chain == ("hash",):
+            yield ctx.finding(
+                self, node,
+                "builtin hash() is salted per process; use "
+                "repro._util.stable_hash for any value that escapes")
+            return
+        if chain[-1] in self._CONSUMERS:
+            for arg in node.args:
+                if is_set_expression(arg):
+                    yield ctx.finding(
+                        self, arg,
+                        f"set passed to {chain[-1]}(): materialises "
+                        "PYTHONHASHSEED-dependent order; wrap in sorted(...)")

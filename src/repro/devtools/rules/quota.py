@@ -1,0 +1,73 @@
+"""QUO001: the SPS quota-bypass rule.
+
+The paper's central operational constraint (Section 3.1) is the ~50
+unique-placement-queries per account per 24 h budget; SpotLake honors it by
+routing every dataset read through the quota-charging ``Ec2Client`` plus
+account rotation.  Code outside ``cloudsim`` that reaches into the engines
+behind the client (``cloud.placement`` / ``cloud.pricing`` /
+``cloud.advisor`` / ``cloud.market``) gets data the real service could
+never have collected -- the exact silent-bypass failure mode the real
+deployment hit.
+
+Detection heuristic: an attribute chain where an engine attribute is read
+off a cloud-ish base (``cloud`` / ``_cloud`` / ``world``), or a direct
+engine construction outside ``cloudsim``.  Paths that are intentional
+(web-only advisor scraping, the documented bulk-backfill fast path,
+user-side policy probes) carry inline suppressions with their rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_chain
+from ..findings import Finding
+from ..registry import FileContext, Rule, rule
+
+_ENGINE_ATTRS = frozenset({"placement", "pricing", "advisor", "market"})
+_CLOUD_BASES = frozenset({"cloud", "_cloud", "world"})
+_ENGINE_CLASSES = frozenset({
+    "PlacementScoreEngine", "PricingEngine", "AdvisorEngine", "SpotMarket",
+})
+
+
+@rule
+class QuotaBypassRule(Rule):
+    code = "QUO001"
+    name = "quota-bypass"
+    description = ("direct dataset-engine access outside cloudsim; go "
+                   "through the quota-enforcing Ec2Client / account pool")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.package != "cloudsim"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        reported = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                chain = dotted_chain(node)
+                if chain is None:
+                    continue
+                hit = self._engine_access(chain)
+                if hit and (node.lineno, hit) not in reported:
+                    reported.add((node.lineno, hit))
+                    yield ctx.finding(
+                        self, node,
+                        f"direct access to the {hit!r} engine bypasses the "
+                        "quota-enforcing Ec2Client surface; use "
+                        "cloud.client(account) or a sanctioned wrapper")
+            elif isinstance(node, ast.Call):
+                chain = dotted_chain(node.func)
+                if chain and chain[-1] in _ENGINE_CLASSES:
+                    yield ctx.finding(
+                        self, node,
+                        f"constructing {chain[-1]} outside cloudsim; the "
+                        "engines are internals of SimulatedCloud")
+
+    @staticmethod
+    def _engine_access(chain) -> str:
+        for base, attr in zip(chain, chain[1:]):
+            if base in _CLOUD_BASES and attr in _ENGINE_ATTRS:
+                return attr
+        return ""

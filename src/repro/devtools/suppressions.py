@@ -1,0 +1,64 @@
+"""Inline suppression comments.
+
+Two forms, mirroring conventional linters:
+
+* trailing, on the offending line::
+
+      value = hash(name)  # spotlint: disable=DET003 -- reason
+
+* standalone, on a comment line above (for lines that are already long); a
+  standalone directive covers itself, any continuation comment lines, and
+  the first code line that follows::
+
+      # spotlint: disable=QUO001 -- advisor is web-only (Section 3.1)
+      ratio = self.cloud.advisor.interruption_ratio(itype, region, now)
+
+Everything after ``--`` is a free-form justification; spotlint does not
+parse it but reviewers should insist on one.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Sequence
+
+_DIRECTIVE = re.compile(
+    r"#\s*spotlint:\s*disable=([A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*)")
+
+
+def parse_directive(line: str) -> FrozenSet[str]:
+    """Rule codes disabled by a directive on ``line`` (empty when none)."""
+    match = _DIRECTIVE.search(line)
+    if not match:
+        return frozenset()
+    return frozenset(code.strip() for code in match.group(1).split(","))
+
+
+def suppression_map(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Map of 1-based line number -> rule codes suppressed on that line."""
+    out: Dict[int, FrozenSet[str]] = {}
+
+    def add(line_no: int, codes: FrozenSet[str]) -> None:
+        out[line_no] = out.get(line_no, frozenset()) | codes
+
+    for idx, line in enumerate(lines, start=1):
+        codes = parse_directive(line)
+        if not codes:
+            continue
+        add(idx, codes)
+        if line.lstrip().startswith("#"):
+            # standalone directive: cover continuation comment lines and
+            # the first code line after them
+            cursor = idx  # 0-based index of the next line in ``lines``
+            while cursor < len(lines) and \
+                    lines[cursor].lstrip().startswith("#"):
+                add(cursor + 1, codes)
+                cursor += 1
+            if cursor < len(lines):
+                add(cursor + 1, codes)
+    return out
+
+
+def is_suppressed(rule: str, line: int,
+                  suppressions: Dict[int, FrozenSet[str]]) -> bool:
+    return rule in suppressions.get(line, frozenset())

@@ -1,0 +1,110 @@
+"""Config loader: pyproject parsing, defaults, per-package tables."""
+
+import textwrap
+
+import pytest
+
+from repro.devtools import ConfigError, LintConfig, config_from_table, load_config
+from repro.devtools.config import (
+    DEFAULT_CLOCKED_PACKAGES,
+    DEFAULT_LAYERING_DAG,
+    find_pyproject,
+)
+
+
+def write_pyproject(tmp_path, body):
+    path = tmp_path / "pyproject.toml"
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+class TestLoadConfig:
+    def test_missing_file_gives_defaults(self, tmp_path):
+        config = load_config(tmp_path / "nope.toml")
+        assert config.select is None
+        assert config.clocked_packages == DEFAULT_CLOCKED_PACKAGES
+        assert dict(config.layering_dag) == DEFAULT_LAYERING_DAG
+
+    def test_missing_table_gives_defaults(self, tmp_path):
+        path = write_pyproject(tmp_path, """
+            [project]
+            name = "something"
+            """)
+        config = load_config(path)
+        assert config.select is None
+        assert config.rule_enabled("QUO001", "core")
+        # shipped default: multicloud adapters are the vendor surface
+        assert not config.rule_enabled("QUO001", "multicloud")
+
+    def test_full_table(self, tmp_path):
+        path = write_pyproject(tmp_path, """
+            [tool.spotlint]
+            select = ["DET001", "LAY001"]
+
+            [tool.spotlint.det001]
+            packages = ["cloudsim"]
+
+            [tool.spotlint.layering]
+            shared = ["_util"]
+
+            [tool.spotlint.layering.dag]
+            cloudsim = []
+            core = ["cloudsim"]
+
+            [tool.spotlint.per-package]
+            core = { disable = ["DET001"] }
+            """)
+        config = load_config(path)
+        assert config.select == ("DET001", "LAY001")
+        assert config.clocked_packages == ("cloudsim",)
+        assert config.shared_modules == ("_util",)
+        assert dict(config.layering_dag) == {"cloudsim": (),
+                                             "core": ("cloudsim",)}
+        assert config.rule_enabled("DET001", "cloudsim")
+        assert not config.rule_enabled("DET001", "core")
+        assert not config.rule_enabled("QUO001", "anywhere")  # not selected
+
+    def test_malformed_select_raises(self, tmp_path):
+        path = write_pyproject(tmp_path, """
+            [tool.spotlint]
+            select = 5
+            """)
+        with pytest.raises(ConfigError):
+            load_config(path)
+
+    def test_malformed_dag_raises(self):
+        with pytest.raises(ConfigError):
+            config_from_table({"layering": {"dag": {"core": "cloudsim"}}})
+
+    def test_per_package_bare_list_form(self):
+        config = config_from_table(
+            {"per-package": {"apps": ["QUO001", "DET003"]}})
+        assert config.disabled_for_package("apps") == {"QUO001", "DET003"}
+
+
+class TestFindPyproject:
+    def test_walks_up_from_nested_dir(self, tmp_path):
+        path = write_pyproject(tmp_path, "[tool.spotlint]\n")
+        nested = tmp_path / "src" / "repro"
+        nested.mkdir(parents=True)
+        assert find_pyproject(nested) == path
+
+    def test_none_when_absent(self, tmp_path):
+        deep = tmp_path / "a" / "b"
+        deep.mkdir(parents=True)
+        found = find_pyproject(deep)
+        # may discover an unrelated pyproject above tmp_path, but never
+        # one inside the empty tree
+        assert found is None or tmp_path not in found.parents
+
+
+class TestLintConfigApi:
+    def test_rule_enabled_default_everything(self):
+        config = LintConfig()
+        assert config.rule_enabled("DET001", "cloudsim")
+        assert config.rule_enabled("ANYTHING", "core")
+
+    def test_select_narrows_globally(self):
+        config = LintConfig(select=("DET002",))
+        assert config.rule_enabled("DET002", "core")
+        assert not config.rule_enabled("DET001", "core")

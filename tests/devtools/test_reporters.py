@@ -1,0 +1,55 @@
+"""Text and JSON reporters."""
+
+import io
+import json
+
+from repro.devtools import lint_source, make_rules
+from repro.devtools.reporters import render_json, render_text, write_report
+
+DIRTY = "import random\nx = random.random()\n"
+CLEAN = "x = 1\n"
+
+
+def result_for(source):
+    return lint_source(source, package="core", module="repro.core.x",
+                       rules=make_rules(["DET002"]))
+
+
+class TestTextReporter:
+    def test_finding_line_format(self):
+        text = render_text(result_for(DIRTY))
+        assert "<string>:2:5 DET002" in text
+        assert "1 finding(s)" in text
+
+    def test_clean_summary(self):
+        text = render_text(result_for(CLEAN))
+        assert "spotlint: clean" in text
+
+    def test_show_suppressed(self):
+        source = "import random\nx = random.random()  " \
+                 "# spotlint: disable=DET002 -- fixture\n"
+        hidden = render_text(result_for(source))
+        shown = render_text(result_for(source), show_suppressed=True)
+        assert "[suppressed]" not in hidden
+        assert "[suppressed]" in shown
+        assert "1 suppressed" in shown
+
+
+class TestJsonReporter:
+    def test_round_trip_structure(self):
+        payload = json.loads(render_json(result_for(DIRTY)))
+        assert payload["version"] == 1
+        assert payload["summary"]["finding_count"] == 1
+        assert payload["summary"]["clean"] is False
+        finding = payload["findings"][0]
+        assert finding["rule"] == "DET002"
+        assert finding["line"] == 2
+        assert "rules_run" in payload and payload["files_checked"] == 1
+
+    def test_write_report_dispatch(self):
+        result = result_for(CLEAN)
+        text_out, json_out = io.StringIO(), io.StringIO()
+        write_report(result, text_out, fmt="text")
+        write_report(result, json_out, fmt="json")
+        assert "spotlint: clean" in text_out.getvalue()
+        assert json.loads(json_out.getvalue())["summary"]["clean"] is True

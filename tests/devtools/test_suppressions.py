@@ -1,0 +1,80 @@
+"""Inline suppression comments: trailing, standalone, comment blocks."""
+
+import textwrap
+
+from repro.devtools import lint_source, make_rules
+from repro.devtools.suppressions import parse_directive, suppression_map
+
+
+def lint(source, codes):
+    return lint_source(textwrap.dedent(source), package="apps",
+                       module="repro.apps.snippet", rules=make_rules(codes))
+
+
+class TestParseDirective:
+    def test_single_code(self):
+        assert parse_directive("x = 1  # spotlint: disable=DET003") == \
+            {"DET003"}
+
+    def test_multiple_codes_and_reason(self):
+        line = "# spotlint: disable=DET003, QUO001 -- justified because"
+        assert parse_directive(line) == {"DET003", "QUO001"}
+
+    def test_no_directive(self):
+        assert parse_directive("x = hash(y)  # ordinary comment") == \
+            frozenset()
+
+
+class TestSuppressionMap:
+    def test_trailing_covers_own_line_only(self):
+        lines = ["a = 1", "b = hash(a)  # spotlint: disable=DET003", "c = 2"]
+        smap = suppression_map(lines)
+        assert "DET003" in smap[2]
+        assert 1 not in smap and 3 not in smap
+
+    def test_standalone_covers_next_code_line(self):
+        lines = ["# spotlint: disable=QUO001 -- reason", "x = probe()"]
+        smap = suppression_map(lines)
+        assert "QUO001" in smap[1] and "QUO001" in smap[2]
+
+    def test_standalone_skips_continuation_comments(self):
+        lines = ["# spotlint: disable=QUO001 -- a long reason that",
+                 "# continues on a second comment line",
+                 "x = probe()",
+                 "y = probe()"]
+        smap = suppression_map(lines)
+        assert "QUO001" in smap[3]
+        assert 4 not in smap
+
+
+class TestEngineIntegration:
+    SRC = """
+        def emit(xs):
+            return list(set(xs))  # spotlint: disable=DET003 -- test double
+        """
+
+    def test_suppressed_finding_moves_to_suppressed_list(self):
+        result = lint(self.SRC, ["DET003"])
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["DET003"]
+        assert result.clean
+
+    def test_other_rules_not_covered_by_directive(self):
+        result = lint("""
+            import random
+
+            def emit(xs):
+                # spotlint: disable=DET003 -- wrong code on purpose
+                return sorted(set(xs), key=lambda _: random.random())
+            """, ["DET002", "DET003"])
+        assert [f.rule for f in result.findings] == ["DET002"]
+
+    def test_standalone_block_suppression(self):
+        result = lint("""
+            def probe(cloud, t):
+                # spotlint: disable=QUO001 -- vendor surface by design,
+                # continued reason line
+                return cloud.pricing.spot_price(t)
+            """, ["QUO001"])
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["QUO001"]

@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 class TestParser:
@@ -47,3 +52,56 @@ class TestCommands:
         assert main(["experiment", "--per-combo", "5"]) == 0
         out = capsys.readouterr().out
         assert "H-H" in out and "not-fulfilled" in out
+
+
+class TestLintCommand:
+    @pytest.fixture()
+    def dirty_file(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text("import random\nx = random.random()\n")
+        return path
+
+    def test_shipped_tree_is_clean_exit_zero(self, capsys):
+        src = REPO_ROOT / "src" / "repro"
+        assert main(["lint", str(src)]) == 0
+        assert "spotlint: clean" in capsys.readouterr().out
+
+    def test_findings_exit_one_text(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file)]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out and "dirty.py:2" in out
+
+    def test_format_json(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["finding_count"] == 1
+        assert payload["findings"][0]["rule"] == "DET002"
+
+    def test_rules_filter(self, dirty_file, capsys):
+        # only DET003 requested -> the DET002 violation is out of scope
+        assert main(["lint", str(dirty_file), "--rules", "DET003"]) == 0
+        payload_ok = capsys.readouterr().out
+        assert "spotlint: clean" in payload_ok
+        assert main(["lint", str(dirty_file),
+                     "--rules", "DET002,DET003"]) == 1
+
+    def test_unknown_rule_is_usage_error(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--rules", "NOPE99"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.txt")]) == 2
+
+    def test_bad_format_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--format", "yaml"])
+        assert exc.value.code == 2
+
+    def test_suppression_visible_with_flag(self, tmp_path, capsys):
+        path = tmp_path / "quiet.py"
+        path.write_text("import random\n"
+                        "x = random.random()  "
+                        "# spotlint: disable=DET002 -- fixture\n")
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--show-suppressed"]) == 0
+        assert "[suppressed]" in capsys.readouterr().out
