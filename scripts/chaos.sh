@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Seeded chaos smoke: a short collection run under heavy fault injection
+# must finish, account for every planned query, and replay
+# byte-identically under the same chaos seed.  Override the profile or
+# seed via CHAOS_PROFILE / CHAOS_SEED, e.g.
+#   CHAOS_PROFILE=moderate CHAOS_SEED=42 scripts/chaos.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE="${CHAOS_PROFILE:-heavy}"
+SEED="${CHAOS_SEED:-7}"
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+echo "== chaos smoke: profile=${PROFILE} seed=${SEED} =="
+python -m repro.cli collect --rounds 6 --interval-minutes 60 \
+    --chaos-profile "${PROFILE}" --chaos-seed "${SEED}"
+
+echo "== chaos determinism: two identically-seeded runs =="
+python -m repro.devtools.doublerun --rounds 2 \
+    --chaos-profile "${PROFILE}" --chaos-seed "${SEED}"
+
+echo "== chaos test suite =="
+python -m pytest tests/chaos -q

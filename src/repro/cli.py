@@ -17,6 +17,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from . import ServiceConfig, SimulatedCloud, SpotLakeService
+from .cloudsim import CHAOS_PROFILES
 from .core import plan_for_catalog
 from .experiments import ExperimentRunner, sample_cases, table3
 
@@ -34,18 +35,36 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def _cmd_collect(args: argparse.Namespace) -> int:
     config = ServiceConfig(seed=args.seed,
-                           instance_types=args.types or None)
+                           instance_types=args.types or None,
+                           chaos_profile=args.chaos_profile,
+                           chaos_seed=args.chaos_seed)
     service = SpotLakeService(config)
     for round_no in range(args.rounds):
         reports = service.collect_once()
         sps = reports["sps"]
-        print(f"round {round_no}: sps queries={sps.queries_issued} "
-              f"failed={sps.queries_failed} records={sps.records_written}")
+        line = (f"round {round_no}: sps queries={sps.queries_issued} "
+                f"failed={sps.queries_failed} records={sps.records_written}")
+        if service.chaos_enabled:
+            merged = reports["sps"].merge(reports["advisor"]) \
+                                   .merge(reports["price"])
+            line += (f" retries={merged.retries} gaps={merged.gaps} "
+                     f"breaker_trips={merged.breaker_trips}")
+        print(line)
         service.cloud.clock.advance_minutes(args.interval_minutes)
     for table, stats in service.archive.stats().items():
         print(f"{table}: {stats['records_written']} written -> "
               f"{stats['change_points_stored']} stored "
               f"(dedup {stats['dedup_ratio']:.3f})")
+    if service.chaos_enabled:
+        for source, stats in sorted(service.resilience_stats().items()):
+            print(f"resilience[{source}]: retries={stats['retries']} "
+                  f"gaps={stats['gaps']} breaker={stats['breaker_state']} "
+                  f"trips={stats['breaker_trips']}")
+        faults = service.cloud.faults
+        print(f"chaos: {faults.faults_injected()} faults injected over "
+              f"{sum(faults.calls(op) for op in ('sps', 'advisor', 'price'))} "
+              f"calls (profile={args.chaos_profile}, "
+              f"seed={config.chaos_seed if config.chaos_seed is not None else config.seed})")
     if args.output:
         from .timeseries import dump_store
         written = dump_store(service.archive.store, args.output)
@@ -141,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--interval-minutes", type=float, default=10.0)
     collect.add_argument("--output", default=None,
                          help="directory for an archive snapshot")
+    collect.add_argument("--chaos-profile", default="none",
+                         choices=sorted(CHAOS_PROFILES),
+                         help="inject deterministic transient faults "
+                              "(default: none)")
+    collect.add_argument("--chaos-seed", type=int, default=None,
+                         help="fault-schedule seed (default: --seed)")
     collect.set_defaults(func=_cmd_collect)
 
     query = sub.add_parser("query", help="query the latest archived values")

@@ -23,12 +23,28 @@ from .events import CapacityEvent, JUNE_2_EVENT, default_events
 from .ec2_api import Ec2Client, SimulatedCloud, MAX_SPS_RESULTS
 from .errors import (
     CloudError,
+    CredentialExpiredError,
+    InternalServerError,
     QuotaExceededError,
     RequestNotFoundError,
+    RequestTimeoutError,
+    ThrottlingError,
+    TransientError,
     UnknownInstanceTypeError,
     UnknownRegionError,
     UnsupportedOfferingError,
     ValidationError,
+)
+from .faults import (
+    CHAOS_PROFILES,
+    ChaosProfile,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    InjectedFault,
+    make_fault,
+    resolve_profile,
 )
 from .lifecycle import (
     LifecycleEvent,
@@ -53,6 +69,11 @@ __all__ = [
     "CloudError", "QuotaExceededError", "RequestNotFoundError",
     "UnknownInstanceTypeError", "UnknownRegionError",
     "UnsupportedOfferingError", "ValidationError",
+    "CredentialExpiredError", "InternalServerError", "RequestTimeoutError",
+    "ThrottlingError", "TransientError",
+    "CHAOS_PROFILES", "ChaosProfile", "FAULT_KINDS", "FaultInjector",
+    "FaultPlan", "FaultWindow", "InjectedFault", "make_fault",
+    "resolve_profile",
     "LifecycleEvent", "RequestSimulator", "RequestState", "SpotRequest",
     "STATE_DESCRIPTIONS", "ALLOWED_TRANSITIONS",
     "SpotMarket", "reclaim_ratio_from_u",

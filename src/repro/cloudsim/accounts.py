@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Tuple
 
-from .errors import QuotaExceededError
+from .errors import CredentialExpiredError, QuotaExceededError
 
 #: Empirical unique-query allowance per account per rolling 24 hours.
 DEFAULT_QUERY_QUOTA = 50
@@ -41,6 +41,28 @@ class Account:
     quota: int = DEFAULT_QUERY_QUOTA
     #: first-seen timestamp per unique query currently inside the window
     _seen: Dict[QueryKey, float] = field(default_factory=dict, repr=False)
+    #: security-token validity; flipped by injected credential faults
+    _credentials_expired: bool = field(default=False, repr=False)
+
+    @property
+    def credentials_valid(self) -> bool:
+        return not self._credentials_expired
+
+    def expire_credentials(self) -> None:
+        """Invalidate the security token (fault injection entry point)."""
+        self._credentials_expired = True
+
+    def refresh_credentials(self) -> None:
+        """Re-authenticate; quota state is untouched (it is per account,
+        not per token)."""
+        self._credentials_expired = False
+
+    def check_credentials(self) -> None:
+        """Raise if the token is expired; every API call goes through this."""
+        if self._credentials_expired:
+            raise CredentialExpiredError(
+                f"account {self.name!r}: security token expired; refresh "
+                f"credentials before retrying")
 
     def _expire(self, now: float) -> None:
         cutoff = now - QUOTA_WINDOW_SECONDS

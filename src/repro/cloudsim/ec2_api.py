@@ -30,6 +30,7 @@ from .errors import (
     UnknownRegionError,
     ValidationError,
 )
+from .faults import FaultInjector
 from .lifecycle import RequestSimulator, SpotRequest, RequestState
 from .market import SpotMarket
 from .placement import PlacementScoreEngine
@@ -53,6 +54,8 @@ class SimulatedCloud:
     seed: int = 0
     catalog: Catalog = None  # type: ignore[assignment]
     clock: SimulationClock = field(default_factory=SimulationClock)
+    #: optional deterministic fault schedule (see cloudsim.faults)
+    faults: Optional[FaultInjector] = None
 
     def __post_init__(self):
         if self.catalog is None:
@@ -70,6 +73,12 @@ class SimulatedCloud:
         """An API client authenticated as ``account``."""
         return Ec2Client(self, account)
 
+    def maybe_fault(self, operation: str,
+                    account: Optional[Account] = None) -> None:
+        """Run the injected-fault hook for one simulated call, if armed."""
+        if self.faults is not None:
+            self.faults.before_call(operation, account)
+
     def advisor_web_snapshot(self):
         """The advisor dataset as rendered on the vendor's website.
 
@@ -77,6 +86,7 @@ class SimulatedCloud:
         scraper (:class:`repro.core.collectors.SpotInfoScraper`), never via
         the API client.
         """
+        self.maybe_fault("advisor")
         return self.advisor.web_snapshot(self.clock.now())
 
     def register_request(self, request: SpotRequest) -> None:
@@ -125,6 +135,11 @@ class Ec2Client:
             if not self.cloud.catalog.has_region(region):
                 raise UnknownRegionError(f"unknown region {region!r}")
 
+        # faults fire before quota accounting: a throttled or timed-out
+        # call never consumes unique-query budget, matching real AWS
+        self.account.check_credentials()
+        self.cloud.maybe_fault("sps", self.account)
+
         now = self.cloud.clock.now()
         key = make_query_key(instance_types, regions, target_capacity,
                              single_availability_zone)
@@ -151,6 +166,8 @@ class Ec2Client:
                                     availability_zone: Optional[str] = None,
                                     region: Optional[str] = None) -> List[dict]:
         """Spot price change events, mirroring the real CLI output."""
+        self.account.check_credentials()
+        self.cloud.maybe_fault("price", self.account)
         now = self.cloud.clock.now()
         if end_time > now:
             end_time = now

@@ -12,6 +12,8 @@ class CloudError(Exception):
     """Base class for all simulated cloud API errors."""
 
     code = "CloudError"
+    #: True for faults that are safe to retry (throttling, 5xx, timeouts).
+    retryable = False
 
     def __init__(self, message: str = ""):
         super().__init__(message or self.__doc__ or self.code)
@@ -55,3 +57,44 @@ class RequestNotFoundError(CloudError):
     """No spot request exists with the given identifier."""
 
     code = "InvalidSpotInstanceRequestID.NotFound"
+
+
+class TransientError(CloudError):
+    """Base class for transient, retry-safe API failures.
+
+    These are the faults :mod:`repro.cloudsim.faults` injects to reproduce
+    the collection-continuity hazards the paper's Section 5 alludes to
+    ("system management issues" holing the archive).  A well-behaved
+    collector retries them with backoff instead of aborting the round.
+    """
+
+    code = "TransientError"
+    retryable = True
+
+
+class ThrottlingError(TransientError):
+    """The API rejected the call because of request-rate throttling."""
+
+    code = "RequestLimitExceeded"
+
+
+class InternalServerError(TransientError):
+    """The service suffered an internal (5xx-class) failure."""
+
+    code = "InternalError"
+
+
+class RequestTimeoutError(TransientError):
+    """The call did not complete within the client's timeout."""
+
+    code = "RequestTimeout"
+
+
+class CredentialExpiredError(TransientError):
+    """The account's security token expired mid-collection.
+
+    Retryable only after the caller refreshes the account's credentials
+    (:meth:`repro.cloudsim.accounts.Account.refresh_credentials`).
+    """
+
+    code = "ExpiredToken"

@@ -2,9 +2,14 @@
 
 from .archive import (
     ADVISOR_TABLE,
+    DIM_KEY,
+    DIM_REASON,
     DIM_REGION,
+    DIM_SOURCE,
     DIM_TYPE,
     DIM_ZONE,
+    GAP_MEASURE,
+    GAPS_TABLE,
     IF_SCORE_MEASURE,
     INTERRUPTION_RATIO_MEASURE,
     PRICE_MEASURE,
@@ -28,12 +33,29 @@ from .query_planner import (
     plan_for_catalog,
     plan_for_offering_map,
 )
-from .scheduler import CollectionScheduler, DEFAULT_INTERVAL_SECONDS, ScheduledJob
+from .resilience import (
+    BreakerState,
+    CallOutcome,
+    CircuitBreaker,
+    GAP_BREAKER_OPEN,
+    GAP_QUOTA_EXHAUSTED,
+    GAP_RETRIES_EXHAUSTED,
+    ResilientExecutor,
+    RetryPolicy,
+)
+from .scheduler import (
+    CollectionScheduler,
+    DEFAULT_INTERVAL_SECONDS,
+    RunEntry,
+    ScheduledJob,
+)
 from .service import ServiceConfig, SpotLakeService
 from .serving import ApiGateway, BadRequest, LambdaHandlers, Response
 
 __all__ = [
     "ADVISOR_TABLE", "DIM_REGION", "DIM_TYPE", "DIM_ZONE",
+    "DIM_KEY", "DIM_REASON", "DIM_SOURCE",
+    "GAP_MEASURE", "GAPS_TABLE",
     "IF_SCORE_MEASURE", "INTERRUPTION_RATIO_MEASURE", "PRICE_MEASURE",
     "PRICE_TABLE", "SAVINGS_MEASURE", "SPS_MEASURE", "SPS_TABLE",
     "SpotLakeArchive",
@@ -41,7 +63,11 @@ __all__ = [
     "SpotInfoScraper", "SpsCollector",
     "QueryPlan", "SpsQuery", "pack_example", "plan_for_catalog",
     "plan_for_offering_map",
-    "CollectionScheduler", "DEFAULT_INTERVAL_SECONDS", "ScheduledJob",
+    "BreakerState", "CallOutcome", "CircuitBreaker",
+    "GAP_BREAKER_OPEN", "GAP_QUOTA_EXHAUSTED", "GAP_RETRIES_EXHAUSTED",
+    "ResilientExecutor", "RetryPolicy",
+    "CollectionScheduler", "DEFAULT_INTERVAL_SECONDS", "RunEntry",
+    "ScheduledJob",
     "ServiceConfig", "SpotLakeService",
     "ApiGateway", "BadRequest", "LambdaHandlers", "Response",
 ]

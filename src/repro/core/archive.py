@@ -36,6 +36,9 @@ from ..timeseries import (
 SPS_TABLE = "sps"
 ADVISOR_TABLE = "advisor"
 PRICE_TABLE = "price"
+#: Explicit collection holes (graceful degradation): created lazily so
+#: fault-free archives keep their original three-table shape.
+GAPS_TABLE = "gaps"
 
 SPS_MEASURE = "sps"
 IF_SCORE_MEASURE = "if_score"
@@ -46,6 +49,11 @@ PRICE_MEASURE = "spot_price"
 DIM_TYPE = "InstanceType"
 DIM_REGION = "Region"
 DIM_ZONE = "AvailabilityZone"
+
+GAP_MEASURE = "gap"
+DIM_SOURCE = "Source"
+DIM_KEY = "Key"
+DIM_REASON = "Reason"
 
 
 class SpotLakeArchive:
@@ -70,6 +78,13 @@ class SpotLakeArchive:
     @property
     def price(self) -> Table:
         return self.store.table(PRICE_TABLE)
+
+    @property
+    def gaps(self) -> Optional[Table]:
+        """The gap table, or None while the archive has no holes."""
+        if GAPS_TABLE not in self.store.table_names():
+            return None
+        return self.store.table(GAPS_TABLE)
 
     # -- writes (used by collectors) ------------------------------------------
 
@@ -96,6 +111,21 @@ class SpotLakeArchive:
             {DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone},
             PRICE_MEASURE, float(price), time))
 
+    def put_gap(self, source: str, key: str, reason: str,
+                attempts: int, time: float) -> None:
+        """Record an explicit collection hole.
+
+        ``source`` is the data source ("sps" / "advisor" / "price"),
+        ``key`` the logical query that failed, ``reason`` why collection
+        gave up, ``attempts`` how many tries were spent.  An archived hole
+        is the graceful-degradation contract: every planned query ends as
+        either a dataset record or exactly one of these.
+        """
+        table = self.store.create_table(GAPS_TABLE)
+        table.write(Record.make(
+            {DIM_SOURCE: source, DIM_KEY: key, DIM_REASON: reason},
+            GAP_MEASURE, int(attempts), time))
+
     # -- reads ------------------------------------------------------------------
 
     def sps_at(self, instance_type: str, region: str, zone: str,
@@ -121,6 +151,20 @@ class SpotLakeArchive:
         value = self.price.value_at(PRICE_MEASURE, {
             DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone}, time)
         return None if value is None else float(value)
+
+    def gap_count(self) -> int:
+        """Total gap records ever written (0 for a hole-free archive)."""
+        table = self.gaps
+        return 0 if table is None else table.stats.records_written
+
+    def gap_history(self, filters: Optional[Dict[str, str]] = None,
+                    start: float = float("-inf"),
+                    end: float = float("inf")) -> List[Record]:
+        """Gap change points in [start, end]; filter by Source/Key/Reason."""
+        table = self.gaps
+        if table is None:
+            return []
+        return table.scan(GAP_MEASURE, filters or {}, start, end)
 
     def history(self, table_name: str, measure: str,
                 filters: Dict[str, str], start: float, end: float) -> List[Record]:

@@ -10,6 +10,11 @@ Three collectors feed the archive:
   buckets to the interruption-free score;
 * :class:`PriceCollector` reads the current spot price per pool from the
   price-history API.
+
+Each collector optionally runs behind a :class:`ResilientExecutor`
+(retries, circuit breaker); a call that exhausts its budget degrades to
+an explicit gap record instead of crashing the round, so the archive
+never holes silently (the failure mode of the paper's Section 5).
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..cloudsim import (
     AccountPool,
     AdvisorEntry,
+    CredentialExpiredError,
     QuotaExceededError,
     SimulatedCloud,
     make_query_key,
@@ -27,6 +33,7 @@ from ..cloudsim import (
 from ..scoring import score_from_bucket
 from .archive import SpotLakeArchive
 from .query_planner import QueryPlan, SpsQuery, plan_for_catalog
+from .resilience import CallOutcome, ResilientExecutor
 
 
 @dataclass
@@ -37,6 +44,14 @@ class CollectionReport:
     queries_failed: int = 0
     records_written: int = 0
     accounts_used: int = 0
+    #: transient-fault retries spent (a retried-then-successful query
+    #: counts here, never in queries_failed)
+    retries: int = 0
+    #: explicit gap records written; every failed query produces exactly
+    #: one, so queries_failed == gaps whenever resilience is on
+    gaps: int = 0
+    #: circuit-breaker close->open transitions triggered this round
+    breaker_trips: int = 0
 
     def merge(self, other: "CollectionReport") -> "CollectionReport":
         return CollectionReport(
@@ -44,7 +59,19 @@ class CollectionReport:
             self.queries_failed + other.queries_failed,
             self.records_written + other.records_written,
             max(self.accounts_used, other.accounts_used),
+            self.retries + other.retries,
+            self.gaps + other.gaps,
+            self.breaker_trips + other.breaker_trips,
         )
+
+    def apply_outcome(self, outcome: CallOutcome) -> None:
+        """Fold one resilient call's accounting into this report."""
+        self.retries += outcome.retries
+        if outcome.breaker_tripped:
+            self.breaker_trips += 1
+        if not outcome.ok:
+            self.queries_failed += 1
+            self.gaps += 1
 
 
 class SpotInfoScraper:
@@ -66,29 +93,67 @@ class SpsCollector:
     """Collects placement scores per the packed query plan."""
 
     def __init__(self, cloud: SimulatedCloud, archive: SpotLakeArchive,
-                 accounts: AccountPool, plan: Optional[QueryPlan] = None):
+                 accounts: AccountPool, plan: Optional[QueryPlan] = None,
+                 resilience: Optional[ResilientExecutor] = None):
         self.cloud = cloud
         self.archive = archive
         self.accounts = accounts
         self.plan = plan or plan_for_catalog(cloud.catalog)
+        self.resilience = resilience
 
-    def run_query(self, query: SpsQuery) -> CollectionReport:
-        """Issue one planned query via whichever account has budget."""
-        now = self.cloud.clock.now()
+    @staticmethod
+    def query_fingerprint(query: SpsQuery) -> str:
+        """Stable human-readable identity of a planned query (gap key)."""
+        return (f"{query.instance_type}@{'+'.join(query.regions)}"
+                f"/cap={query.target_capacity}")
+
+    def _attempt(self, query: SpsQuery):
+        """One try of one planned query: acquire an account, call the API.
+
+        Re-acquires on every try, so a retry may land on a different
+        account; an expired token is refreshed before the error surfaces
+        to the retry loop (re-auth is cheap, the retry backoff models it).
+        """
         key = make_query_key([query.instance_type], query.regions,
                              query.target_capacity,
                              query.single_availability_zone)
-        report = CollectionReport(queries_issued=1)
-        try:
-            account = self.accounts.acquire(key, now)
-        except QuotaExceededError:
-            report.queries_failed = 1
-            return report
+        account = self.accounts.acquire(key, self.cloud.clock.now())
         client = self.cloud.client(account)
-        rows = client.get_spot_placement_scores(
-            [query.instance_type], list(query.regions),
-            target_capacity=query.target_capacity,
-            single_availability_zone=query.single_availability_zone)
+        try:
+            return client.get_spot_placement_scores(
+                [query.instance_type], list(query.regions),
+                target_capacity=query.target_capacity,
+                single_availability_zone=query.single_availability_zone)
+        except CredentialExpiredError:
+            account.refresh_credentials()
+            raise
+
+    def run_query(self, query: SpsQuery) -> CollectionReport:
+        """Issue one planned query; a terminal failure archives a gap.
+
+        The query is *issued* exactly once however many attempts it takes,
+        and it is *failed* only when it ends as a gap -- a query that
+        exhausts one account's quota but succeeds on another (or succeeds
+        on a retry) contributes zero to ``queries_failed``.
+        """
+        report = CollectionReport(queries_issued=1)
+        if self.resilience is None:
+            try:
+                rows = self._attempt(query)
+            except QuotaExceededError:
+                report.queries_failed = 1
+                return report
+        else:
+            outcome = self.resilience.call(
+                (self.query_fingerprint(query),), lambda: self._attempt(query))
+            report.apply_outcome(outcome)
+            if not outcome.ok:
+                self.archive.put_gap(
+                    "sps", self.query_fingerprint(query), outcome.gap_reason,
+                    outcome.attempts, self.cloud.clock.now())
+                return report
+            rows = outcome.value
+        now = self.cloud.clock.now()
         for row in rows:
             zone = row["AvailabilityZoneId"]
             if zone is None:
@@ -100,6 +165,8 @@ class SpsCollector:
 
     def collect(self) -> CollectionReport:
         """Run the full plan once (one collection round)."""
+        if self.resilience is not None:
+            self.resilience.start_round()
         total = CollectionReport()
         for query in self.plan.queries:
             result = self.run_query(query)
@@ -114,15 +181,29 @@ class AdvisorCollector:
     """Collects the advisor dataset through the scraper."""
 
     def __init__(self, cloud: SimulatedCloud, archive: SpotLakeArchive,
-                 scraper: Optional[SpotInfoScraper] = None):
+                 scraper: Optional[SpotInfoScraper] = None,
+                 resilience: Optional[ResilientExecutor] = None):
         self.cloud = cloud
         self.archive = archive
         self.scraper = scraper or SpotInfoScraper(cloud)
+        self.resilience = resilience
 
     def collect(self) -> CollectionReport:
-        now = self.cloud.clock.now()
         report = CollectionReport(queries_issued=1)
-        for entry in self.scraper.fetch():
+        if self.resilience is None:
+            entries = self.scraper.fetch()
+        else:
+            self.resilience.start_round()
+            outcome = self.resilience.call(("snapshot",), self.scraper.fetch)
+            report.apply_outcome(outcome)
+            if not outcome.ok:
+                self.archive.put_gap("advisor", "snapshot",
+                                     outcome.gap_reason, outcome.attempts,
+                                     self.cloud.clock.now())
+                return report
+            entries = outcome.value
+        now = self.cloud.clock.now()
+        for entry in entries:
             # spotlint: disable=QUO001 -- the advisor is web-only (paper
             # Section 3.1): there is no API surface to route through; the
             # scraper's snapshot carries buckets, the raw ratio is archived
@@ -140,19 +221,41 @@ class PriceCollector:
     """Records the current spot price of every offered pool."""
 
     def __init__(self, cloud: SimulatedCloud, archive: SpotLakeArchive,
-                 pools: Optional[Sequence[Tuple[str, str, str]]] = None):
+                 pools: Optional[Sequence[Tuple[str, str, str]]] = None,
+                 resilience: Optional[ResilientExecutor] = None):
         self.cloud = cloud
         self.archive = archive
         self.pools = list(pools) if pools is not None else cloud.catalog.all_pools()
+        self.resilience = resilience
 
-    def collect(self) -> CollectionReport:
+    def _sweep(self) -> List[Tuple[str, str, str, float, float]]:
+        """One price sweep: a single describe-history-style fetch."""
+        self.cloud.maybe_fault("price")
         now = self.cloud.clock.now()
-        report = CollectionReport(queries_issued=1)
+        rows = []
         for itype, region, zone in self.pools:
             # spotlint: disable=QUO001 -- the price-history API is not
             # quota-limited (Section 2.1); the engine's current price equals
             # the newest describe_spot_price_history point
             price = self.cloud.pricing.spot_price(itype, region, now, zone)
-            self.archive.put_price(itype, region, zone, price, now)
+            rows.append((itype, region, zone, price, now))
+        return rows
+
+    def collect(self) -> CollectionReport:
+        report = CollectionReport(queries_issued=1)
+        if self.resilience is None:
+            rows = self._sweep()
+        else:
+            self.resilience.start_round()
+            outcome = self.resilience.call(("sweep",), self._sweep)
+            report.apply_outcome(outcome)
+            if not outcome.ok:
+                self.archive.put_gap("price", "sweep", outcome.gap_reason,
+                                     outcome.attempts,
+                                     self.cloud.clock.now())
+                return report
+            rows = outcome.value
+        for itype, region, zone, price, at in rows:
+            self.archive.put_price(itype, region, zone, price, at)
             report.records_written += 1
         return report

@@ -1,0 +1,236 @@
+"""Resilient execution for collectors: retries, breakers, graceful gaps.
+
+The real SpotLake lost collection periods to "system management issues"
+(paper Section 5); this layer is the reproduction's answer.  Every
+collector call runs through a :class:`ResilientExecutor` that
+
+* retries transient faults with exponential backoff and *deterministic*
+  jitter (seeded, so chaos runs replay byte-identically),
+* trips a per-data-source :class:`CircuitBreaker` after consecutive
+  failures, probing half-open after a cool-down,
+* and, when a call is truly unrecoverable, degrades gracefully: the
+  caller records an explicit *gap record* in the archive instead of
+  crashing the round -- a hole you can see beats a hole you discover
+  months later.
+
+Backoff waits advance the *simulation* clock (collection time is real
+time in this world); they never touch the host clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from .._util import stable_uniform
+from ..cloudsim import QuotaExceededError, SimulationClock, TransientError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule with deterministic jitter.
+
+    ``max_attempts`` counts the initial try; ``round_retry_budget`` caps
+    total retries a data source may spend per collection round (None =
+    uncapped), so one bad round cannot stall the cadence indefinitely.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 2.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    #: +/- fraction of the raw delay; drawn from a stable hash, not a PRNG
+    jitter: float = 0.1
+    seed: int = 0
+    round_retry_budget: Optional[int] = None
+
+    def delay(self, attempt: int, *key_parts: object) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered but exact:
+        the same (seed, attempt, key) always yields the same delay."""
+        raw = min(self.base_delay * self.multiplier ** attempt,
+                  self.max_delay)
+        if self.jitter <= 0.0:
+            return raw
+        unit = stable_uniform("retry-jitter", self.seed, attempt, *key_parts)
+        return raw * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    def schedule(self, *key_parts: object) -> List[float]:
+        """The full deterministic delay sequence for one call key."""
+        return [self.delay(attempt, *key_parts)
+                for attempt in range(self.max_attempts - 1)]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing.
+
+    closed --(``failure_threshold`` consecutive failures)--> open
+    open --(``reset_timeout`` sim-seconds elapse)--> half-open
+    half-open --(probe succeeds)--> closed, --(probe fails)--> open
+    """
+
+    def __init__(self, clock: SimulationClock, failure_threshold: int = 5,
+                 reset_timeout: float = 1800.0):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self.trips = 0
+        #: (time, new_state) transition log for tests and reports
+        self.transitions: List[Tuple[float, BreakerState]] = []
+
+    @property
+    def state(self) -> BreakerState:
+        self._maybe_half_open()
+        return self._state
+
+    def _transition(self, new_state: BreakerState) -> None:
+        self._state = new_state
+        self.transitions.append((self.clock.now(), new_state))
+
+    def _maybe_half_open(self) -> None:
+        if self._state is BreakerState.OPEN and self._opened_at is not None \
+                and self.clock.now() - self._opened_at >= self.reset_timeout:
+            self._transition(BreakerState.HALF_OPEN)
+
+    def allow(self) -> bool:
+        """May the caller attempt a call right now?"""
+        self._maybe_half_open()
+        return self._state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._state is BreakerState.CLOSED and \
+                self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at = self.clock.now()
+        self.trips += 1
+        self._transition(BreakerState.OPEN)
+
+
+#: Gap reasons a :class:`CallOutcome` can carry.
+GAP_BREAKER_OPEN = "breaker-open"
+GAP_RETRIES_EXHAUSTED = "retries-exhausted"
+GAP_QUOTA_EXHAUSTED = "quota-exhausted"
+
+
+@dataclass
+class CallOutcome:
+    """What one resilient call did: a value, or an explicit gap."""
+
+    ok: bool
+    value: Any = None
+    attempts: int = 0
+    retries: int = 0
+    gap_reason: str = ""
+    #: True when this call's final failure tripped the breaker open
+    breaker_tripped: bool = False
+    #: codes of the transient errors seen along the way
+    errors: List[str] = field(default_factory=list)
+
+
+class ResilientExecutor:
+    """Runs one data source's calls under a retry policy and a breaker."""
+
+    def __init__(self, source: str, clock: SimulationClock,
+                 policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None):
+        self.source = source
+        self.clock = clock
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker(clock)
+        self.retries_total = 0
+        self.gaps_total = 0
+        self.calls_total = 0
+        self._round_retries = 0
+
+    def start_round(self) -> None:
+        """Reset the per-round retry budget (call at round start)."""
+        self._round_retries = 0
+
+    def _budget_left(self) -> bool:
+        budget = self.policy.round_retry_budget
+        return budget is None or self._round_retries < budget
+
+    def call(self, key: Tuple[object, ...],
+             attempt_fn: Callable[[], Any]) -> CallOutcome:
+        """Run ``attempt_fn`` to completion, retrying transient faults.
+
+        ``key`` identifies the logical call (it keys the jitter draw and
+        should be stable across rounds).  Returns a :class:`CallOutcome`;
+        never raises for transient faults, breaker rejections, or quota
+        exhaustion -- non-cloud exceptions still propagate, they are bugs.
+        """
+        self.calls_total += 1
+        outcome = CallOutcome(ok=False)
+        if not self.breaker.allow():
+            outcome.gap_reason = GAP_BREAKER_OPEN
+            self.gaps_total += 1
+            return outcome
+        trips_before = self.breaker.trips
+        for attempt in range(self.policy.max_attempts):
+            outcome.attempts = attempt + 1
+            try:
+                outcome.value = attempt_fn()
+            except QuotaExceededError as exc:
+                # a drained account pool will not refill within a round;
+                # retrying would only burn the budget
+                outcome.errors.append(exc.code)
+                outcome.gap_reason = GAP_QUOTA_EXHAUSTED
+                self.gaps_total += 1
+                return outcome
+            except TransientError as exc:
+                outcome.errors.append(exc.code)
+                self.breaker.record_failure()
+                outcome.breaker_tripped = self.breaker.trips > trips_before
+                can_retry = (attempt + 1 < self.policy.max_attempts
+                             and self._budget_left()
+                             and self.breaker.allow())
+                if not can_retry:
+                    outcome.gap_reason = GAP_RETRIES_EXHAUSTED
+                    self.gaps_total += 1
+                    return outcome
+                outcome.retries += 1
+                self.retries_total += 1
+                self._round_retries += 1
+                self.clock.advance(self.policy.delay(attempt, self.source,
+                                                     *key))
+            else:
+                self.breaker.record_success()
+                outcome.ok = True
+                return outcome
+        raise AssertionError("unreachable: retry loop must return")
+
+    def stats(self) -> dict:
+        """Counters and breaker state for reports and the CLI."""
+        return {
+            "source": self.source,
+            "calls": self.calls_total,
+            "retries": self.retries_total,
+            "gaps": self.gaps_total,
+            "breaker_state": self.breaker.state.value,
+            "breaker_trips": self.breaker.trips,
+        }

@@ -4,18 +4,41 @@ collection tasks for different data sources").
 The scheduler advances the simulation clock and fires each collector at its
 own cadence -- the paper collected SPS and advisor data every 10 minutes.
 A round-robin log records what ran when, so tests can assert cadences.
+
+Failure isolation: a collector that raises must not starve its siblings
+(the seed version aborted ``run_due`` mid-loop, exactly the bug class that
+holed the paper's archive).  A raising job is recorded as an ``"error"``
+history entry and its cadence resumes at the next period; rounds skipped
+during a stall are counted per job in ``missed_rounds``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..cloudsim import SimulationClock
 from .collectors import CollectionReport
 
 #: The paper's collection interval.
 DEFAULT_INTERVAL_SECONDS = 600.0
+
+
+@dataclass
+class RunEntry:
+    """One history line: when a job fired and how it went.
+
+    Iterates as ``(time, name)`` for backwards compatibility with the
+    original two-tuple history; the richer fields ride along.
+    """
+
+    time: float
+    name: str
+    status: str = "ok"
+    error: str = ""
+
+    def __iter__(self) -> Iterator:
+        return iter((self.time, self.name))
 
 
 @dataclass
@@ -28,6 +51,11 @@ class ScheduledJob:
     next_due: float
     runs: int = 0
     last_report: Optional[CollectionReport] = None
+    #: times this job raised out of collect() (the round is then missed)
+    failures: int = 0
+    last_error: str = ""
+    #: periods skipped while the scheduler was stalled past next_due
+    missed_rounds: int = 0
 
 
 class CollectionScheduler:
@@ -36,7 +64,7 @@ class CollectionScheduler:
     def __init__(self, clock: SimulationClock):
         self.clock = clock
         self._jobs: Dict[str, ScheduledJob] = {}
-        self.history: List[Tuple[float, str]] = []
+        self.history: List[RunEntry] = []
 
     def register(self, name: str, collect: Callable[[], CollectionReport],
                  period: float = DEFAULT_INTERVAL_SECONDS,
@@ -57,19 +85,42 @@ class CollectionScheduler:
     def _due_jobs(self) -> List[ScheduledJob]:
         now = self.clock.now()
         due = [j for j in self._jobs.values() if j.next_due <= now]
+        # stable sort: ties keep registration order, so rounds replay
+        # identically run to run
         due.sort(key=lambda j: j.next_due)
         return due
 
+    def _run_job(self, job: ScheduledJob) -> None:
+        try:
+            job.last_report = job.collect()
+        except Exception as exc:  # noqa: BLE001 -- isolation boundary:
+            # one bad collector must not starve its siblings
+            job.failures += 1
+            job.last_error = f"{type(exc).__name__}: {exc}"
+            self.history.append(RunEntry(self.clock.now(), job.name,
+                                         status="error",
+                                         error=job.last_error))
+        else:
+            job.runs += 1
+            self.history.append(RunEntry(self.clock.now(), job.name))
+
     def run_due(self) -> int:
-        """Run every job due at the current clock time; returns run count."""
+        """Run every job due at the current clock time; returns run count.
+
+        Jobs that raise still count as a (failed) run and still have their
+        cadence advanced -- the round is missed, visibly, not retried in a
+        tight loop.
+        """
         count = 0
         for job in self._due_jobs():
-            job.last_report = job.collect()
-            job.runs += 1
-            self.history.append((self.clock.now(), job.name))
-            # schedule strictly forward even after long stalls
+            self._run_job(job)
+            # schedule strictly forward even after long stalls; every
+            # period skipped beyond the normal reschedule is a missed round
+            skipped = 0
             while job.next_due <= self.clock.now():
                 job.next_due += job.period
+                skipped += 1
+            job.missed_rounds += max(0, skipped - 1)
             count += 1
         return count
 
@@ -79,10 +130,9 @@ class CollectionScheduler:
         if step <= 0:
             raise ValueError("step must be positive")
         runs = self.run_due()
-        remaining = duration
-        while remaining > 0:
-            hop = min(step, remaining)
+        end = self.clock.now() + duration
+        while self.clock.now() < end:
+            hop = min(step, end - self.clock.now())
             self.clock.advance(hop)
-            remaining -= hop
             runs += self.run_due()
         return runs

@@ -19,7 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..cloudsim import AccountPool, SimulatedCloud
+from ..cloudsim import (
+    AccountPool,
+    FaultInjector,
+    FaultPlan,
+    SimulatedCloud,
+    resolve_profile,
+)
 from ..scoring import interruption_free_score
 from .archive import SpotLakeArchive
 from .collectors import (
@@ -29,6 +35,7 @@ from .collectors import (
     SpsCollector,
 )
 from .query_planner import QueryPlan, plan_for_catalog
+from .resilience import CircuitBreaker, ResilientExecutor, RetryPolicy
 from .scheduler import CollectionScheduler, DEFAULT_INTERVAL_SECONDS
 from .serving import ApiGateway
 
@@ -47,6 +54,20 @@ class ServiceConfig:
     instance_types: Optional[Sequence[str]] = None
     #: packing algorithm for the query plan ("exact", "ffd", "naive").
     plan_algorithm: str = "exact"
+    #: named fault-injection profile ("none" disables injection).
+    chaos_profile: str = "none"
+    #: seed of the fault schedule; defaults to the world seed.
+    chaos_seed: Optional[int] = None
+    #: run collectors behind retry/breaker/gap-record protection.
+    resilience: bool = True
+    #: retry attempts per call (1 initial + N-1 retries).
+    retry_attempts: int = 4
+    #: first backoff delay in sim-seconds.
+    retry_base_delay: float = 2.0
+    #: consecutive failures before a data source's breaker opens.
+    breaker_threshold: int = 5
+    #: sim-seconds an open breaker waits before half-open probing.
+    breaker_reset: float = 1800.0
 
 
 class SpotLakeService:
@@ -57,6 +78,15 @@ class SpotLakeService:
         self.config = config or ServiceConfig()
         self.cloud = cloud or SimulatedCloud(seed=self.config.seed)
         self.archive = SpotLakeArchive()
+
+        profile = resolve_profile(self.config.chaos_profile)
+        if profile.total_rate > 0.0:
+            chaos_seed = self.config.chaos_seed
+            if chaos_seed is None:
+                chaos_seed = self.config.seed
+            self.cloud.faults = FaultInjector(
+                FaultPlan(seed=chaos_seed, profile=profile),
+                self.cloud.clock)
 
         offering_map = self.cloud.catalog.offering_map()
         if self.config.instance_types is not None:
@@ -70,16 +100,32 @@ class SpotLakeService:
             self.plan.optimized_query_count)
         self.accounts = AccountPool(pool_size)
 
-        self.sps_collector = SpsCollector(self.cloud, self.archive,
-                                          self.accounts, self.plan)
-        self.advisor_collector = AdvisorCollector(self.cloud, self.archive)
+        self.executors: Dict[str, ResilientExecutor] = {}
+        if self.config.resilience:
+            policy = RetryPolicy(max_attempts=self.config.retry_attempts,
+                                 base_delay=self.config.retry_base_delay,
+                                 seed=self.config.seed)
+            for source in ("sps", "advisor", "price"):
+                self.executors[source] = ResilientExecutor(
+                    source, self.cloud.clock, policy,
+                    CircuitBreaker(self.cloud.clock,
+                                   self.config.breaker_threshold,
+                                   self.config.breaker_reset))
+
+        self.sps_collector = SpsCollector(
+            self.cloud, self.archive, self.accounts, self.plan,
+            resilience=self.executors.get("sps"))
+        self.advisor_collector = AdvisorCollector(
+            self.cloud, self.archive,
+            resilience=self.executors.get("advisor"))
         price_pools = None
         if self.config.instance_types is not None:
             wanted = set(self.config.instance_types)
             price_pools = [p for p in self.cloud.catalog.all_pools()
                            if p[0] in wanted]
-        self.price_collector = PriceCollector(self.cloud, self.archive,
-                                              price_pools)
+        self.price_collector = PriceCollector(
+            self.cloud, self.archive, price_pools,
+            resilience=self.executors.get("price"))
 
         self.scheduler = CollectionScheduler(self.cloud.clock)
         self.scheduler.register("sps", self.sps_collector.collect,
@@ -104,6 +150,17 @@ class SpotLakeService:
     def run_collection(self, duration: float) -> int:
         """Advance time for ``duration`` seconds, firing due collectors."""
         return self.scheduler.run_for(duration, self.config.collection_interval)
+
+    # -- resilience accounting -------------------------------------------------
+
+    @property
+    def chaos_enabled(self) -> bool:
+        return self.cloud.faults is not None
+
+    def resilience_stats(self) -> Dict[str, dict]:
+        """Per-data-source retry/gap/breaker counters (empty when off)."""
+        return {source: executor.stats()
+                for source, executor in self.executors.items()}
 
     # -- fast backfill -------------------------------------------------------------
 

@@ -47,16 +47,21 @@ def snapshot_digests(seed: int = 0,
                      instance_types: Optional[Sequence[str]] = DEFAULT_TYPES,
                      rounds: int = 2,
                      interval_minutes: float = 10.0,
-                     directory: Optional[Path] = None) -> Dict[str, str]:
+                     directory: Optional[Path] = None,
+                     chaos_profile: str = "none",
+                     chaos_seed: Optional[int] = None) -> Dict[str, str]:
     """Run one fresh service for ``rounds`` collection rounds; hash tables.
 
     Returns ``{table_name: sha256_of_snapshot_file}``.  The service, cloud
     and account pool are constructed from scratch so no state leaks
-    between invocations.
+    between invocations.  With a chaos profile, the injected fault
+    schedule (and hence any gap records) must replay identically too.
     """
     config = ServiceConfig(
         seed=seed,
-        instance_types=list(instance_types) if instance_types else None)
+        instance_types=list(instance_types) if instance_types else None,
+        chaos_profile=chaos_profile,
+        chaos_seed=chaos_seed)
     service = SpotLakeService(config)
     for _ in range(rounds):
         service.collect_once()
@@ -79,12 +84,18 @@ def snapshot_digests(seed: int = 0,
 def double_run(seed: int = 0,
                instance_types: Optional[Sequence[str]] = DEFAULT_TYPES,
                rounds: int = 2,
-               interval_minutes: float = 10.0) -> DoubleRunResult:
+               interval_minutes: float = 10.0,
+               chaos_profile: str = "none",
+               chaos_seed: Optional[int] = None) -> DoubleRunResult:
     """Two independent seeded runs; byte-compare their archive snapshots."""
     digests_a = snapshot_digests(seed, instance_types, rounds,
-                                 interval_minutes)
+                                 interval_minutes,
+                                 chaos_profile=chaos_profile,
+                                 chaos_seed=chaos_seed)
     digests_b = snapshot_digests(seed, instance_types, rounds,
-                                 interval_minutes)
+                                 interval_minutes,
+                                 chaos_profile=chaos_profile,
+                                 chaos_seed=chaos_seed)
     mismatched = sorted(
         set(digests_a) ^ set(digests_b)
         | {t for t in set(digests_a) & set(digests_b)
@@ -102,8 +113,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
         description="byte-level determinism check of the collection path")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--chaos-profile", default="none")
+    parser.add_argument("--chaos-seed", type=int, default=None)
     args = parser.parse_args(argv)
-    result = double_run(seed=args.seed, rounds=args.rounds)
+    result = double_run(seed=args.seed, rounds=args.rounds,
+                        chaos_profile=args.chaos_profile,
+                        chaos_seed=args.chaos_seed)
     print(result.summary())
     return 0 if result.identical else 1
 

@@ -1,0 +1,66 @@
+"""Shared fixtures for the chaos suite: tiny worlds with injectable faults.
+
+Everything here runs against a two-family, two-region catalog so that
+hundreds of chaos rounds stay sub-second; the full-catalog path is
+exercised by the doublerun-based determinism tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import pytest
+
+from repro import ServiceConfig, SpotLakeService
+from repro.cloudsim import (
+    CHAOS_PROFILES,
+    Catalog,
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    InstanceFamily,
+    Region,
+    SimulatedCloud,
+    resolve_profile,
+)
+
+
+def build_tiny_cloud(seed: int = 0) -> SimulatedCloud:
+    families = [
+        InstanceFamily("m9", "M", "general", ("large", "xlarge")),
+        InstanceFamily("p9", "P", "accelerated", ("2xlarge",), "gpu", 3.0),
+    ]
+    regions = [Region("rg-one-1", "rg", 3), Region("rg-two-1", "rg", 2)]
+    return SimulatedCloud(seed=seed,
+                          catalog=Catalog(seed=1, families=families,
+                                          regions=regions))
+
+
+def build_chaos_service(chaos_profile: str = "none",
+                        chaos_seed: Optional[int] = None,
+                        windows: Sequence[FaultWindow] = (),
+                        seed: int = 0,
+                        **config_kwargs) -> SpotLakeService:
+    """A tiny-catalog service, optionally with scheduled fault windows."""
+    cloud = build_tiny_cloud(seed)
+    config = ServiceConfig(seed=seed, chaos_profile=chaos_profile,
+                           chaos_seed=chaos_seed, **config_kwargs)
+    service = SpotLakeService(config, cloud=cloud)
+    if windows:
+        effective_seed = chaos_seed if chaos_seed is not None else seed
+        service.cloud.faults = FaultInjector(
+            FaultPlan(seed=effective_seed,
+                      profile=resolve_profile(chaos_profile),
+                      windows=tuple(windows)),
+            service.cloud.clock)
+    return service
+
+
+@pytest.fixture()
+def tiny_cloud() -> SimulatedCloud:
+    return build_tiny_cloud()
+
+
+@pytest.fixture()
+def heavy_profile():
+    return CHAOS_PROFILES["heavy"]

@@ -1,0 +1,154 @@
+"""Circuit-breaker state machine tests: closed -> open -> half-open -> closed."""
+
+import pytest
+
+from repro.cloudsim import SimulationClock, ThrottlingError
+from repro.core import (
+    BreakerState,
+    CircuitBreaker,
+    GAP_BREAKER_OPEN,
+    ResilientExecutor,
+    RetryPolicy,
+)
+
+
+def make_breaker(threshold=3, reset=600.0):
+    clock = SimulationClock()
+    return CircuitBreaker(clock, failure_threshold=threshold,
+                          reset_timeout=reset), clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allowing(self):
+        breaker, _ = make_breaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = make_breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make_breaker(threshold=3)
+        for _ in range(5):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.trips == 0
+
+    def test_half_open_after_reset_timeout(self):
+        breaker, clock = make_breaker(threshold=1, reset=600.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(599.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, reset=600.0)
+        breaker.record_failure()
+        clock.advance(600.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = make_breaker(threshold=1, reset=600.0)
+        breaker.record_failure()
+        clock.advance(600.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        # the cool-down restarts from the re-trip
+        clock.advance(599.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_full_cycle_closed_open_half_open_closed(self):
+        breaker, clock = make_breaker(threshold=2, reset=300.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(300.0)
+        breaker.record_success()
+        states = [state for _, state in breaker.transitions]
+        assert states == [BreakerState.OPEN, BreakerState.HALF_OPEN,
+                          BreakerState.CLOSED]
+
+    def test_transition_log_carries_sim_times(self):
+        breaker, clock = make_breaker(threshold=1, reset=300.0)
+        t0 = clock.now()
+        breaker.record_failure()
+        clock.advance(300.0)
+        assert breaker.allow()
+        assert breaker.transitions[0] == (t0, BreakerState.OPEN)
+        assert breaker.transitions[1] == (t0 + 300.0, BreakerState.HALF_OPEN)
+
+    def test_constructor_validation(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, reset_timeout=0.0)
+
+
+class TestExecutorIntegration:
+    def _executor(self, threshold=2, reset=600.0, max_attempts=5):
+        clock = SimulationClock()
+        breaker = CircuitBreaker(clock, failure_threshold=threshold,
+                                 reset_timeout=reset)
+        policy = RetryPolicy(max_attempts=max_attempts, base_delay=1.0,
+                             jitter=0.0)
+        return ResilientExecutor("sps", clock, policy, breaker), clock
+
+    def test_trip_stops_the_retry_loop(self):
+        executor, _ = self._executor(threshold=2, max_attempts=5)
+
+        def always_throttled():
+            raise ThrottlingError("injected")
+
+        outcome = executor.call(("q",), always_throttled)
+        assert not outcome.ok
+        assert outcome.attempts == 2  # the trip pre-empts attempts 3..5
+        assert outcome.breaker_tripped
+        assert executor.breaker.state is BreakerState.OPEN
+
+    def test_open_breaker_short_circuits_calls(self):
+        executor, _ = self._executor(threshold=1)
+        executor.call(("q1",), self._raiser())
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            return 1
+
+        outcome = executor.call(("q2",), fn)
+        assert not outcome.ok
+        assert outcome.gap_reason == GAP_BREAKER_OPEN
+        assert outcome.attempts == 0
+        assert calls["n"] == 0  # the protected call never ran
+
+    def test_half_open_probe_recovers_the_source(self):
+        executor, clock = self._executor(threshold=1, reset=600.0)
+        executor.call(("q1",), self._raiser())
+        clock.advance(600.0)
+        outcome = executor.call(("q2",), lambda: "ok")
+        assert outcome.ok
+        assert executor.breaker.state is BreakerState.CLOSED
+
+    @staticmethod
+    def _raiser():
+        def fn():
+            raise ThrottlingError("injected")
+        return fn

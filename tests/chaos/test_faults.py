@@ -1,0 +1,247 @@
+"""Unit tests for the deterministic fault injector (cloudsim.faults)."""
+
+import pytest
+
+from repro.cloudsim import (
+    CHAOS_PROFILES,
+    Account,
+    ChaosProfile,
+    CloudError,
+    CredentialExpiredError,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    InternalServerError,
+    RequestTimeoutError,
+    SimulationClock,
+    ThrottlingError,
+    TransientError,
+    make_fault,
+    resolve_profile,
+)
+
+from .conftest import build_tiny_cloud
+
+
+def drive(injector, operation, calls, account=None):
+    """Issue ``calls`` calls, collecting the faults that fire."""
+    faults = []
+    for _ in range(calls):
+        try:
+            injector.before_call(operation, account)
+        except CloudError as exc:
+            faults.append(exc)
+    return faults
+
+
+class TestErrorTaxonomy:
+    def test_transient_errors_are_retryable_cloud_errors(self):
+        for cls in (ThrottlingError, InternalServerError,
+                    RequestTimeoutError, CredentialExpiredError):
+            assert issubclass(cls, TransientError)
+            assert issubclass(cls, CloudError)
+            assert cls.retryable
+
+    def test_aws_compatible_codes(self):
+        assert ThrottlingError.code == "RequestLimitExceeded"
+        assert InternalServerError.code == "InternalError"
+        assert RequestTimeoutError.code == "RequestTimeout"
+        assert CredentialExpiredError.code == "ExpiredToken"
+
+    def test_non_transient_errors_are_not_retryable(self):
+        assert not CloudError.retryable
+
+    def test_make_fault_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            make_fault("meteor-strike", "sps")
+
+    def test_make_fault_builds_each_kind(self):
+        for kind in FAULT_KINDS:
+            error = make_fault(kind, "sps")
+            assert isinstance(error, TransientError)
+            assert "sps" in str(error)
+
+
+class TestProfiles:
+    def test_named_profiles_registered(self):
+        assert set(CHAOS_PROFILES) == {"none", "light", "moderate", "heavy"}
+
+    def test_none_profile_is_silent(self):
+        assert CHAOS_PROFILES["none"].total_rate == 0.0
+
+    def test_moderate_profile_clears_ten_percent(self):
+        assert CHAOS_PROFILES["moderate"].total_rate >= 0.10
+
+    def test_resolve_profile_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown chaos profile"):
+            resolve_profile("apocalyptic")
+
+
+class TestInjectorDeterminism:
+    def test_identical_plans_replay_identically(self):
+        plan = FaultPlan(seed=11, profile=CHAOS_PROFILES["heavy"])
+        schedules = []
+        for _ in range(2):
+            injector = FaultInjector(plan, SimulationClock())
+            account = Account("acct-a")
+            drive(injector, "sps", 300, account)
+            account.refresh_credentials()
+            schedules.append([(f.operation, f.kind, f.call_index)
+                              for f in injector.injected])
+        assert schedules[0] == schedules[1]
+        assert schedules[0]  # heavy profile over 300 calls must fault
+
+    def test_different_seeds_diverge(self):
+        clock = SimulationClock()
+        plans = [FaultPlan(seed=s, profile=CHAOS_PROFILES["heavy"])
+                 for s in (1, 2)]
+        schedules = []
+        for plan in plans:
+            injector = FaultInjector(plan, clock)
+            drive(injector, "price", 400)
+            schedules.append([(f.kind, f.call_index)
+                              for f in injector.injected])
+        assert schedules[0] != schedules[1]
+
+    def test_rate_approximates_profile(self):
+        injector = FaultInjector(
+            FaultPlan(seed=3, profile=CHAOS_PROFILES["heavy"]),
+            SimulationClock())
+        faults = drive(injector, "price", 2000)
+        rate = len(faults) / 2000
+        assert 0.15 <= rate <= 0.35  # heavy profile totals 0.25
+
+    def test_all_kinds_eventually_fire(self):
+        injector = FaultInjector(
+            FaultPlan(seed=5, profile=CHAOS_PROFILES["heavy"]),
+            SimulationClock())
+        account = Account("acct-b")
+        faults = drive(injector, "sps", 2000, account)
+        account.refresh_credentials()
+        assert {type(f).__name__ for f in faults} == {
+            "ThrottlingError", "InternalServerError",
+            "RequestTimeoutError", "CredentialExpiredError"}
+
+    def test_call_counter_tracks_per_operation(self):
+        injector = FaultInjector(FaultPlan(), SimulationClock())
+        drive(injector, "sps", 3)
+        drive(injector, "advisor", 2)
+        assert injector.calls("sps") == 3
+        assert injector.calls("advisor") == 2
+        assert injector.calls("price") == 0
+
+
+class TestFaultWindows:
+    def test_window_faults_every_covered_call(self):
+        clock = SimulationClock()
+        window = FaultWindow(clock.now(), clock.now() + 100.0,
+                             kind="internal")
+        injector = FaultInjector(FaultPlan(windows=(window,)), clock)
+        faults = drive(injector, "sps", 5)
+        assert len(faults) == 5
+        assert all(isinstance(f, InternalServerError) for f in faults)
+
+    def test_window_clears_when_clock_leaves_it(self):
+        clock = SimulationClock()
+        window = FaultWindow(clock.now(), clock.now() + 100.0)
+        injector = FaultInjector(FaultPlan(windows=(window,)), clock)
+        assert len(drive(injector, "sps", 2)) == 2
+        clock.advance(100.0)  # end is exclusive
+        assert drive(injector, "sps", 2) == []
+
+    def test_window_operation_filter(self):
+        clock = SimulationClock()
+        window = FaultWindow(clock.now(), clock.now() + 100.0,
+                             operation="sps")
+        injector = FaultInjector(FaultPlan(windows=(window,)), clock)
+        assert len(drive(injector, "sps", 1)) == 1
+        assert drive(injector, "advisor", 1) == []
+
+    def test_window_before_start_is_inactive(self):
+        clock = SimulationClock()
+        window = FaultWindow(clock.now() + 50.0, clock.now() + 100.0)
+        injector = FaultInjector(FaultPlan(windows=(window,)), clock)
+        assert drive(injector, "sps", 1) == []
+        clock.advance(50.0)
+        assert len(drive(injector, "sps", 1)) == 1
+
+
+class TestCredentialFaults:
+    def test_credential_fault_expires_the_account(self):
+        profile = ChaosProfile("creds-only", credentials=1.0)
+        injector = FaultInjector(FaultPlan(profile=profile),
+                                 SimulationClock())
+        account = Account("acct-c")
+        assert account.credentials_valid
+        with pytest.raises(CredentialExpiredError):
+            injector.before_call("sps", account)
+        assert not account.credentials_valid
+        with pytest.raises(CredentialExpiredError):
+            account.check_credentials()
+        account.refresh_credentials()
+        account.check_credentials()  # no raise after refresh
+
+    def test_refresh_preserves_quota_state(self):
+        account = Account("acct-d", quota=5)
+        key = (frozenset({"m5.large"}), frozenset({"r1"}), 1, True)
+        account.charge(key, 0.0)
+        account.expire_credentials()
+        account.refresh_credentials()
+        assert account.unique_queries_used(0.0) == 1
+
+    def test_anonymous_surface_degrades_to_timeout(self):
+        profile = ChaosProfile("creds-only", credentials=1.0)
+        injector = FaultInjector(FaultPlan(profile=profile),
+                                 SimulationClock())
+        with pytest.raises(RequestTimeoutError):
+            injector.before_call("advisor", account=None)
+        assert injector.injected[-1].kind == "timeout"
+
+
+class TestApiSurfaceHooks:
+    def _armed_cloud(self, operation="*"):
+        cloud = build_tiny_cloud()
+        window = FaultWindow(cloud.clock.now(), cloud.clock.now() + 3600.0,
+                             operation=operation, kind="throttle")
+        cloud.faults = FaultInjector(FaultPlan(windows=(window,)),
+                                     cloud.clock)
+        return cloud
+
+    def test_sps_call_faults_and_charges_no_quota(self):
+        cloud = self._armed_cloud("sps")
+        account = Account("acct-e")
+        client = cloud.client(account)
+        with pytest.raises(ThrottlingError):
+            client.get_spot_placement_scores(["m9.large"], ["rg-one-1"])
+        assert account.unique_queries_used(cloud.clock.now()) == 0
+
+    def test_advisor_snapshot_faults(self):
+        cloud = self._armed_cloud("advisor")
+        with pytest.raises(ThrottlingError):
+            cloud.advisor_web_snapshot()
+
+    def test_price_history_faults(self):
+        cloud = self._armed_cloud("price")
+        client = cloud.client(Account("acct-f"))
+        with pytest.raises(ThrottlingError):
+            client.describe_spot_price_history(
+                ["m9.large"], cloud.clock.now() - 3600.0, cloud.clock.now(),
+                region="rg-one-1")
+
+    def test_unarmed_cloud_never_faults(self):
+        cloud = build_tiny_cloud()
+        assert cloud.faults is None
+        rows = cloud.client(Account("acct-g")).get_spot_placement_scores(
+            ["m9.large"], ["rg-one-1"])
+        assert rows
+
+    def test_expired_credentials_block_api_until_refresh(self):
+        cloud = build_tiny_cloud()
+        account = Account("acct-h")
+        account.expire_credentials()
+        client = cloud.client(account)
+        with pytest.raises(CredentialExpiredError):
+            client.get_spot_placement_scores(["m9.large"], ["rg-one-1"])
+        account.refresh_credentials()
+        assert client.get_spot_placement_scores(["m9.large"], ["rg-one-1"])

@@ -1,0 +1,162 @@
+"""Retry-policy and resilient-executor tests: exact deterministic delays."""
+
+import pytest
+
+from repro._util import stable_uniform
+from repro.cloudsim import (
+    QuotaExceededError,
+    SimulationClock,
+    ThrottlingError,
+)
+from repro.core import (
+    CallOutcome,
+    CircuitBreaker,
+    GAP_QUOTA_EXHAUSTED,
+    GAP_RETRIES_EXHAUSTED,
+    ResilientExecutor,
+    RetryPolicy,
+)
+
+
+def flaky(failures, value=42, error=ThrottlingError):
+    """A callable failing ``failures`` times before returning ``value``."""
+    state = {"left": failures, "calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise error("injected")
+        return value
+
+    fn.state = state
+    return fn
+
+
+class TestRetryPolicy:
+    def test_unjittered_schedule_is_exact_exponential(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=2.0, multiplier=2.0,
+                             max_delay=60.0, jitter=0.0)
+        assert policy.schedule("sps") == [2.0, 4.0, 8.0]
+
+    def test_max_delay_caps_the_backoff(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=10.0, multiplier=3.0,
+                             max_delay=45.0, jitter=0.0)
+        assert policy.schedule("x") == [10.0, 30.0, 45.0, 45.0, 45.0]
+
+    def test_jittered_delay_is_reproducible_and_exact(self):
+        policy = RetryPolicy(base_delay=2.0, jitter=0.1, seed=9)
+        unit = stable_uniform("retry-jitter", 9, 1, "sps", "q1")
+        expected = min(2.0 * 2.0 ** 1, 60.0) * (1.0 + 0.1 * (2.0 * unit - 1.0))
+        assert policy.delay(1, "sps", "q1") == expected
+        assert policy.delay(1, "sps", "q1") == policy.delay(1, "sps", "q1")
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=4.0, multiplier=1.0, jitter=0.25,
+                             seed=0)
+        for attempt in range(20):
+            delay = policy.delay(attempt, "k", attempt)
+            assert 4.0 * 0.75 <= delay <= 4.0 * 1.25
+
+    def test_distinct_keys_draw_distinct_jitter(self):
+        policy = RetryPolicy(jitter=0.2, seed=1)
+        delays = {policy.delay(0, "sps", q) for q in range(50)}
+        assert len(delays) > 1
+
+    def test_schedule_differs_across_seeds(self):
+        a = RetryPolicy(jitter=0.2, seed=1).schedule("sps")
+        b = RetryPolicy(jitter=0.2, seed=2).schedule("sps")
+        assert a != b
+
+
+class TestResilientExecutor:
+    def _executor(self, clock=None, **policy_kwargs):
+        clock = clock or SimulationClock()
+        policy_kwargs.setdefault("jitter", 0.0)
+        policy_kwargs.setdefault("base_delay", 2.0)
+        policy = RetryPolicy(**policy_kwargs)
+        return ResilientExecutor("sps", clock, policy), clock
+
+    def test_success_passes_value_through(self):
+        executor, _ = self._executor()
+        outcome = executor.call(("q",), lambda: "rows")
+        assert outcome.ok and outcome.value == "rows"
+        assert outcome.attempts == 1 and outcome.retries == 0
+
+    def test_transient_failures_retried_until_success(self):
+        executor, clock = self._executor()
+        start = clock.now()
+        fn = flaky(2)
+        outcome = executor.call(("q",), fn)
+        assert outcome.ok and outcome.value == 42
+        assert outcome.attempts == 3 and outcome.retries == 2
+        assert fn.state["calls"] == 3
+        # backoff advanced the sim clock by exactly delay(0) + delay(1)
+        assert clock.now() == start + 2.0 + 4.0
+        assert outcome.errors == ["RequestLimitExceeded"] * 2
+
+    def test_exhausted_retries_end_as_gap(self):
+        executor, clock = self._executor(max_attempts=3)
+        start = clock.now()
+        outcome = executor.call(("q",), flaky(99))
+        assert not outcome.ok
+        assert outcome.gap_reason == GAP_RETRIES_EXHAUSTED
+        assert outcome.attempts == 3 and outcome.retries == 2
+        assert clock.now() == start + 2.0 + 4.0
+        assert executor.gaps_total == 1
+
+    def test_round_retry_budget_limits_spend(self):
+        executor, _ = self._executor(max_attempts=3, round_retry_budget=1)
+        executor.start_round()
+        first = executor.call(("q1",), flaky(1))
+        assert first.ok and first.retries == 1
+        # budget is spent: the next failure gaps without any retry
+        second = executor.call(("q2",), flaky(1))
+        assert not second.ok and second.attempts == 1
+        assert second.gap_reason == GAP_RETRIES_EXHAUSTED
+
+    def test_start_round_resets_budget(self):
+        executor, _ = self._executor(max_attempts=3, round_retry_budget=1)
+        executor.start_round()
+        assert not executor.call(("q",), flaky(99)).ok
+        executor.start_round()
+        assert executor.call(("q",), flaky(1)).ok
+
+    def test_quota_exhaustion_is_not_retried(self):
+        executor, clock = self._executor()
+        start = clock.now()
+
+        def drained():
+            raise QuotaExceededError("pool drained")
+
+        outcome = executor.call(("q",), drained)
+        assert not outcome.ok
+        assert outcome.gap_reason == GAP_QUOTA_EXHAUSTED
+        assert outcome.attempts == 1 and outcome.retries == 0
+        assert clock.now() == start  # no backoff was spent
+        # quota exhaustion is an account-state fact, not a service fault:
+        # it must not poison the breaker
+        assert executor.breaker.trips == 0
+
+    def test_non_cloud_exceptions_propagate(self):
+        executor, _ = self._executor()
+
+        def bug():
+            raise RuntimeError("logic error")
+
+        with pytest.raises(RuntimeError):
+            executor.call(("q",), bug)
+
+    def test_counters_accumulate_across_calls(self):
+        executor, _ = self._executor(max_attempts=2)
+        executor.call(("a",), flaky(1))    # 1 retry, success
+        executor.call(("b",), flaky(99))   # 1 retry, gap
+        stats = executor.stats()
+        assert stats["calls"] == 2
+        assert stats["retries"] == 2
+        assert stats["gaps"] == 1
+        assert executor.retries_total == 2
+
+    def test_outcome_defaults(self):
+        outcome = CallOutcome(ok=False)
+        assert outcome.retries == 0 and outcome.errors == []

@@ -1,0 +1,117 @@
+"""Scheduler-under-failure tests: one bad collector must not starve the rest."""
+
+from repro.cloudsim import SimulationClock
+from repro.core import CollectionScheduler, CollectionReport, RunEntry
+
+
+def make_job(counter):
+    def collect():
+        counter.append(1)
+        return CollectionReport(queries_issued=1)
+    return collect
+
+
+def make_raiser(error=RuntimeError("collector crashed")):
+    def collect():
+        raise error
+    return collect
+
+
+class TestFailureIsolation:
+    def test_raising_job_does_not_starve_siblings(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        ran = []
+        bad = scheduler.register("bad", make_raiser(), period=600)
+        good = scheduler.register("good", make_job(ran), period=600)
+        count = scheduler.run_due()
+        assert count == 2           # both jobs were attempted
+        assert sum(ran) == 1        # the sibling actually ran
+        assert bad.failures == 1 and bad.runs == 0
+        assert good.runs == 1 and good.failures == 0
+
+    def test_registration_order_does_not_matter(self):
+        """The sibling runs whether it sorts before or after the crasher."""
+        for order in (("bad", "good"), ("good", "bad")):
+            clock = SimulationClock()
+            scheduler = CollectionScheduler(clock)
+            ran = []
+            for name in order:
+                if name == "bad":
+                    scheduler.register("bad", make_raiser(), period=600)
+                else:
+                    scheduler.register("good", make_job(ran), period=600)
+            scheduler.run_due()
+            assert sum(ran) == 1
+
+    def test_failed_round_is_visible_in_history(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        scheduler.register("bad", make_raiser(ValueError("boom")), period=600)
+        scheduler.run_due()
+        entry = scheduler.history[0]
+        assert entry.status == "error"
+        assert "ValueError" in entry.error and "boom" in entry.error
+        assert entry.name == "bad"
+
+    def test_history_entries_unpack_as_time_name_pairs(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        scheduler.register("a", make_job([]), period=600)
+        scheduler.register("bad", make_raiser(), period=600)
+        scheduler.run_due()
+        names = [name for _, name in scheduler.history]
+        assert names == ["a", "bad"]
+
+    def test_failing_job_keeps_its_cadence(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        job = scheduler.register("bad", make_raiser(), period=600)
+        scheduler.run_for(1800, step=600)
+        # fired (and failed) at t=0, 600, 1200, 1800 without tight-looping
+        assert job.failures == 4
+        assert job.next_due > clock.now()
+
+    def test_recovery_after_transient_crash(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        state = {"round": 0}
+
+        def flaky_collect():
+            state["round"] += 1
+            if state["round"] == 1:
+                raise RuntimeError("first round crashes")
+            return CollectionReport(queries_issued=1)
+
+        job = scheduler.register("flaky", flaky_collect, period=600)
+        scheduler.run_for(600, step=600)
+        assert job.failures == 1 and job.runs == 1
+        assert job.last_report is not None
+        assert job.last_error.startswith("RuntimeError")
+        statuses = [entry.status for entry in scheduler.history]
+        assert statuses == ["error", "ok"]
+
+    def test_missed_rounds_counted_after_stall(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        job = scheduler.register("a", make_job([]), period=600)
+        scheduler.run_due()
+        clock.advance(10_000)
+        scheduler.run_due()
+        # 600, 1200, ..., 9600 were skipped: 15 whole periods lost
+        assert job.missed_rounds == 15
+        assert job.runs == 2
+
+    def test_no_missed_rounds_at_normal_cadence(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock)
+        job = scheduler.register("a", make_job([]), period=600)
+        scheduler.run_for(3600, step=600)
+        assert job.missed_rounds == 0
+        assert job.runs == 7
+
+    def test_run_entry_defaults(self):
+        entry = RunEntry(1.0, "sps")
+        assert entry.status == "ok" and entry.error == ""
+        t, name = entry
+        assert (t, name) == (1.0, "sps")

@@ -105,3 +105,53 @@ class TestArchiveInvariants:
             table.write(Record.make({"k": "x"}, "m", v, float(t)))
         for t, v in enumerate(values):
             assert table.value_at("m", {"k": "x"}, float(t)) == v
+
+
+class TestChaosInvariants:
+    """Under any seeded fault schedule, no planned query is silently lost:
+    every one ends as a retry-cleared success or an explicit gap record."""
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.sampled_from(["light", "moderate", "heavy"]))
+    @settings(max_examples=20, deadline=None)
+    def test_no_query_silently_dropped(self, chaos_seed, profile):
+        from tests.chaos.conftest import build_chaos_service
+
+        service = build_chaos_service(profile, chaos_seed=chaos_seed,
+                                      retry_attempts=2)
+        reports = service.collect_once()
+        plan_count = service.plan.optimized_query_count
+        sps = reports["sps"]
+        assert sps.queries_issued == plan_count
+        assert sps.queries_failed == sps.gaps
+        sps_gaps = len(service.archive.gap_history({"Source": "sps"}))
+        assert sps_gaps == sps.gaps
+        for name in ("advisor", "price"):
+            report = reports[name]
+            assert report.queries_failed == report.gaps
+            assert report.queries_failed + (report.records_written > 0) >= 1
+        total_gaps = sum(r.gaps for r in reports.values())
+        assert service.archive.gap_count() == total_gaps
+
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=10, deadline=None)
+    def test_fault_schedule_is_a_pure_function_of_seed(self, chaos_seed):
+        from repro.cloudsim import FaultInjector, FaultPlan, resolve_profile
+        from repro.cloudsim.clock import SimulationClock
+
+        schedules = []
+        for _ in range(2):
+            clock = SimulationClock()
+            injector = FaultInjector(
+                FaultPlan(seed=chaos_seed,
+                          profile=resolve_profile("heavy")), clock)
+            kinds = []
+            for _ in range(40):
+                try:
+                    injector.before_call("sps")
+                except Exception as exc:
+                    kinds.append(type(exc).__name__)
+                else:
+                    kinds.append("ok")
+            schedules.append(kinds)
+        assert schedules[0] == schedules[1]
