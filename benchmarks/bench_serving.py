@@ -1,0 +1,60 @@
+"""Serving read-path benchmark: repeated-query workload, cached vs not.
+
+The paper's serving path (API Gateway -> Lambda -> Timestream) absorbs
+high-frequency polling from dashboards and availability probes; this
+bench replays that shape -- the same battery of history/latest requests
+over and over -- against a 120-day backfilled archive, once with the
+generation-stamped read cache disabled and once enabled.
+
+Acceptance: the cached run must be >= 10x faster, and every cached
+response must be byte-identical to its uncached twin.  The JSON report
+lands in ``BENCH_serving.json`` next to this file.
+
+Run standalone (CI smoke) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.devtools.servebench import run_serve_bench, summary_lines
+
+#: The acceptance floor for the repeated-query speedup.
+MIN_SPEEDUP = 10.0
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def run_and_report(write_report: bool = True) -> dict:
+    report = run_serve_bench(seed=0)
+    print("\nServing bench: repeated-query workload")
+    for line in summary_lines(report):
+        print(f"  {line}")
+    if write_report:
+        REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True)
+                               + "\n", encoding="utf-8")
+        print(f"  report written to {REPORT_PATH}")
+    return report
+
+
+def test_serving_cache_speedup_and_byte_identity():
+    report = run_and_report()
+    assert report["byte_identical"], \
+        "cached responses diverge from uncached responses"
+    assert report["speedup"] >= MIN_SPEEDUP, \
+        f"speedup {report['speedup']:.1f}x below the {MIN_SPEEDUP:.0f}x floor"
+    cache = report["metrics"]["cache"]
+    assert cache["hit_rate"] > 0.9, cache
+
+
+if __name__ == "__main__":
+    result = run_and_report()
+    ok = result["byte_identical"] and result["speedup"] >= MIN_SPEEDUP
+    if not ok:
+        print(f"FAIL: byte_identical={result['byte_identical']} "
+              f"speedup={result['speedup']:.1f}x "
+              f"(floor {MIN_SPEEDUP:.0f}x)", file=sys.stderr)
+    sys.exit(0 if ok else 1)

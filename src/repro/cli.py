@@ -7,6 +7,7 @@ collection rounds, query the archive, and run the availability experiment.
     python -m repro.cli collect --types m5.large p3.2xlarge --rounds 3
     python -m repro.cli query --type m5.large --region us-east-1
     python -m repro.cli experiment --per-combo 40
+    python -m repro.cli serve-bench --output BENCH_serving.json
     python -m repro.cli lint src/repro --format json
 """
 
@@ -104,6 +105,31 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .devtools.servebench import run_serve_bench, summary_lines
+
+    report = run_serve_bench(seed=args.seed, days=args.days,
+                             pool_types=args.pool_types,
+                             repeats=args.repeats,
+                             page_limit=args.page_limit)
+    for line in summary_lines(report):
+        print(line)
+    if args.output:
+        import json as _json
+        with open(args.output, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.output}")
+    if not report["byte_identical"]:
+        print("FAIL: cached responses diverge from uncached responses",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and report["speedup"] < args.min_speedup:
+        print(f"FAIL: speedup {report['speedup']:.1f}x below required "
+              f"{args.min_speedup:.1f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .devtools import (
         ConfigError,
@@ -180,6 +206,25 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--day", type=float, default=35.0,
                             help="submission day inside the window")
     experiment.set_defaults(func=_cmd_experiment)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="benchmark the serving read path, cached vs uncached")
+    serve_bench.add_argument("--days", type=int, default=120,
+                             help="backfilled archive window (days)")
+    serve_bench.add_argument("--pool-types", type=int, default=12,
+                             help="instance types in the backfill slice")
+    serve_bench.add_argument("--repeats", type=int, default=40,
+                             help="workload battery repetitions")
+    serve_bench.add_argument("--page-limit", type=int, default=500,
+                             help="page size of the paginated request")
+    serve_bench.add_argument("--output", default=None,
+                             help="write the JSON report here "
+                                  "(e.g. BENCH_serving.json)")
+    serve_bench.add_argument("--min-speedup", type=float, default=0.0,
+                             help="exit 1 when the cache speedup falls "
+                                  "below this factor")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     lint = sub.add_parser(
         "lint", help="run the spotlint invariant checks")

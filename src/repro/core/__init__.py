@@ -49,8 +49,16 @@ from .scheduler import (
     RunEntry,
     ScheduledJob,
 )
+from .metrics import MetricsRegistry, RouteMetrics, percentile
 from .service import ServiceConfig, SpotLakeService
-from .serving import ApiGateway, BadRequest, LambdaHandlers, Response
+from .serving import (
+    ApiGateway,
+    BadRequest,
+    LambdaHandlers,
+    Response,
+    decode_cursor,
+    encode_cursor,
+)
 
 __all__ = [
     "ADVISOR_TABLE", "DIM_REGION", "DIM_TYPE", "DIM_ZONE",
@@ -70,4 +78,6 @@ __all__ = [
     "ScheduledJob",
     "ServiceConfig", "SpotLakeService",
     "ApiGateway", "BadRequest", "LambdaHandlers", "Response",
+    "MetricsRegistry", "RouteMetrics", "percentile",
+    "decode_cursor", "encode_cursor",
 ]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..timeseries import (
+    QueryCache,
     Record,
     RetentionPolicy,
     SeriesKey,
@@ -32,6 +33,7 @@ from ..timeseries import (
     resample_matrix,
     update_intervals,
 )
+from ..timeseries.cache import DEFAULT_MAX_ENTRIES
 
 SPS_TABLE = "sps"
 ADVISOR_TABLE = "advisor"
@@ -59,11 +61,51 @@ DIM_REASON = "Reason"
 class SpotLakeArchive:
     """Facade the collectors write to and the serving layer reads from."""
 
-    def __init__(self, retention: Optional[RetentionPolicy] = None):
+    def __init__(self, retention: Optional[RetentionPolicy] = None,
+                 cache: bool = True,
+                 cache_entries: int = DEFAULT_MAX_ENTRIES):
         self.store = TimeSeriesStore()
         self.store.create_table(SPS_TABLE, retention)
         self.store.create_table(ADVISOR_TABLE, retention)
         self.store.create_table(PRICE_TABLE, retention)
+        #: generation-stamped read caches, one per table (lazily created)
+        self._caches: Dict[str, QueryCache] = {}
+        self._cache_entries = cache_entries
+        self.cache_enabled = cache
+
+    # -- read caching -------------------------------------------------------
+
+    def query_cache(self, table_name: str) -> Optional[QueryCache]:
+        """The table's read cache, or None while caching is disabled."""
+        if not self.cache_enabled:
+            return None
+        cache = self._caches.get(table_name)
+        if cache is None:
+            cache = QueryCache(self.store.table(table_name),
+                               max_entries=self._cache_entries)
+            self._caches[table_name] = cache
+        return cache
+
+    def cache_stats(self) -> Dict[str, dict]:
+        """Per-table cache counters plus an aggregate ``hit_rate``."""
+        per_table = {name: cache.stats.as_dict()
+                     for name, cache in sorted(self._caches.items())}
+        hits = sum(c.stats.hits for c in self._caches.values())
+        requests = sum(c.stats.requests for c in self._caches.values())
+        return {
+            "enabled": self.cache_enabled,
+            "tables": per_table,
+            "hits": hits,
+            "misses": requests - hits,
+            "hit_rate": hits / requests if requests else 0.0,
+        }
+
+    def _value_at(self, table_name: str, measure: str,
+                  dimensions: Dict[str, str], time: float):
+        cache = self.query_cache(table_name)
+        if cache is not None:
+            return cache.value_at(measure, dimensions, time)
+        return self.store.table(table_name).value_at(measure, dimensions, time)
 
     # -- tables ------------------------------------------------------------
 
@@ -130,25 +172,25 @@ class SpotLakeArchive:
 
     def sps_at(self, instance_type: str, region: str, zone: str,
                time: float) -> Optional[int]:
-        value = self.sps.value_at(SPS_MEASURE, {
+        value = self._value_at(SPS_TABLE, SPS_MEASURE, {
             DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone}, time)
         return None if value is None else int(value)
 
     def if_score_at(self, instance_type: str, region: str,
                     time: float) -> Optional[float]:
-        value = self.advisor.value_at(IF_SCORE_MEASURE, {
+        value = self._value_at(ADVISOR_TABLE, IF_SCORE_MEASURE, {
             DIM_TYPE: instance_type, DIM_REGION: region}, time)
         return None if value is None else float(value)
 
     def savings_at(self, instance_type: str, region: str,
                    time: float) -> Optional[int]:
-        value = self.advisor.value_at(SAVINGS_MEASURE, {
+        value = self._value_at(ADVISOR_TABLE, SAVINGS_MEASURE, {
             DIM_TYPE: instance_type, DIM_REGION: region}, time)
         return None if value is None else int(value)
 
     def price_at(self, instance_type: str, region: str, zone: str,
                  time: float) -> Optional[float]:
-        value = self.price.value_at(PRICE_MEASURE, {
+        value = self._value_at(PRICE_TABLE, PRICE_MEASURE, {
             DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone}, time)
         return None if value is None else float(value)
 
@@ -164,11 +206,21 @@ class SpotLakeArchive:
         table = self.gaps
         if table is None:
             return []
+        cache = self.query_cache(GAPS_TABLE)
+        if cache is not None:
+            return cache.scan(GAP_MEASURE, filters or {}, start, end)
         return table.scan(GAP_MEASURE, filters or {}, start, end)
 
     def history(self, table_name: str, measure: str,
                 filters: Dict[str, str], start: float, end: float) -> List[Record]:
-        """Change-point history of matching series in [start, end]."""
+        """Change-point history of matching series in [start, end].
+
+        Served through the table's generation-stamped read cache when
+        caching is enabled; treat the returned list as immutable.
+        """
+        cache = self.query_cache(table_name)
+        if cache is not None:
+            return cache.scan(measure, filters, start, end)
         return self.store.table(table_name).scan(measure, filters, start, end)
 
     # -- analysis-facing bulk reads ------------------------------------------------

@@ -1,0 +1,131 @@
+"""Serving observability: per-route counters and latency percentiles.
+
+The real SpotLake fronts its archive with API Gateway + Lambda, where
+CloudWatch supplies request counts and latency distributions for free.
+This module is the reproduction's stand-in: the :class:`ApiGateway` feeds
+every dispatched request into a :class:`MetricsRegistry`, and the
+``/metrics`` route (plus ``repro serve-bench``) surfaces the snapshot.
+
+Determinism note: latency is measured with an *injectable* timer.  The
+default is ``time.perf_counter`` -- a host clock -- which is fine here
+because latency samples are observability-only: they never reach the
+archive, a response body other than ``/metrics``, or any byte-compared
+artifact.  Tests inject a fake timer to make percentile math exact.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: Percentiles reported for every route's latency distribution.
+LATENCY_PERCENTILES = (50, 95, 99)
+
+#: Per-route cap on retained latency samples; beyond it the reservoir
+#: keeps every k-th sample so long benchmarks stay O(1) per request.
+MAX_SAMPLES = 4096
+
+
+def percentile(sorted_samples: List[float], pct: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, math.ceil(pct / 100.0 * len(sorted_samples)))
+    return sorted_samples[min(rank, len(sorted_samples)) - 1]
+
+
+@dataclass
+class RouteMetrics:
+    """Counters and latency samples for one route."""
+
+    requests: int = 0
+    by_status: Dict[str, int] = field(default_factory=dict)
+    server_errors: int = 0
+    rows_served: int = 0
+    total_latency_ms: float = 0.0
+    max_latency_ms: float = 0.0
+    #: ascending latency samples (decimated past MAX_SAMPLES)
+    samples_ms: List[float] = field(default_factory=list)
+    _sample_stride: int = 1
+    _sample_clock: int = 0
+
+    def observe(self, status: int, rows: int, latency_ms: float) -> None:
+        self.requests += 1
+        bucket = str(status)
+        self.by_status[bucket] = self.by_status.get(bucket, 0) + 1
+        if status >= 500:
+            self.server_errors += 1
+        self.rows_served += rows
+        self.total_latency_ms += latency_ms
+        self.max_latency_ms = max(self.max_latency_ms, latency_ms)
+        self._sample_clock += 1
+        if self._sample_clock % self._sample_stride:
+            return
+        insort(self.samples_ms, latency_ms)
+        if len(self.samples_ms) >= MAX_SAMPLES:
+            # halve the reservoir, double the stride: bounded memory with
+            # an unbiased-enough tail for p50/p95/p99 reporting
+            self.samples_ms = self.samples_ms[::2]
+            self._sample_stride *= 2
+
+    def snapshot(self) -> dict:
+        latency = {f"p{p}_ms": percentile(self.samples_ms, p)
+                   for p in LATENCY_PERCENTILES}
+        latency["max_ms"] = self.max_latency_ms
+        latency["mean_ms"] = (self.total_latency_ms / self.requests
+                              if self.requests else 0.0)
+        return {
+            "requests": self.requests,
+            "by_status": dict(sorted(self.by_status.items())),
+            "server_errors": self.server_errors,
+            "rows_served": self.rows_served,
+            "latency": latency,
+        }
+
+
+class MetricsRegistry:
+    """Aggregates request metrics across routes.
+
+    ``timer`` is any zero-argument monotonic-seconds callable; the
+    default reads the host performance counter (see module docstring).
+    """
+
+    def __init__(self, timer: Optional[Callable[[], float]] = None):
+        self._timer = timer if timer is not None else time.perf_counter
+        self._routes: Dict[str, RouteMetrics] = {}
+
+    def clock(self) -> float:
+        """Current timer reading, in seconds."""
+        return self._timer()
+
+    def route(self, route: str) -> RouteMetrics:
+        metrics = self._routes.get(route)
+        if metrics is None:
+            metrics = self._routes[route] = RouteMetrics()
+        return metrics
+
+    def observe(self, route: str, status: int, rows: int,
+                latency_seconds: float) -> None:
+        """Record one dispatched request."""
+        self.route(route).observe(status, rows, latency_seconds * 1000.0)
+
+    def reset(self) -> None:
+        self._routes.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-able metrics payload (the ``/metrics`` body core)."""
+        routes = {route: metrics.snapshot()
+                  for route, metrics in sorted(self._routes.items())}
+        return {
+            "routes": routes,
+            "totals": {
+                "requests": sum(m.requests for m in self._routes.values()),
+                "server_errors": sum(m.server_errors
+                                     for m in self._routes.values()),
+                "rows_served": sum(m.rows_served
+                                   for m in self._routes.values()),
+            },
+        }

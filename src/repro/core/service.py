@@ -68,6 +68,10 @@ class ServiceConfig:
     breaker_threshold: int = 5
     #: sim-seconds an open breaker waits before half-open probing.
     breaker_reset: float = 1800.0
+    #: serve reads through the generation-stamped query cache.
+    serving_cache: bool = True
+    #: per-table cache entry bound (LRU beyond it).
+    cache_entries: int = 1024
 
 
 class SpotLakeService:
@@ -77,7 +81,9 @@ class SpotLakeService:
                  cloud: Optional[SimulatedCloud] = None):
         self.config = config or ServiceConfig()
         self.cloud = cloud or SimulatedCloud(seed=self.config.seed)
-        self.archive = SpotLakeArchive()
+        self.archive = SpotLakeArchive(
+            cache=self.config.serving_cache,
+            cache_entries=self.config.cache_entries)
 
         profile = resolve_profile(self.config.chaos_profile)
         if profile.total_rate > 0.0:
@@ -161,6 +167,19 @@ class SpotLakeService:
         """Per-data-source retry/gap/breaker counters (empty when off)."""
         return {source: executor.stats()
                 for source, executor in self.executors.items()}
+
+    # -- serving observability -------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The gateway's serving metrics registry."""
+        return self.gateway.metrics
+
+    def serving_stats(self) -> dict:
+        """Request metrics + cache counters (the ``/metrics`` payload)."""
+        snapshot = self.gateway.metrics.snapshot()
+        snapshot["cache"] = self.archive.cache_stats()
+        return snapshot
 
     # -- fast backfill -------------------------------------------------------------
 

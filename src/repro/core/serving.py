@@ -4,14 +4,30 @@ A user's HTTP-style request (path + query parameters) is routed by the
 :class:`ApiGateway` to a handler function that reads the archive and
 returns a JSON-able dict -- the same serverless shape as the real service
 (API Gateway -> Lambda -> Timestream).  Parameter validation errors map to
-status 400, unknown routes to 404.
+status 400, unknown routes to 404, handler crashes to a 500 envelope.
+
+The read path is built for repeated dashboard-style traffic:
+
+* record scans go through the archive's generation-stamped
+  :class:`~repro.timeseries.cache.QueryCache`, and the *rendered* response
+  rows are memoized under the same invalidation rule, so a repeated
+  history query costs a dict probe plus a page slice;
+* all ``/…/history`` routes paginate via ``limit`` and an opaque
+  ``next_token`` cursor that is stable across later writes (it encodes
+  the last row's sort position, not an offset);
+* every dispatch is recorded in a :class:`~.metrics.MetricsRegistry`
+  surfaced at ``/metrics``.
 """
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .archive import (
     ADVISOR_TABLE,
@@ -27,6 +43,26 @@ from .archive import (
     SPS_TABLE,
     SpotLakeArchive,
 )
+from .metrics import MetricsRegistry
+
+#: Sort position of one history row: (time, measure, dimension items).
+#: ``Table.scan`` output is strictly increasing under this comparator
+#: (stable time sort over series in (measure, dimensions) order), which
+#: is what makes the pagination cursor stable across later writes.
+CursorPos = Tuple[float, str, Tuple[Tuple[str, str], ...]]
+
+_CURSOR_VERSION = 1
+
+
+def _sanitize(value):
+    """Map non-finite floats to None so the payload is spec-valid JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
 
 
 @dataclass
@@ -37,7 +73,11 @@ class Response:
     body: dict
 
     def json(self) -> str:
-        return json.dumps(self.body, sort_keys=True)
+        # allow_nan=False guarantees we never emit the bare NaN/Infinity
+        # literals standards-compliant parsers reject; _sanitize maps any
+        # non-finite measure to null first so serialization cannot fail.
+        return json.dumps(_sanitize(self.body), sort_keys=True,
+                          allow_nan=False)
 
 
 class BadRequest(ValueError):
@@ -51,15 +91,60 @@ def _require(params: Dict[str, str], key: str) -> str:
     return value
 
 
-def _time_range(params: Dict[str, str]) -> tuple:
+def _finite(raw: str, name: str) -> float:
+    """Parse a finite timestamp; NaN/±inf are 400s, not silent matches."""
     try:
-        start = float(_require(params, "start"))
-        end = float(_require(params, "end"))
+        value = float(raw)
     except ValueError as exc:
-        raise BadRequest(f"invalid time range: {exc}") from exc
+        raise BadRequest(f"invalid {name!r} timestamp: {raw!r}") from exc
+    if not math.isfinite(value):
+        raise BadRequest(f"non-finite {name!r} timestamp: {raw!r}")
+    return value
+
+
+def _time_range(params: Dict[str, str]) -> Tuple[float, float]:
+    start = _finite(_require(params, "start"), "start")
+    end = _finite(_require(params, "end"), "end")
     if end < start:
         raise BadRequest("end precedes start")
     return start, end
+
+
+def _parse_limit(params: Dict[str, str]) -> Optional[int]:
+    raw = params.get("limit")
+    if raw is None:
+        return None
+    try:
+        limit = int(raw)
+    except ValueError as exc:
+        raise BadRequest(f"invalid 'limit': {raw!r}") from exc
+    if limit < 1:
+        raise BadRequest("'limit' must be a positive integer")
+    return limit
+
+
+def encode_cursor(pos: CursorPos) -> str:
+    """Opaque, stable pagination token for the row at ``pos``."""
+    payload = {"v": _CURSOR_VERSION, "t": pos[0], "m": pos[1],
+               "d": [list(item) for item in pos[2]]}
+    raw = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return base64.urlsafe_b64encode(raw.encode("utf-8")).decode("ascii")
+
+
+def decode_cursor(token: str) -> CursorPos:
+    """Inverse of :func:`encode_cursor`; malformed tokens are 400s."""
+    try:
+        raw = base64.urlsafe_b64decode(token.encode("ascii"))
+        payload = json.loads(raw.decode("utf-8"))
+        if payload["v"] != _CURSOR_VERSION:
+            raise BadRequest(f"unsupported cursor version {payload['v']!r}")
+        return (float(payload["t"]), str(payload["m"]),
+                tuple((str(k), str(v)) for k, v in payload["d"]))
+    except BadRequest:
+        raise
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError,
+            binascii.Error) as exc:
+        raise BadRequest(f"malformed 'next_token': {exc}") from exc
 
 
 class LambdaHandlers:
@@ -67,25 +152,61 @@ class LambdaHandlers:
 
     def __init__(self, archive: SpotLakeArchive):
         self.archive = archive
+        # fallback rows memo for cache-disabled archives: nothing is
+        # memoized, rows are rendered per request
+        self._render_calls = 0
+
+    # -- history -------------------------------------------------------------
+
+    def _rendered_rows(self, table: str, measure: str,
+                       filters: Dict[str, str], start: float,
+                       end: float) -> Tuple[List[dict], List[CursorPos]]:
+        """All rendered rows + their cursor positions for one query slice.
+
+        Memoized in the table's query cache (same generation-stamp rule as
+        the records themselves), so repeated dashboard queries skip both
+        the scan and the row rendering.
+        """
+        def render() -> Tuple[List[dict], List[CursorPos]]:
+            self._render_calls += 1
+            records = self.archive.history(table, measure, filters,
+                                           start, end)
+            rows = [{"time": r.time, "value": r.value, **r.dimension_dict}
+                    for r in records]
+            positions = [(r.time, r.measure_name, r.dimensions)
+                         for r in records]
+            return rows, positions
+
+        cache = self.archive.query_cache(table)
+        if cache is None:
+            return render()
+        return cache.derived("rows", measure, filters, (start, end), render)
 
     def _history_payload(self, table: str, measure: str,
                          params: Dict[str, str],
                          dims: List[str]) -> dict:
         start, end = _time_range(params)
+        limit = _parse_limit(params)
+        token = params.get("next_token")
         filters = {}
         for dim, param in ((DIM_TYPE, "instance_type"),
                            (DIM_REGION, "region"),
                            (DIM_ZONE, "zone")):
             if dim in dims and params.get(param):
                 filters[dim] = params[param]
-        records = self.archive.history(table, measure, filters, start, end)
+        rows, positions = self._rendered_rows(table, measure, filters,
+                                              start, end)
+        begin = bisect_right(positions, decode_cursor(token)) if token else 0
+        page = rows[begin:begin + limit] if limit is not None else rows[begin:]
+        next_pos = begin + len(page)
+        next_token = (encode_cursor(positions[next_pos - 1])
+                      if page and next_pos < len(rows) else None)
         return {
             "measure": measure,
-            "count": len(records),
-            "rows": [
-                {"time": r.time, "value": r.value, **r.dimension_dict}
-                for r in records
-            ],
+            "count": len(page),
+            "total": len(rows),
+            "rows": page,
+            "next_token": next_token,
         }
 
     def sps_history(self, params: Dict[str, str]) -> dict:
@@ -107,15 +228,14 @@ class LambdaHandlers:
         return self._history_payload(PRICE_TABLE, PRICE_MEASURE, params,
                                      [DIM_TYPE, DIM_REGION, DIM_ZONE])
 
+    # -- point reads ---------------------------------------------------------
+
     def latest(self, params: Dict[str, str]) -> dict:
         """GET /latest -- current value of all three datasets for a pool."""
         itype = _require(params, "instance_type")
         region = _require(params, "region")
         zone = params.get("zone")
-        try:
-            at = float(_require(params, "at"))
-        except ValueError as exc:
-            raise BadRequest("invalid 'at' timestamp") from exc
+        at = _finite(_require(params, "at"), "at")
         payload: dict = {
             "instance_type": itype,
             "region": region,
@@ -134,9 +254,16 @@ class LambdaHandlers:
 
 
 class ApiGateway:
-    """Routes paths to Lambda handlers, mapping errors to status codes."""
+    """Routes paths to Lambda handlers, mapping errors to status codes.
 
-    def __init__(self, archive: SpotLakeArchive):
+    Every dispatch (including 404s and crashes) is recorded in the
+    metrics registry; ``/metrics`` serves the live snapshot plus the
+    archive's cache counters.
+    """
+
+    def __init__(self, archive: SpotLakeArchive,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.handlers = LambdaHandlers(archive)
         self._routes: Dict[str, Callable[[Dict[str, str]], dict]] = {
             "/sps/history": self.handlers.sps_history,
@@ -144,17 +271,39 @@ class ApiGateway:
             "/price/history": self.handlers.price_history,
             "/latest": self.handlers.latest,
             "/stats": self.handlers.stats,
+            "/metrics": self._metrics_payload,
         }
+
+    def _metrics_payload(self, params: Dict[str, str]) -> dict:
+        """GET /metrics -- serving observability snapshot."""
+        payload = self.metrics.snapshot()
+        payload["cache"] = self.handlers.archive.cache_stats()
+        return payload
 
     def routes(self) -> List[str]:
         return sorted(self._routes)
 
     def get(self, path: str, params: Optional[Dict[str, str]] = None) -> Response:
         """Dispatch a GET request."""
+        started = self.metrics.clock()
         handler = self._routes.get(path)
         if handler is None:
-            return Response(404, {"error": f"no route {path!r}"})
-        try:
-            return Response(200, handler(params or {}))
-        except BadRequest as exc:
-            return Response(400, {"error": str(exc)})
+            # one shared label keeps route cardinality in /metrics bounded
+            route, response = "<unknown>", Response(
+                404, {"error": f"no route {path!r}"})
+        else:
+            route = path
+            try:
+                response = Response(200, handler(params or {}))
+            except BadRequest as exc:
+                response = Response(400, {"error": str(exc)})
+            except Exception as exc:  # noqa: BLE001 -- the 500 envelope
+                response = Response(500, {
+                    "error": "internal server error",
+                    "exception": type(exc).__name__,
+                })
+        rows = response.body.get("count") if response.status == 200 else 0
+        self.metrics.observe(route, response.status,
+                             rows if isinstance(rows, int) else 0,
+                             self.metrics.clock() - started)
+        return response

@@ -26,6 +26,33 @@ DEFAULT_TYPES = ("m5.large", "c5.xlarge", "r5.2xlarge", "p3.2xlarge",
                  "i3.large")
 
 
+def serving_digest(service: SpotLakeService) -> str:
+    """Digest of the canonical serving battery's response bytes.
+
+    Each request is issued three ways -- cache-cold, cache-hot, and with
+    the cache disabled -- and all three must serialize byte-identically
+    (the read cache's correctness contract) before contributing to the
+    digest.  Any divergence raises ``AssertionError``.
+    """
+    from .servebench import build_workload
+
+    sha = hashlib.sha256()
+    for path, params in build_workload(service, page_limit=100):
+        cold = service.gateway.get(path, params).json().encode("utf-8")
+        hot = service.gateway.get(path, params).json().encode("utf-8")
+        was_enabled = service.archive.cache_enabled
+        service.archive.cache_enabled = False
+        try:
+            uncached = service.gateway.get(path, params).json().encode("utf-8")
+        finally:
+            service.archive.cache_enabled = was_enabled
+        if not (cold == hot == uncached):
+            raise AssertionError(
+                f"read cache changed response bytes for {path} {params}")
+        sha.update(cold)
+    return sha.hexdigest()
+
+
 @dataclass
 class DoubleRunResult:
     """Digest comparison of two identically-seeded collection runs."""
@@ -49,13 +76,17 @@ def snapshot_digests(seed: int = 0,
                      interval_minutes: float = 10.0,
                      directory: Optional[Path] = None,
                      chaos_profile: str = "none",
-                     chaos_seed: Optional[int] = None) -> Dict[str, str]:
+                     chaos_seed: Optional[int] = None,
+                     include_serving: bool = False) -> Dict[str, str]:
     """Run one fresh service for ``rounds`` collection rounds; hash tables.
 
     Returns ``{table_name: sha256_of_snapshot_file}``.  The service, cloud
     and account pool are constructed from scratch so no state leaks
     between invocations.  With a chaos profile, the injected fault
     schedule (and hence any gap records) must replay identically too.
+    With ``include_serving``, a ``"serving"`` pseudo-table digests the
+    canonical API battery (see :func:`serving_digest`), extending the
+    byte-determinism contract over the cached read path.
     """
     config = ServiceConfig(
         seed=seed,
@@ -66,6 +97,7 @@ def snapshot_digests(seed: int = 0,
     for _ in range(rounds):
         service.collect_once()
         service.cloud.clock.advance_minutes(interval_minutes)
+    serving = serving_digest(service) if include_serving else None
 
     owns_dir = directory is None
     directory = Path(tempfile.mkdtemp(prefix="spotlint-doublerun-")) \
@@ -75,6 +107,8 @@ def snapshot_digests(seed: int = 0,
         digests = {}
         for path in sorted(directory.glob("*.jsonl")):
             digests[path.stem] = hashlib.sha256(path.read_bytes()).hexdigest()
+        if serving is not None:
+            digests["serving"] = serving
         return digests
     finally:
         if owns_dir:
@@ -86,16 +120,19 @@ def double_run(seed: int = 0,
                rounds: int = 2,
                interval_minutes: float = 10.0,
                chaos_profile: str = "none",
-               chaos_seed: Optional[int] = None) -> DoubleRunResult:
+               chaos_seed: Optional[int] = None,
+               include_serving: bool = False) -> DoubleRunResult:
     """Two independent seeded runs; byte-compare their archive snapshots."""
     digests_a = snapshot_digests(seed, instance_types, rounds,
                                  interval_minutes,
                                  chaos_profile=chaos_profile,
-                                 chaos_seed=chaos_seed)
+                                 chaos_seed=chaos_seed,
+                                 include_serving=include_serving)
     digests_b = snapshot_digests(seed, instance_types, rounds,
                                  interval_minutes,
                                  chaos_profile=chaos_profile,
-                                 chaos_seed=chaos_seed)
+                                 chaos_seed=chaos_seed,
+                                 include_serving=include_serving)
     mismatched = sorted(
         set(digests_a) ^ set(digests_b)
         | {t for t in set(digests_a) & set(digests_b)
@@ -115,10 +152,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
     parser.add_argument("--rounds", type=int, default=2)
     parser.add_argument("--chaos-profile", default="none")
     parser.add_argument("--chaos-seed", type=int, default=None)
+    parser.add_argument("--serving", action="store_true",
+                        help="also digest the serving battery (cached vs "
+                             "uncached responses must be byte-identical)")
     args = parser.parse_args(argv)
     result = double_run(seed=args.seed, rounds=args.rounds,
                         chaos_profile=args.chaos_profile,
-                        chaos_seed=args.chaos_seed)
+                        chaos_seed=args.chaos_seed,
+                        include_serving=args.serving)
     print(result.summary())
     return 0 if result.identical else 1
 

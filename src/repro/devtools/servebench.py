@@ -1,0 +1,167 @@
+"""Serving benchmark harness: a repeated-query workload, cached vs not.
+
+Builds a backfilled SpotLake service, replays the same dashboard-style
+request battery against the gateway with the read cache disabled and
+then enabled, and reports wall-clock timings, the speedup, the metrics
+snapshot, and -- the contract that lets the cache exist at all -- whether
+every cached response is byte-identical to its uncached twin.
+
+Lives in ``devtools`` (not ``core``) because it times with the *host*
+clock: benchmarking latency is meta-observation, outside the simulation's
+seed+clock determinism envelope (latencies are reported, never archived).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.service import ServiceConfig, SpotLakeService
+
+RequestSpec = Tuple[str, Dict[str, str]]
+
+#: Default workload shape: enough archive to make uncached scans hurt,
+#: small enough for a CI smoke run.
+DEFAULT_DAYS = 120
+DEFAULT_POOL_TYPES = 12
+DEFAULT_REPEATS = 40
+
+
+def build_backfilled_service(seed: int = 0, days: int = DEFAULT_DAYS,
+                             pool_types: int = DEFAULT_POOL_TYPES,
+                             samples_per_day: int = 2) -> SpotLakeService:
+    """A service whose archive holds ``days`` of twice-daily samples for a
+    deterministic slice of ``pool_types`` instance types."""
+    service = SpotLakeService(ServiceConfig(seed=seed))
+    catalog = service.cloud.catalog
+    types = sorted({p[0] for p in catalog.all_pools()})[:pool_types]
+    pools = [p for p in catalog.all_pools() if p[0] in set(types)]
+    start = service.cloud.clock.start
+    times = [start + d * 86400.0 + s * (86400.0 / samples_per_day) + 3600.0
+             for d in range(days) for s in range(samples_per_day)]
+    service.bulk_backfill(times, pools=pools)
+    service.cloud.clock.set(times[-1])
+    return service
+
+
+def build_workload(service: SpotLakeService,
+                   page_limit: int = 500) -> List[RequestSpec]:
+    """The canonical request battery: full-range history scans (the hot
+    dashboard path), filtered drill-downs, paginated pages, and point
+    lookups -- all with deterministic parameters drawn from the catalog."""
+    catalog = service.cloud.catalog
+    pools = sorted(catalog.all_pools())
+    now = service.cloud.clock.now()
+    start = str(service.cloud.clock.start - 1.0)
+    end = str(now + 1.0)
+    requests: List[RequestSpec] = [
+        ("/sps/history", {"start": start, "end": end}),
+        ("/price/history", {"start": start, "end": end}),
+        ("/advisor/history", {"start": start, "end": end}),
+        ("/advisor/history", {"start": start, "end": end,
+                              "measure": "savings"}),
+        ("/sps/history", {"start": start, "end": end,
+                          "limit": str(page_limit)}),
+        ("/stats", {}),
+    ]
+    for itype, region, zone in pools[:3]:
+        requests.append(("/sps/history", {
+            "start": start, "end": end, "instance_type": itype}))
+        requests.append(("/price/history", {
+            "start": start, "end": end, "instance_type": itype,
+            "region": region, "zone": zone}))
+        requests.append(("/latest", {
+            "instance_type": itype, "region": region, "zone": zone,
+            "at": str(now)}))
+    return requests
+
+
+def _run_workload(service: SpotLakeService, requests: Sequence[RequestSpec],
+                  repeats: int) -> Tuple[float, str, int]:
+    """Replay the battery ``repeats`` times; returns (seconds, digest of
+    every response body, rows served).  The digest hashes each response's
+    canonical JSON, so two runs agree iff every body is byte-identical."""
+    gateway = service.gateway
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for path, params in requests:
+            response = gateway.get(path, params)
+            if response.status != 200:
+                raise RuntimeError(
+                    f"workload request {path} {params} -> {response.status}: "
+                    f"{response.body}")
+    elapsed = time.perf_counter() - started
+    sha = hashlib.sha256()
+    rows = 0
+    for path, params in requests:
+        response = gateway.get(path, params)
+        sha.update(response.json().encode("utf-8"))
+        count = response.body.get("count")
+        rows += count if isinstance(count, int) else 0
+    return elapsed, sha.hexdigest(), rows
+
+
+def run_serve_bench(seed: int = 0, days: int = DEFAULT_DAYS,
+                    pool_types: int = DEFAULT_POOL_TYPES,
+                    repeats: int = DEFAULT_REPEATS,
+                    page_limit: int = 500) -> dict:
+    """The full cached-vs-uncached comparison; returns a JSON-able report."""
+    service = build_backfilled_service(seed=seed, days=days,
+                                       pool_types=pool_types)
+    requests = build_workload(service, page_limit=page_limit)
+
+    service.archive.cache_enabled = False
+    service.metrics.reset()
+    uncached_s, uncached_digest, rows = _run_workload(service, requests,
+                                                      repeats)
+
+    service.archive.cache_enabled = True
+    service.metrics.reset()
+    cached_s, cached_digest, _ = _run_workload(service, requests, repeats)
+    snapshot = service.serving_stats()
+
+    total = (repeats + 1) * len(requests)
+    return {
+        "workload": {
+            "seed": seed,
+            "days": days,
+            "pool_types": pool_types,
+            "distinct_requests": len(requests),
+            "repeats": repeats,
+            "requests_per_mode": total,
+            "rows_per_battery": rows,
+        },
+        "uncached_seconds": uncached_s,
+        "cached_seconds": cached_s,
+        "speedup": uncached_s / cached_s if cached_s > 0 else float("inf"),
+        "byte_identical": uncached_digest == cached_digest,
+        "response_digest": cached_digest,
+        "metrics": snapshot,
+    }
+
+
+def summary_lines(report: dict) -> List[str]:
+    """Human-readable report, one line per fact."""
+    work = report["workload"]
+    cache = report["metrics"]["cache"]
+    lines = [
+        f"workload: {work['distinct_requests']} distinct requests x "
+        f"{work['repeats']} repeats over {work['days']} days, "
+        f"{work['pool_types']} instance types "
+        f"({work['rows_per_battery']} rows per battery)",
+        f"uncached: {report['uncached_seconds']:.3f}s   "
+        f"cached: {report['cached_seconds']:.3f}s   "
+        f"speedup: {report['speedup']:.1f}x",
+        f"cache: hit_rate={cache['hit_rate']:.3f} "
+        f"hits={cache['hits']} misses={cache['misses']}",
+        f"byte-identical cached vs uncached responses: "
+        f"{report['byte_identical']}",
+    ]
+    for route, metrics in report["metrics"]["routes"].items():
+        lat = metrics["latency"]
+        lines.append(
+            f"  {route}: n={metrics['requests']} "
+            f"p50={lat['p50_ms']:.3f}ms p95={lat['p95_ms']:.3f}ms "
+            f"p99={lat['p99_ms']:.3f}ms rows={metrics['rows_served']}")
+    return lines

@@ -4,6 +4,7 @@ Dimensioned records, change-point (dedup) compression, filtered range
 queries, resampling, aggregation, and retention sweeps.
 """
 
+from .cache import CacheStats, QueryCache
 from .compression import ChangePointSeries
 from .query import QuerySpec, group_aggregate, resample_matrix, run_query, update_intervals
 from .record import DimensionKey, Record, SeriesKey, Value, dimension_key
@@ -12,6 +13,7 @@ from .store import RetentionPolicy, TimeSeriesStore
 from .table import Table, TableStats
 
 __all__ = [
+    "CacheStats", "QueryCache",
     "ChangePointSeries",
     "QuerySpec", "group_aggregate", "resample_matrix", "run_query", "update_intervals",
     "DimensionKey", "Record", "SeriesKey", "Value", "dimension_key",

@@ -1,0 +1,155 @@
+"""Generation-stamped read cache over one :class:`~.table.Table`.
+
+The serving layer answers the same dashboard-style queries over and over
+(the paper's API Gateway -> Lambda -> Timestream path; see DESIGN.md,
+"Serving & caching").  An uncached ``Table.scan`` re-walks and re-sorts
+every matching series per request; this cache memoizes ``scan`` /
+``latest`` / ``value_at`` results keyed by *(query spec, generation
+stamp)* so a repeated query is an O(1) dict probe until an overlapping
+write lands.
+
+Invalidation rule (the generation-stamp contract):
+
+* every query-visible table mutation (change-point write, eviction) bumps
+  the table's ``generation`` and stamps it onto the touched series, its
+  measure, and each of its dimension items;
+* a query's stamp is the *minimum* over its constraint generations
+  (measure + each filter item; the table-wide generation when
+  unconstrained).  A write overlapping the query bumps **all** of its
+  constraints past the old minimum, so the stamp moves and the entry is
+  recomputed.  Non-overlapping writes may bump a subset -- at worst a
+  spurious recompute, never a stale answer.
+
+Cached results are shared between callers: treat them as immutable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from .record import Record, SeriesKey, Value, dimension_key
+from .table import Table
+
+#: Default per-table entry bound (LRU beyond it).
+DEFAULT_MAX_ENTRIES = 1024
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one table's query cache."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _filters_key(filters: Optional[Dict[str, str]]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical hashable form of a filters mapping."""
+    if not filters:
+        return ()
+    return tuple(sorted(filters.items()))
+
+
+class QueryCache:
+    """Memoizes table reads, invalidated by the generation-stamp rule."""
+
+    def __init__(self, table: Table, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.table = table
+        self.max_entries = max_entries
+        # key -> (stamp, value); ordered for LRU eviction
+        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- core memoization ------------------------------------------------------
+
+    def memo(self, key: Hashable, stamp: int,
+             compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key`` at ``stamp``, computing on
+        miss.  A stamp mismatch counts as an invalidation + miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry[0] == stamp:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry[1]
+            self.stats.invalidations += 1
+        self.stats.misses += 1
+        value = compute()
+        self._entries[key] = (stamp, value)
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- cached table reads ----------------------------------------------------
+
+    def scan(self, measure_name: Optional[str] = None,
+             filters: Optional[Dict[str, str]] = None,
+             start: float = float("-inf"),
+             end: float = float("inf")) -> List[Record]:
+        """Cached :meth:`Table.scan`."""
+        stamp = self.table.generation_stamp(measure_name, filters)
+        key = ("scan", measure_name, _filters_key(filters), start, end)
+        return self.memo(key, stamp,
+                         lambda: self.table.scan(measure_name, filters,
+                                                 start, end))
+
+    def latest(self, measure_name: str,
+               filters: Optional[Dict[str, str]] = None) -> List[Record]:
+        """Cached :meth:`Table.latest`."""
+        stamp = self.table.generation_stamp(measure_name, filters)
+        key = ("latest", measure_name, _filters_key(filters))
+        return self.memo(key, stamp,
+                         lambda: self.table.latest(measure_name, filters))
+
+    def value_at(self, measure_name: str, dimensions: Dict[str, str],
+                 time: float) -> Optional[Value]:
+        """Cached :meth:`Table.value_at` (exact per-series stamp)."""
+        series_key = SeriesKey(measure_name, dimension_key(dimensions))
+        stamp = self.table.series_generation(series_key)
+        key = ("value_at", series_key, time)
+        return self.memo(key, stamp,
+                         lambda: self.table.value_at(measure_name,
+                                                     dimensions, time))
+
+    def derived(self, tag: str, measure_name: Optional[str],
+                filters: Optional[Dict[str, str]],
+                extra: Tuple[Hashable, ...],
+                compute: Callable[[], Any]) -> Any:
+        """Memoize a value *derived* from one (measure, filters) slice.
+
+        The serving layer uses this to keep rendered response rows hot
+        under the same invalidation rule as the records they came from.
+        """
+        stamp = self.table.generation_stamp(measure_name, filters)
+        key = (tag, measure_name, _filters_key(filters)) + tuple(extra)
+        return self.memo(key, stamp, compute)

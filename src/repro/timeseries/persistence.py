@@ -65,13 +65,9 @@ def load_table(path: Union[str, Path]) -> Table:
             )
             key = SeriesKey(line["measure"],
                             tuple(sorted(line["dimensions"].items())))
-            # install the series with its indexes, bypassing re-ingestion
-            table._series[key] = series
-            table._measures[key.measure_name].add(key)
-            for dim in key.dimensions:
-                table._index[dim].add(key)
-            table.stats.series_count += 1
-            table.stats.change_points_stored += len(series)
+            # install the series with its indexes (and the generation /
+            # latest-value views), bypassing re-ingestion
+            table.install_series(key, series)
         table.stats.records_written = header["records_written"]
     return table
 

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .cache import QueryCache
 from .record import Record, SeriesKey
 from .table import Table
 
@@ -27,12 +28,25 @@ class QuerySpec:
     end: float = float("inf")
 
     def __post_init__(self):
+        # NaN compares false against everything, so an explicit check is
+        # needed -- a NaN bound would otherwise pass silently and match
+        # nothing (or everything, depending on the comparison direction).
+        if self.start != self.start or self.end != self.end:
+            raise ValueError("query bounds must not be NaN")
         if self.end < self.start:
             raise ValueError("query end precedes start")
 
 
-def run_query(table: Table, spec: QuerySpec) -> List[Record]:
-    """Change-point records matching the spec, time-ordered."""
+def run_query(table: Table, spec: QuerySpec,
+              cache: Optional[QueryCache] = None) -> List[Record]:
+    """Change-point records matching the spec, time-ordered.
+
+    With a :class:`~.cache.QueryCache` over the same table, the read is
+    memoized under the generation-stamp invalidation rule.
+    """
+    if cache is not None:
+        return cache.scan(spec.measure_name, spec.filters or None,
+                          spec.start, spec.end)
     return table.scan(spec.measure_name, spec.filters or None,
                       spec.start, spec.end)
 

@@ -7,6 +7,7 @@ every series.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -41,8 +42,29 @@ class Table:
         self._index: Dict[Tuple[str, str], Set[SeriesKey]] = defaultdict(set)
         self._measures: Dict[str, Set[SeriesKey]] = defaultdict(set)
         self.stats = TableStats()
+        # -- generation stamps (read-cache invalidation) ----------------------
+        # ``generation`` counts every query-visible mutation (a change-point
+        # write or an eviction).  Per-series / per-measure / per-dimension-item
+        # maps record the generation that last touched them, letting
+        # ``generation_stamp`` answer "could a write since stamp G overlap
+        # this query?" in O(#constraints).
+        self.generation: int = 0
+        self._series_gen: Dict[SeriesKey, int] = {}
+        self._measure_gen: Dict[str, int] = {}
+        self._dim_gen: Dict[Tuple[str, str], int] = {}
+        # materialized latest-value view: last change point per series
+        self._latest: Dict[SeriesKey, Record] = {}
 
     # -- writes ---------------------------------------------------------------
+
+    def _touch(self, key: SeriesKey) -> None:
+        """Stamp a query-visible mutation of ``key`` onto the gen indexes."""
+        self.generation += 1
+        gen = self.generation
+        self._series_gen[key] = gen
+        self._measure_gen[key.measure_name] = gen
+        for dim in key.dimensions:
+            self._dim_gen[dim] = gen
 
     def write(self, record: Record) -> bool:
         """Ingest one record; returns True when it created a change point."""
@@ -59,7 +81,24 @@ class Table:
         self.stats.records_written += 1
         if changed:
             self.stats.change_points_stored += 1
+            self._latest[key] = Record(key.dimensions, key.measure_name,
+                                       record.value, record.time)
+            self._touch(key)
         return changed
+
+    def install_series(self, key: SeriesKey, series: ChangePointSeries) -> None:
+        """Install a pre-built series (snapshot load), indexes and the
+        materialized views included, without re-ingesting records."""
+        self._series[key] = series
+        self._measures[key.measure_name].add(key)
+        for dim in key.dimensions:
+            self._index[dim].add(key)
+        self.stats.series_count += 1
+        self.stats.change_points_stored += len(series)
+        if series.times:
+            self._latest[key] = Record(key.dimensions, key.measure_name,
+                                       series.values[-1], series.times[-1])
+        self._touch(key)
 
     def write_records(self, records: Iterable[Record]) -> int:
         """Batch ingest; returns the number of change points created."""
@@ -87,6 +126,34 @@ class Table:
     def __len__(self) -> int:
         return len(self._series)
 
+    # -- generation stamps ---------------------------------------------------
+
+    def series_generation(self, key: SeriesKey) -> int:
+        """Generation of the last mutation of one series (0 = never)."""
+        return self._series_gen.get(key, 0)
+
+    def generation_stamp(self, measure_name: Optional[str] = None,
+                         filters: Optional[Dict[str, str]] = None) -> int:
+        """Conservative freshness stamp for a (measure, filters) query.
+
+        A write that *overlaps* the query (its series matches the measure
+        and every filter item) bumps all of the query's constraint
+        generations at once, so the minimum over them strictly increases --
+        a cached result is stale exactly when its stamp differs.  Writes
+        that overlap no constraint leave the stamp unchanged; writes
+        sharing only some constraints may bump it spuriously (conservative
+        invalidation, never stale data).
+        """
+        constraints: List[int] = []
+        if measure_name is not None:
+            constraints.append(self._measure_gen.get(measure_name, 0))
+        if filters:
+            for item in filters.items():
+                constraints.append(self._dim_gen.get(item, 0))
+        if not constraints:
+            return self.generation
+        return min(constraints)
+
     # -- reads -----------------------------------------------------------------
 
     def value_at(self, measure_name: str, dimensions: Dict[str, str],
@@ -98,13 +165,15 @@ class Table:
 
     def latest(self, measure_name: str,
                filters: Optional[Dict[str, str]] = None) -> List[Record]:
-        """Last observed value of every matching series."""
+        """Last observed value of every matching series.
+
+        Served from the materialized latest-value view: no series walk.
+        """
         out: List[Record] = []
         for key in self.series_keys(measure_name, filters):
-            series = self._series[key]
-            if not series.is_empty:
-                out.append(Record(key.dimensions, key.measure_name,
-                                  series.values[-1], series.times[-1]))
+            record = self._latest.get(key)
+            if record is not None:
+                out.append(record)
         return out
 
     def scan(self, measure_name: Optional[str] = None,
@@ -129,16 +198,16 @@ class Table:
         the number of change points dropped.
         """
         dropped = 0
-        for series in self._series.values():
-            keep_from = 0
-            for i, t in enumerate(series.times):
-                if t < cutoff:
-                    keep_from = i
-                else:
-                    break
+        for key, series in self._series.items():
+            # index of the last change point at or before the cutoff: that
+            # point stays (its value is in force), everything earlier goes.
+            keep_from = bisect_right(series.times, cutoff) - 1
             if keep_from > 0:
                 dropped += keep_from
                 del series.times[:keep_from]
                 del series.values[:keep_from]
+                self._touch(key)
         self.stats.change_points_stored -= dropped
+        assert self.stats.change_points_stored == \
+            sum(len(s) for s in self._series.values())
         return dropped

@@ -1,0 +1,99 @@
+"""Tests for the serving observability layer (core/metrics.py)."""
+
+import json
+
+from repro.core import MetricsRegistry, RouteMetrics, percentile
+from repro.core.metrics import MAX_SAMPLES
+
+
+class FakeTimer:
+    """Deterministic timer: each call advances by the scripted step."""
+
+    def __init__(self, step=0.010):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_nearest_rank(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(samples, 50) == 5.0
+        assert percentile(samples, 95) == 10.0
+        assert percentile(samples, 99) == 10.0
+        assert percentile(samples, 100) == 10.0
+
+    def test_single_sample(self):
+        assert percentile([7.5], 50) == 7.5
+        assert percentile([7.5], 99) == 7.5
+
+
+class TestRouteMetrics:
+    def test_observe_accumulates(self):
+        m = RouteMetrics()
+        m.observe(200, 10, 1.5)
+        m.observe(200, 5, 2.5)
+        m.observe(400, 0, 0.5)
+        m.observe(500, 0, 9.0)
+        snap = m.snapshot()
+        assert snap["requests"] == 4
+        assert snap["by_status"] == {"200": 2, "400": 1, "500": 1}
+        assert snap["server_errors"] == 1
+        assert snap["rows_served"] == 15
+        assert snap["latency"]["max_ms"] == 9.0
+        assert snap["latency"]["mean_ms"] == (1.5 + 2.5 + 0.5 + 9.0) / 4
+
+    def test_percentiles_over_known_distribution(self):
+        m = RouteMetrics()
+        for latency in range(1, 101):  # 1..100 ms
+            m.observe(200, 0, float(latency))
+        snap = m.snapshot()["latency"]
+        assert snap["p50_ms"] == 50.0
+        assert snap["p95_ms"] == 95.0
+        assert snap["p99_ms"] == 99.0
+
+    def test_reservoir_stays_bounded(self):
+        m = RouteMetrics()
+        for i in range(3 * MAX_SAMPLES):
+            m.observe(200, 0, float(i % 97))
+        assert len(m.samples_ms) < MAX_SAMPLES
+        assert m.requests == 3 * MAX_SAMPLES
+        # percentiles still sane after decimation
+        snap = m.snapshot()["latency"]
+        assert 0.0 <= snap["p50_ms"] <= snap["p99_ms"] <= 96.0
+
+
+class TestMetricsRegistry:
+    def test_injected_timer_is_used(self):
+        timer = FakeTimer(step=0.010)
+        registry = MetricsRegistry(timer=timer)
+        started = registry.clock()
+        elapsed = registry.clock() - started
+        registry.observe("/x", 200, 3, elapsed)
+        snap = registry.snapshot()
+        assert snap["routes"]["/x"]["latency"]["p50_ms"] == 10.0
+
+    def test_totals_aggregate_routes(self):
+        registry = MetricsRegistry(timer=FakeTimer())
+        registry.observe("/a", 200, 2, 0.001)
+        registry.observe("/b", 500, 0, 0.002)
+        totals = registry.snapshot()["totals"]
+        assert totals == {"requests": 2, "server_errors": 1,
+                          "rows_served": 2}
+
+    def test_reset(self):
+        registry = MetricsRegistry(timer=FakeTimer())
+        registry.observe("/a", 200, 1, 0.001)
+        registry.reset()
+        assert registry.snapshot()["totals"]["requests"] == 0
+
+    def test_snapshot_is_json_able(self):
+        registry = MetricsRegistry(timer=FakeTimer())
+        registry.observe("/a", 200, 1, 0.001)
+        json.dumps(registry.snapshot())

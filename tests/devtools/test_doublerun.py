@@ -25,6 +25,20 @@ class TestDoubleRun:
         b = snapshot_digests(seed=1, instance_types=TYPES, rounds=1)
         assert a != b
 
+    def test_serving_digest_opt_in_and_deterministic(self):
+        # the serving battery (cache-cold / cache-hot / cache-off, all
+        # byte-compared inside serving_digest) extends the contract
+        a = snapshot_digests(seed=0, instance_types=TYPES, rounds=1,
+                             include_serving=True)
+        b = snapshot_digests(seed=0, instance_types=TYPES, rounds=1,
+                             include_serving=True)
+        assert "serving" in a
+        assert a == b
+        # and stays out of the default digest set
+        assert "serving" not in snapshot_digests(seed=0,
+                                                 instance_types=TYPES,
+                                                 rounds=1)
+
     def test_mismatch_reporting(self):
         result = DoubleRunResult(identical=False,
                                  mismatched_tables=["sps"])

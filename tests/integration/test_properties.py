@@ -155,3 +155,64 @@ class TestChaosInvariants:
                     kinds.append("ok")
             schedules.append(kinds)
         assert schedules[0] == schedules[1]
+
+
+class TestReadCacheInvariants:
+    """The read cache must never change what a query returns: across any
+    seeded interleaving of writes and reads, cached and uncached results
+    serialize byte-identically."""
+
+    MEASURES = ("sps", "spot_price")
+    TYPES = ("m5.large", "c5.xlarge", "r5.2xlarge")
+    ZONES = ("a", "b")
+
+    @staticmethod
+    def _serialize(records):
+        import json
+        return json.dumps(
+            [[r.time, r.measure_name, r.value, r.dimension_dict]
+             for r in records], sort_keys=True)
+
+    @given(st.integers(min_value=0, max_value=2 ** 16),
+           st.integers(min_value=5, max_value=60))
+    @settings(max_examples=25, deadline=None)
+    def test_cached_reads_byte_identical_across_interleavings(self, seed,
+                                                              ops):
+        import numpy as np
+        from repro.timeseries import QueryCache
+
+        rng = np.random.default_rng(seed)
+        table = Table("t")
+        cache = QueryCache(table, max_entries=8)  # small: exercise LRU too
+        clock = 0.0
+        for _ in range(ops):
+            clock += float(rng.integers(1, 100))
+            op = rng.integers(0, 4)
+            measure = self.MEASURES[rng.integers(len(self.MEASURES))]
+            itype = self.TYPES[rng.integers(len(self.TYPES))]
+            zone = self.ZONES[rng.integers(len(self.ZONES))]
+            filters = [None, {"it": itype}, {"it": itype, "zone": zone}][
+                rng.integers(3)]
+            if op == 0:  # write (dedup-heavy values: non-change writes too)
+                table.write(Record.make(
+                    {"it": itype, "region": "us-east-1", "zone": zone},
+                    measure, int(rng.integers(1, 4)), clock))
+            elif op == 1:  # range scan
+                start = float(rng.integers(0, int(clock) + 1))
+                end = start + float(rng.integers(0, 2000))
+                assert self._serialize(
+                    cache.scan(measure, filters, start, end)) == \
+                    self._serialize(table.scan(measure, filters, start, end))
+            elif op == 2:  # latest
+                assert self._serialize(cache.latest(measure, filters)) == \
+                    self._serialize(table.latest(measure, filters))
+            else:  # point lookup
+                dims = {"it": itype, "region": "us-east-1", "zone": zone}
+                t = float(rng.integers(0, int(clock) + 1))
+                assert cache.value_at(measure, dims, t) == \
+                    table.value_at(measure, dims, t)
+        # retention sweep is also just a write-like mutation to the cache
+        table.evict_before(clock / 2)
+        for measure in self.MEASURES:
+            assert self._serialize(cache.scan(measure)) == \
+                self._serialize(table.scan(measure))

@@ -43,6 +43,26 @@ class TestCommands:
         assert "sps:" in out
         assert "spot_price:" in out
 
+    def test_serve_bench_small(self, capsys, tmp_path):
+        report_path = tmp_path / "BENCH_serving.json"
+        code = main(["serve-bench", "--days", "10", "--pool-types", "3",
+                     "--repeats", "3", "--output", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "byte-identical cached vs uncached responses: True" in out
+        report = json.loads(report_path.read_text())
+        assert report["byte_identical"] is True
+        assert report["speedup"] > 1.0
+        assert report["metrics"]["cache"]["hit_rate"] > 0.5
+
+    def test_serve_bench_min_speedup_gate(self, capsys):
+        # an absurd floor must flip the exit code, not crash
+        code = main(["serve-bench", "--days", "5", "--pool-types", "2",
+                     "--repeats", "2", "--min-speedup", "1e9"])
+        assert code == 1
+        assert "below required" in capsys.readouterr().err
+
     def test_query_bad_region(self, capsys):
         assert main(["query", "--type", "m5.large",
                      "--region", "us-east-1",

@@ -1,0 +1,147 @@
+"""Tests for the generation-stamped query cache."""
+
+import json
+
+from repro.timeseries import QueryCache, QuerySpec, Record, Table, run_query
+
+
+def rec(value, t, it="m5.large", region="us-east-1", zone="a",
+        measure="sps"):
+    return Record.make({"it": it, "region": region, "zone": zone},
+                       measure, value, t)
+
+
+def serialize(records):
+    return json.dumps([[r.time, r.measure_name, r.value, r.dimension_dict]
+                       for r in records], sort_keys=True)
+
+
+class TestMemoization:
+    def test_repeated_scan_hits(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 10)])
+        cache = QueryCache(table)
+        first = cache.scan("sps")
+        second = cache.scan("sps")
+        assert first is second  # memoized, not recomputed
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_scan_results_match_uncached(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 10), rec(5, 3, it="c5.large")])
+        cache = QueryCache(table)
+        assert serialize(cache.scan("sps")) == serialize(table.scan("sps"))
+        cache.scan("sps")
+        assert serialize(cache.scan("sps")) == serialize(table.scan("sps"))
+
+    def test_distinct_specs_get_distinct_entries(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 10)])
+        cache = QueryCache(table)
+        cache.scan("sps")
+        cache.scan("sps", start=5)
+        cache.scan("sps", {"it": "m5.large"})
+        assert cache.stats.misses == 3
+
+    def test_value_at_and_latest_cached(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 10)])
+        cache = QueryCache(table)
+        dims = {"it": "m5.large", "region": "us-east-1", "zone": "a"}
+        assert cache.value_at("sps", dims, 5) == 3
+        assert cache.value_at("sps", dims, 5) == 3
+        assert cache.latest("sps") == cache.latest("sps")
+        assert cache.stats.hits == 2
+
+    def test_value_at_caches_absent_series(self):
+        table = Table("t")
+        cache = QueryCache(table)
+        dims = {"it": "nope", "region": "r", "zone": "z"}
+        assert cache.value_at("sps", dims, 5) is None
+        assert cache.value_at("sps", dims, 5) is None
+        assert cache.stats.hits == 1
+        # the series appearing later invalidates the cached None
+        table.write(rec(7, 0, it="nope", region="r", zone="z"))
+        assert cache.value_at("sps", dims, 5) == 7
+
+
+class TestInvalidation:
+    def test_overlapping_write_invalidates(self):
+        table = Table("t")
+        table.write(rec(3, 0))
+        cache = QueryCache(table)
+        assert [r.value for r in cache.scan("sps")] == [3]
+        table.write(rec(2, 10))
+        assert [r.value for r in cache.scan("sps")] == [3, 2]
+        assert cache.stats.invalidations == 1
+
+    def test_non_overlapping_write_preserves_entry(self):
+        table = Table("t")
+        table.write(rec(3, 0))
+        cache = QueryCache(table)
+        first = cache.scan("sps", {"it": "m5.large"})
+        table.write(rec(9, 5, measure="price", it="c5.large"))
+        assert cache.scan("sps", {"it": "m5.large"}) is first
+        assert cache.stats.hits == 1
+
+    def test_eviction_invalidates(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 20)])
+        cache = QueryCache(table)
+        assert len(cache.scan("sps")) == 2
+        table.evict_before(20)
+        assert len(cache.scan("sps")) == 1
+
+    def test_latest_invalidated_by_new_change_point(self):
+        table = Table("t")
+        table.write(rec(3, 0))
+        cache = QueryCache(table)
+        assert [r.value for r in cache.latest("sps")] == [3]
+        table.write(rec(1, 50))
+        assert [r.value for r in cache.latest("sps")] == [1]
+
+
+class TestCapacity:
+    def test_lru_eviction_beyond_max_entries(self):
+        table = Table("t")
+        table.write(rec(3, 0))
+        cache = QueryCache(table, max_entries=2)
+        cache.scan("sps", start=0)
+        cache.scan("sps", start=1)
+        cache.scan("sps", start=2)  # evicts the start=0 entry
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        cache.scan("sps", start=0)  # recomputed
+        assert cache.stats.misses == 4
+
+    def test_clear(self):
+        table = Table("t")
+        table.write(rec(3, 0))
+        cache = QueryCache(table)
+        cache.scan("sps")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_stats_dict_shape(self):
+        cache = QueryCache(Table("t"))
+        stats = cache.stats.as_dict()
+        assert set(stats) == {"hits", "misses", "invalidations",
+                              "evictions", "hit_rate"}
+
+
+class TestQuerySpecIntegration:
+    def test_run_query_through_cache(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 10)])
+        cache = QueryCache(table)
+        spec = QuerySpec(measure_name="sps", start=0, end=100)
+        assert run_query(table, spec, cache) == run_query(table, spec)
+        assert run_query(table, spec, cache) is run_query(table, spec, cache)
+
+    def test_nan_bounds_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            QuerySpec(start=float("nan"))
+        with pytest.raises(ValueError):
+            QuerySpec(end=float("nan"))

@@ -89,3 +89,63 @@ class TestRetention:
         before = table.stats.change_points_stored
         dropped = table.evict_before(50)
         assert table.stats.change_points_stored == before - dropped
+
+    def test_evict_point_exactly_at_cutoff_drops_stale_predecessors(self):
+        # regression: a change point sitting exactly at the cutoff used to
+        # shield the strictly-before point from eviction (off-by-one)
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 5), rec(1, 10)])
+        dropped = table.evict_before(10)
+        assert dropped == 2  # t=0 AND t=5 go; t=10 is the value in force
+        dims = {"it": "m5.large", "region": "us-east-1", "zone": "a"}
+        assert table.value_at("sps", dims, 10) == 1
+        assert table.value_at("sps", dims, 9) is None
+
+    def test_evict_stats_stay_consistent_with_stored_points(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 5), rec(1, 10),
+                             rec(9, 0, it="c5.large"), rec(8, 10, it="c5.large")])
+        table.evict_before(10)
+        stored = sum(len(table.series(k) or []) for k in table.series_keys())
+        assert table.stats.change_points_stored == stored
+
+    def test_evict_preserves_latest_view(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 20), rec(1, 40)])
+        table.evict_before(40)
+        latest = table.latest("sps")
+        assert [r.value for r in latest] == [1]
+        assert [r.time for r in latest] == [40.0]
+
+
+class TestGenerationStamps:
+    def test_stamp_moves_on_overlapping_write_only(self):
+        table = Table("t")
+        table.write(rec(3, 0))
+        stamp = table.generation_stamp("sps", {"it": "m5.large"})
+        # non-overlapping write: different type, different measure
+        table.write(rec(1, 5, it="c5.large", measure="price"))
+        assert table.generation_stamp("sps", {"it": "m5.large"}) == stamp
+        # overlapping write moves the stamp
+        table.write(rec(2, 10))
+        assert table.generation_stamp("sps", {"it": "m5.large"}) != stamp
+
+    def test_unchanged_value_does_not_move_the_stamp(self):
+        # a deduplicated (non-change-point) write is query-invisible
+        table = Table("t")
+        table.write(rec(3, 0))
+        stamp = table.generation_stamp("sps")
+        table.write(rec(3, 10))
+        assert table.generation_stamp("sps") == stamp
+
+    def test_eviction_moves_the_stamp(self):
+        table = Table("t")
+        table.write_records([rec(3, 0), rec(2, 20)])
+        stamp = table.generation_stamp("sps")
+        table.evict_before(20)
+        assert table.generation_stamp("sps") != stamp
+
+    def test_unconstrained_stamp_is_the_table_generation(self):
+        table = Table("t")
+        table.write(rec(3, 0))
+        assert table.generation_stamp() == table.generation
