@@ -1,0 +1,68 @@
+"""Storage engine benchmark: WAL ingest overhead, recovery, compaction.
+
+The durability layer (``repro.storage``) group-commits every collection
+round to a write-ahead log and periodically folds the log into sorted
+segments.  This bench answers whether that protection is cheap enough to
+leave on: it drives the archive's ingest path with the WAL off and on,
+times crash recovery from a pure log replay and from a checkpointed
+directory, and reports compaction write amplification.
+
+Acceptance: WAL-on ingest must cost < 2x the no-WAL baseline, and the
+recovered store must be byte-identical to the live one.  The JSON report
+lands in ``BENCH_storage.json`` next to this file's parent.
+
+Run standalone (CI smoke) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_storage.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_storage.py -q
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.devtools.storagebench import run_storage_bench, summary_lines
+
+#: The acceptance ceiling for WAL-on ingest cost (ratio to no-WAL).
+MAX_OVERHEAD = 2.0
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+
+
+def run_and_report(write_report: bool = True) -> dict:
+    report = run_storage_bench()
+    print("\nStorage bench: WAL ingest, recovery, compaction")
+    for line in summary_lines(report):
+        print(f"  {line}")
+    if write_report:
+        REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True)
+                               + "\n", encoding="utf-8")
+        print(f"  report written to {REPORT_PATH}")
+    return report
+
+
+def test_wal_overhead_and_recovery_identity():
+    report = run_and_report()
+    ratio = report["ingest"]["overhead_ratio"]
+    assert ratio < MAX_OVERHEAD, \
+        f"WAL ingest overhead {ratio:.2f}x exceeds the " \
+        f"{MAX_OVERHEAD:.1f}x ceiling"
+    assert report["recovery"]["byte_identical"], \
+        "recovered store diverges from the live store"
+    assert not report["recovery"]["data_loss"], \
+        "clean-shutdown recovery reported data loss"
+    assert report["compaction"]["checkpoints"] > 0
+    assert report["compaction"]["live_segment_bytes"] > 0
+
+
+if __name__ == "__main__":
+    result = run_and_report()
+    ratio = result["ingest"]["overhead_ratio"]
+    ok = (ratio < MAX_OVERHEAD and result["recovery"]["byte_identical"]
+          and not result["recovery"]["data_loss"])
+    if not ok:
+        print(f"FAIL: overhead={ratio:.2f}x (ceiling {MAX_OVERHEAD:.1f}x) "
+              f"byte_identical={result['recovery']['byte_identical']} "
+              f"data_loss={result['recovery']['data_loss']}",
+              file=sys.stderr)
+    sys.exit(0 if ok else 1)

@@ -9,12 +9,42 @@ simulation (same seed) observe the identical world.  Python's builtin
 from __future__ import annotations
 
 import hashlib
+import os
 import struct
-from typing import Iterable
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO, Union
 
 import numpy as np
 
 _MAX64 = float(2**64)
+
+
+@contextmanager
+def atomic_open(path: Union[str, Path], encoding: str = "utf-8") -> Iterator[TextIO]:
+    """Open ``path`` for writing with all-or-nothing visibility.
+
+    The content is streamed into a temporary file in the same directory
+    and published with ``os.replace`` only when the body completes, so a
+    crash (or exception) mid-write can never truncate or corrupt the
+    previous version of the file.  On failure the temporary is removed.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def stable_hash(*parts: object) -> int:

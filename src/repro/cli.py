@@ -38,8 +38,22 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     config = ServiceConfig(seed=args.seed,
                            instance_types=args.types or None,
                            chaos_profile=args.chaos_profile,
-                           chaos_seed=args.chaos_seed)
+                           chaos_seed=args.chaos_seed,
+                           data_dir=args.data_dir,
+                           checkpoint_every=args.checkpoint_every)
     service = SpotLakeService(config)
+    engine = service.archive.engine
+    if engine is not None and engine.rounds_committed:
+        print(f"recovered {engine.rounds_committed} committed round(s) "
+              f"from {args.data_dir}"
+              + (" (data loss: torn tail discarded)"
+                 if engine.recovered.data_loss else ""))
+        # resume the collection timeline one cadence after the last
+        # committed round (the archive is append-in-time-order)
+        if engine.last_commit_time is not None:
+            resume = engine.last_commit_time + args.interval_minutes * 60.0
+            if resume > service.cloud.clock.now():
+                service.cloud.clock.set(resume)
     for round_no in range(args.rounds):
         reports = service.collect_once()
         sps = reports["sps"]
@@ -66,10 +80,56 @@ def _cmd_collect(args: argparse.Namespace) -> int:
               f"{sum(faults.calls(op) for op in ('sps', 'advisor', 'price'))} "
               f"calls (profile={args.chaos_profile}, "
               f"seed={config.chaos_seed if config.chaos_seed is not None else config.seed})")
+    if engine is not None:
+        service.archive.checkpoint(service.cloud.clock.now())
+        stats = engine.stats()
+        print(f"storage: {stats['rounds_committed']} rounds committed, "
+              f"{stats['checkpoints']} checkpoints, "
+              f"manifest v{stats['manifest_version']}, "
+              f"wal {stats['wal_bytes_written']}B, "
+              f"segments {stats['live_segment_bytes']}B live "
+              f"(amplification {stats['write_amplification']:.2f}x)")
+        service.archive.close()
     if args.output:
         from .timeseries import dump_store
         written = dump_store(service.archive.store, args.output)
         print(f"snapshot written to {args.output}: {written}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .storage import recover
+
+    try:
+        state = recover(args.data_dir)
+    except Exception as exc:  # noqa: BLE001 -- operator-facing boundary
+        print(f"recovery failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"recovered {args.data_dir}: manifest v{state.manifest.version}, "
+          f"{state.rounds_committed} committed round(s), "
+          f"last seq {state.last_seq}")
+    if state.last_commit_time is not None:
+        print(f"last commit at t={state.last_commit_time}")
+    print(f"wal tail: {state.replayed_operations} operation(s) replayed, "
+          f"{state.torn_lines} torn line(s) discarded, "
+          f"{state.uncommitted_records} uncommitted record(s) discarded")
+    for name in state.store.table_names():
+        stats = state.store.table(name).stats
+        policy = state.store.policy(name)
+        retention = ("keep-all" if policy.max_age_seconds is None
+                     else f"{policy.max_age_seconds:.0f}s")
+        print(f"{name}: {stats.series_count} series, "
+              f"{stats.change_points_stored} change points, "
+              f"{stats.records_written} records written "
+              f"(retention {retention})")
+    if args.output:
+        from .timeseries import dump_store
+        written = dump_store(state.store, args.output)
+        print(f"snapshot written to {args.output}: {written}")
+    if state.data_loss:
+        print("note: an in-flight (uncommitted) round was discarded; "
+              "every committed round is intact")
     return 0
 
 
@@ -192,7 +252,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: none)")
     collect.add_argument("--chaos-seed", type=int, default=None,
                          help="fault-schedule seed (default: --seed)")
+    collect.add_argument("--data-dir", default=None,
+                         help="durable storage directory (WAL + segments); "
+                              "restarts recover committed rounds from it")
+    collect.add_argument("--checkpoint-every", type=int, default=4,
+                         help="fold the WAL into segments every N rounds "
+                              "(default 4; 0 = only at exit)")
     collect.set_defaults(func=_cmd_collect)
+
+    recover_cmd = sub.add_parser(
+        "recover", help="inspect and recover a durable storage directory")
+    recover_cmd.add_argument("--data-dir", required=True,
+                             help="storage directory written by "
+                                  "'collect --data-dir'")
+    recover_cmd.add_argument("--output", default=None,
+                             help="write a snapshot of the recovered "
+                                  "archive to this directory")
+    recover_cmd.set_defaults(func=_cmd_recover)
 
     query = sub.add_parser("query", help="query the latest archived values")
     query.add_argument("--type", required=True)

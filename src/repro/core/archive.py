@@ -19,10 +19,12 @@ paper's core contribution -- are plain time-range reads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..storage import StorageEngine
 from ..timeseries import (
     QueryCache,
     Record,
@@ -63,15 +65,82 @@ class SpotLakeArchive:
 
     def __init__(self, retention: Optional[RetentionPolicy] = None,
                  cache: bool = True,
-                 cache_entries: int = DEFAULT_MAX_ENTRIES):
-        self.store = TimeSeriesStore()
-        self.store.create_table(SPS_TABLE, retention)
-        self.store.create_table(ADVISOR_TABLE, retention)
-        self.store.create_table(PRICE_TABLE, retention)
+                 cache_entries: int = DEFAULT_MAX_ENTRIES,
+                 data_dir: Optional[Union[str, Path]] = None,
+                 checkpoint_every: int = 4,
+                 crash_hook=None):
+        #: durable storage engine, or None for a purely in-memory archive
+        self.engine: Optional[StorageEngine] = None
+        self.checkpoint_every = checkpoint_every
+        if data_dir is not None:
+            self.engine = StorageEngine(data_dir, crash_hook=crash_hook)
+            # a restarted archive adopts whatever the last committed round
+            # left behind; a fresh directory recovers an empty store
+            self.store = self.engine.recovered.store
+        else:
+            self.store = TimeSeriesStore()
+        for name in (SPS_TABLE, ADVISOR_TABLE, PRICE_TABLE):
+            self._ensure_table(name, retention)
+        if self.engine is not None:
+            self.engine.attach(self.store)
         #: generation-stamped read caches, one per table (lazily created)
         self._caches: Dict[str, QueryCache] = {}
         self._cache_entries = cache_entries
         self.cache_enabled = cache
+
+    # -- durability ---------------------------------------------------------
+
+    def _ensure_table(self, name: str,
+                      retention: Optional[RetentionPolicy] = None) -> Table:
+        """Create (and WAL-log) a table unless it already exists."""
+        if name in self.store.table_names():
+            return self.store.table(name)
+        if self.engine is not None:
+            self.engine.log_create_table(name, retention)
+        return self.store.create_table(name, retention)
+
+    def _write(self, table_name: str, record: Record) -> None:
+        """Log-then-apply: the WAL sees every record before the table."""
+        if self.engine is not None:
+            self.engine.log_record(table_name, record)
+        self.store.table(table_name).write(record)
+
+    def apply_retention(self, now: float) -> Dict[str, int]:
+        """Run the retention sweep, WAL-logging each eviction."""
+        dropped: Dict[str, int] = {}
+        for name in self.store.table_names():
+            cutoff = self.store.policy(name).cutoff(now)
+            if cutoff is None:
+                continue
+            table = self.store.table(name)
+            if self.engine is not None:
+                self.engine.log_eviction(name, cutoff, table.series_keys())
+            dropped[name] = table.evict_before(cutoff)
+        return dropped
+
+    def commit_round(self, time: float) -> Dict[str, int]:
+        """End-of-round hook: retention sweep, then durable group commit.
+
+        The collection round is the crash-atomicity unit; every
+        ``checkpoint_every`` committed rounds the log is folded into
+        segments.  Without a storage engine only the sweep runs.
+        """
+        dropped = self.apply_retention(time)
+        if self.engine is not None:
+            self.engine.commit_round(time)
+            if self.checkpoint_every > 0 and \
+                    self.engine.rounds_committed % self.checkpoint_every == 0:
+                self.engine.checkpoint(time)
+        return dropped
+
+    def checkpoint(self, time: float) -> None:
+        """Force a checkpoint now (used at shutdown)."""
+        if self.engine is not None:
+            self.engine.checkpoint(time)
+
+    def close(self) -> None:
+        if self.engine is not None:
+            self.engine.close()
 
     # -- read caching -------------------------------------------------------
 
@@ -132,7 +201,7 @@ class SpotLakeArchive:
 
     def put_sps(self, instance_type: str, region: str, zone: str,
                 score: int, time: float) -> None:
-        self.sps.write(Record.make(
+        self._write(SPS_TABLE, Record.make(
             {DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone},
             SPS_MEASURE, int(score), time))
 
@@ -140,16 +209,16 @@ class SpotLakeArchive:
                     interruption_ratio: float, if_score: float,
                     savings_percent: int, time: float) -> None:
         dims = {DIM_TYPE: instance_type, DIM_REGION: region}
-        self.advisor.write(Record.make(dims, INTERRUPTION_RATIO_MEASURE,
-                                       float(interruption_ratio), time))
-        self.advisor.write(Record.make(dims, IF_SCORE_MEASURE,
-                                       float(if_score), time))
-        self.advisor.write(Record.make(dims, SAVINGS_MEASURE,
-                                       int(savings_percent), time))
+        self._write(ADVISOR_TABLE, Record.make(
+            dims, INTERRUPTION_RATIO_MEASURE, float(interruption_ratio), time))
+        self._write(ADVISOR_TABLE, Record.make(
+            dims, IF_SCORE_MEASURE, float(if_score), time))
+        self._write(ADVISOR_TABLE, Record.make(
+            dims, SAVINGS_MEASURE, int(savings_percent), time))
 
     def put_price(self, instance_type: str, region: str, zone: str,
                   price: float, time: float) -> None:
-        self.price.write(Record.make(
+        self._write(PRICE_TABLE, Record.make(
             {DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone},
             PRICE_MEASURE, float(price), time))
 
@@ -163,8 +232,8 @@ class SpotLakeArchive:
         is the graceful-degradation contract: every planned query ends as
         either a dataset record or exactly one of these.
         """
-        table = self.store.create_table(GAPS_TABLE)
-        table.write(Record.make(
+        self._ensure_table(GAPS_TABLE)
+        self._write(GAPS_TABLE, Record.make(
             {DIM_SOURCE: source, DIM_KEY: key, DIM_REASON: reason},
             GAP_MEASURE, int(attempts), time))
 

@@ -72,6 +72,12 @@ class ServiceConfig:
     serving_cache: bool = True
     #: per-table cache entry bound (LRU beyond it).
     cache_entries: int = 1024
+    #: durable storage directory (None = purely in-memory archive).
+    data_dir: Optional[str] = None
+    #: checkpoint cadence in committed collection rounds (0 = never).
+    checkpoint_every: int = 4
+    #: storage crash-hook (doublerun --durability installs a CrashInjector).
+    storage_crash_hook: Optional[object] = None
 
 
 class SpotLakeService:
@@ -83,7 +89,10 @@ class SpotLakeService:
         self.cloud = cloud or SimulatedCloud(seed=self.config.seed)
         self.archive = SpotLakeArchive(
             cache=self.config.serving_cache,
-            cache_entries=self.config.cache_entries)
+            cache_entries=self.config.cache_entries,
+            data_dir=self.config.data_dir,
+            checkpoint_every=self.config.checkpoint_every,
+            crash_hook=self.config.storage_crash_hook)
 
         profile = resolve_profile(self.config.chaos_profile)
         if profile.total_rate > 0.0:
@@ -146,16 +155,43 @@ class SpotLakeService:
     # -- faithful collection ---------------------------------------------------
 
     def collect_once(self) -> Dict[str, CollectionReport]:
-        """Run all three collectors once at the current clock time."""
-        return {
+        """Run all three collectors once at the current clock time.
+
+        Ends with the archive's round commit: the round is the durable
+        group-commit unit, so a crash between rounds never loses data and
+        a crash mid-round loses exactly the in-flight round.
+        """
+        reports = {
             "sps": self.sps_collector.collect(),
             "advisor": self.advisor_collector.collect(),
             "price": self.price_collector.collect(),
         }
+        self.archive.commit_round(self.cloud.clock.now())
+        return reports
 
     def run_collection(self, duration: float) -> int:
-        """Advance time for ``duration`` seconds, firing due collectors."""
-        return self.scheduler.run_for(duration, self.config.collection_interval)
+        """Advance time for ``duration`` seconds, firing due collectors.
+
+        With durable storage enabled, every scheduler tick that fired at
+        least one collector ends in a round commit (mirroring
+        :meth:`collect_once`); the in-memory path delegates to the
+        scheduler untouched.
+        """
+        step = self.config.collection_interval
+        if self.archive.engine is None:
+            return self.scheduler.run_for(duration, step)
+        clock = self.cloud.clock
+        runs = self.scheduler.run_due()
+        if runs:
+            self.archive.commit_round(clock.now())
+        end = clock.now() + duration
+        while clock.now() < end:
+            clock.advance(min(step, end - clock.now()))
+            fired = self.scheduler.run_due()
+            if fired:
+                self.archive.commit_round(clock.now())
+            runs += fired
+        return runs
 
     # -- resilience accounting -------------------------------------------------
 

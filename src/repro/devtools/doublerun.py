@@ -142,6 +142,148 @@ def double_run(seed: int = 0,
                            mismatched_tables=mismatched)
 
 
+def _store_digests(store) -> Dict[str, str]:
+    """``{table: sha256}`` of a store's snapshot files (empty store = {})."""
+    directory = Path(tempfile.mkdtemp(prefix="spotlake-durability-digest-"))
+    try:
+        dump_store(store, directory)
+        return {path.stem: hashlib.sha256(path.read_bytes()).hexdigest()
+                for path in sorted(directory.glob("*.jsonl"))}
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+@dataclass
+class CrashCaseResult:
+    """One seeded crash: where it fired and what recovery got back."""
+
+    window: str
+    hit: int
+    crashed: bool
+    rounds_recovered: int
+    identical: bool
+    data_loss: bool
+    mismatched_tables: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        status = "ok" if self.crashed and self.identical else "FAIL"
+        loss = " torn-tail-discarded" if self.data_loss else ""
+        return (f"{status}: crash at {self.window} (hit {self.hit}) -> "
+                f"recovered {self.rounds_recovered} round(s), "
+                + ("byte-identical" if self.identical
+                   else "tables differ: " + ", ".join(self.mismatched_tables))
+                + loss)
+
+
+@dataclass
+class DurabilityResult:
+    """Crash matrix verdict: every window's recovery vs the reference."""
+
+    identical: bool
+    rounds: int
+    cases: List[CrashCaseResult] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.identical:
+            return (f"durable: {len(self.cases)} crash window(s) all "
+                    f"recovered byte-identical ({self.rounds}-round run)")
+        bad = [c.window for c in self.cases if not (c.crashed and c.identical)]
+        return "NOT DURABLE: windows failed: " + ", ".join(bad)
+
+
+def durability_run(seed: int = 0,
+                   instance_types: Optional[Sequence[str]] = DEFAULT_TYPES,
+                   rounds: int = 4,
+                   interval_minutes: float = 10.0,
+                   checkpoint_every: int = 2,
+                   chaos_profile: str = "none",
+                   chaos_seed: Optional[int] = None,
+                   cloud_factory=None) -> DurabilityResult:
+    """Kill the service at every storage crash window; verify recovery.
+
+    One uninterrupted reference run records the archive digest after each
+    committed round.  Then, per crash window, a fresh identically-seeded
+    service runs with a :class:`~repro.cloudsim.CrashInjector` armed at a
+    seeded occurrence of that window; the simulated crash is caught, the
+    data directory is recovered cold, and the recovered store must be
+    byte-identical to the reference at however many rounds recovery says
+    survived.  A crash before the first commit must recover to an empty
+    store -- the manifest protocol admits no other states.
+    """
+    from ..cloudsim.faults import (
+        CrashInjector,
+        SimulatedCrash,
+        seeded_crash_point,
+    )
+    from ..storage import CRASH_WINDOWS, recover
+
+    def build(data_dir: Path, hook=None) -> SpotLakeService:
+        return SpotLakeService(ServiceConfig(
+            seed=seed,
+            instance_types=list(instance_types) if instance_types else None,
+            chaos_profile=chaos_profile,
+            chaos_seed=chaos_seed,
+            data_dir=str(data_dir),
+            checkpoint_every=checkpoint_every,
+            storage_crash_hook=hook),
+            cloud=cloud_factory() if cloud_factory is not None else None)
+
+    base = Path(tempfile.mkdtemp(prefix="spotlake-durability-"))
+    try:
+        # -- reference: uninterrupted, digested at every round boundary ----
+        reference = build(base / "reference")
+        ref: Dict[int, Dict[str, str]] = {0: {}}
+        for committed in range(1, rounds + 1):
+            reference.collect_once()
+            ref[committed] = _store_digests(reference.archive.store)
+            reference.cloud.clock.advance_minutes(interval_minutes)
+        reference.archive.close()
+
+        checkpoints = rounds // checkpoint_every if checkpoint_every else 0
+        expected_hits = {
+            "wal.flush": rounds,
+            "wal.commit": rounds,
+            "checkpoint.segments": checkpoints,
+            "checkpoint.manifest": checkpoints,
+            "checkpoint.publish": checkpoints,
+            "checkpoint.gc": checkpoints,
+        }
+
+        cases: List[CrashCaseResult] = []
+        for window in CRASH_WINDOWS:
+            max_hits = expected_hits[window]
+            if max_hits == 0:
+                continue  # cadence too short to ever reach this window
+            point = seeded_crash_point(seed, window, max_hits)
+            crash_dir = base / ("crash-" + window.replace(".", "-"))
+            injector = CrashInjector([point])
+            victim = build(crash_dir, injector)
+            crashed = False
+            try:
+                for _ in range(rounds):
+                    victim.collect_once()
+                    victim.cloud.clock.advance_minutes(interval_minutes)
+            except SimulatedCrash:
+                crashed = True
+            victim.archive.close()
+
+            state = recover(crash_dir)
+            got = _store_digests(state.store)
+            want = ref.get(state.rounds_committed, {})
+            mismatched = sorted(
+                set(got) ^ set(want)
+                | {t for t in set(got) & set(want) if got[t] != want[t]})
+            cases.append(CrashCaseResult(
+                window=window, hit=point.hit, crashed=crashed,
+                rounds_recovered=state.rounds_committed,
+                identical=not mismatched, data_loss=state.data_loss,
+                mismatched_tables=mismatched))
+        passed = all(c.crashed and c.identical for c in cases)
+        return DurabilityResult(identical=passed, rounds=rounds, cases=cases)
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
     import argparse
 
@@ -155,7 +297,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
     parser.add_argument("--serving", action="store_true",
                         help="also digest the serving battery (cached vs "
                              "uncached responses must be byte-identical)")
+    parser.add_argument("--durability", action="store_true",
+                        help="crash-matrix mode: kill the service at every "
+                             "storage crash window and byte-compare the "
+                             "recovered archive against an uninterrupted run")
+    parser.add_argument("--checkpoint-every", type=int, default=2,
+                        help="checkpoint cadence of the durability run "
+                             "(rounds; default 2)")
     args = parser.parse_args(argv)
+    if args.durability:
+        result = durability_run(seed=args.seed, rounds=args.rounds,
+                                checkpoint_every=args.checkpoint_every,
+                                chaos_profile=args.chaos_profile,
+                                chaos_seed=args.chaos_seed)
+        for case in result.cases:
+            print(case.summary())
+        print(result.summary())
+        return 0 if result.identical else 1
     result = double_run(seed=args.seed, rounds=args.rounds,
                         chaos_profile=args.chaos_profile,
                         chaos_seed=args.chaos_seed,

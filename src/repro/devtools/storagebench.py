@@ -1,0 +1,264 @@
+"""Storage engine benchmark harness: ingest overhead, recovery, compaction.
+
+Three questions decide whether the WAL/segment engine is cheap enough to
+leave on by default:
+
+1. **Ingest overhead** -- the same archive write stream with and without
+   a data directory (group-committed WAL on vs pure in-memory).  The
+   acceptance gate is a ratio, not an absolute time, so it is robust to
+   host speed; each leg is timed ``repeats`` times and the minimum taken
+   (the minimum estimates the noise-free cost).
+2. **Recovery** -- wall-clock to reconstruct the store from a pure WAL
+   replay versus from a checkpointed directory (segments + short tail),
+   plus a byte-identity check of the recovered store against the live
+   one.
+3. **Compaction** -- write amplification and live-set size after a
+   multi-checkpoint run, straight from ``StorageEngine.stats()``.
+
+Lives in ``devtools`` (not ``storage``) because it times with the *host*
+clock: benchmarking is meta-observation, outside the simulation's
+seed+clock determinism envelope (latencies are reported, never archived).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.archive import SpotLakeArchive
+from ..storage import StorageEngine, recover
+from ..timeseries import Record, RetentionPolicy, TimeSeriesStore, dump_store
+
+#: Workload shape: enough records that per-record costs dominate setup,
+#: small enough for a CI smoke run.
+DEFAULT_RECORDS = 24000
+DEFAULT_TYPES = 40
+DEFAULT_ZONES = 3
+DEFAULT_COMMIT_EVERY = 1000
+DEFAULT_REPEATS = 3
+
+
+def _pools(types: int = DEFAULT_TYPES,
+           zones: int = DEFAULT_ZONES) -> List[Tuple[str, str]]:
+    zone_names = [chr(ord("a") + z) for z in range(zones)]
+    return [(f"bench{i}.large", f"us-bench-1{zone_names[i % zones]}")
+            for i in range(types)]
+
+
+def _ingest_archive(archive: SpotLakeArchive, records: int,
+                    commit_every: int,
+                    pools: List[Tuple[str, str]]) -> float:
+    """Drive the archive's ingest path; returns elapsed seconds."""
+    n_pools = len(pools)
+    started = time.perf_counter()
+    for i in range(records):
+        itype, zone = pools[i % n_pools]
+        archive.put_sps(itype, "us-bench-1", zone, (i % 3) + 1, float(i))
+        if (i + 1) % commit_every == 0:
+            archive.commit_round(float(i))
+    return time.perf_counter() - started
+
+
+def _store_digests(store: TimeSeriesStore) -> Dict[str, str]:
+    directory = Path(tempfile.mkdtemp(prefix="storagebench-"))
+    try:
+        dump_store(store, directory)
+        return {p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+                for p in sorted(directory.glob("*.jsonl"))}
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _bench_ingest(base: Path, records: int, commit_every: int,
+                  repeats: int) -> Tuple[dict, Path]:
+    """Archive-level ingest, WAL off vs on; keeps the last WAL directory
+    (uncheckpointed, so recovery below replays the whole log)."""
+    pools = _pools()
+    base_seconds = min(_ingest_archive(SpotLakeArchive(), records,
+                                       commit_every, pools)
+                       for _ in range(repeats))
+    wal_seconds = float("inf")
+    wal_dir = base / "ingest-wal"
+    for attempt in range(repeats):
+        directory = base / f"ingest-{attempt}"
+        archive = SpotLakeArchive(data_dir=directory, checkpoint_every=0)
+        elapsed = _ingest_archive(archive, records, commit_every, pools)
+        archive.close()
+        if elapsed < wal_seconds:
+            wal_seconds = elapsed
+            if wal_dir.exists():
+                shutil.rmtree(wal_dir)
+            directory.rename(wal_dir)
+        else:
+            shutil.rmtree(directory)
+    return ({
+        "records": records,
+        "commit_every": commit_every,
+        "repeats": repeats,
+        "base_seconds": base_seconds,
+        "wal_seconds": wal_seconds,
+        "overhead_ratio": wal_seconds / base_seconds,
+        "records_per_second_wal": records / wal_seconds,
+    }, wal_dir)
+
+
+def _bench_engine_micro(records: int, commit_every: int,
+                        repeats: int) -> dict:
+    """Engine-level floor: bare ``Table.write`` vs ``log_record`` + write.
+
+    Stricter than the archive-level ratio (no shared ingest overhead to
+    dilute the WAL cost); reported for trend-watching, not gated."""
+    pools = _pools()
+
+    def stream():
+        for i in range(records):
+            itype, zone = pools[i % len(pools)]
+            yield Record.make({"it": itype, "region": "us-bench-1",
+                               "zone": zone}, "sps", (i % 3) + 1, float(i))
+
+    base_seconds = float("inf")
+    for _ in range(repeats):
+        store = TimeSeriesStore()
+        table = store.create_table("t", RetentionPolicy(None))
+        started = time.perf_counter()
+        for record in stream():
+            table.write(record)
+        base_seconds = min(base_seconds, time.perf_counter() - started)
+
+    wal_seconds = float("inf")
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="storagebench-") as tmp:
+            engine = StorageEngine(Path(tmp))
+            store = engine.recovered.store
+            engine.attach(store)
+            policy = RetentionPolicy(None)
+            engine.log_create_table("t", policy)
+            table = store.create_table("t", policy)
+            started = time.perf_counter()
+            rounds = 0
+            for i, record in enumerate(stream()):
+                engine.log_record("t", record)
+                table.write(record)
+                if (i + 1) % commit_every == 0:
+                    rounds += 1
+                    engine.commit_round(float(rounds))
+            wal_seconds = min(wal_seconds, time.perf_counter() - started)
+            engine.close()
+    return {
+        "base_seconds": base_seconds,
+        "wal_seconds": wal_seconds,
+        "overhead_ratio": wal_seconds / base_seconds,
+    }
+
+
+def _bench_recovery(base: Path, wal_dir: Path, records: int,
+                    commit_every: int) -> dict:
+    """Recovery cost: full-WAL replay vs checkpointed (segments + tail)."""
+    pools = _pools()
+
+    started = time.perf_counter()
+    replayed = recover(wal_dir)
+    replay_seconds = time.perf_counter() - started
+
+    checkpoint_dir = base / "recovery-checkpointed"
+    archive = SpotLakeArchive(data_dir=checkpoint_dir, checkpoint_every=4)
+    _ingest_archive(archive, records, commit_every, pools)
+    live = _store_digests(archive.store)
+    archive.close()
+    started = time.perf_counter()
+    checkpointed = recover(checkpoint_dir)
+    checkpointed_seconds = time.perf_counter() - started
+
+    return {
+        "wal_replay": {
+            "seconds": replay_seconds,
+            "rounds": replayed.rounds_committed,
+            "operations_replayed": replayed.replayed_operations,
+            "records_per_second": (replayed.replayed_operations
+                                   / replay_seconds
+                                   if replay_seconds > 0 else 0.0),
+        },
+        "checkpointed": {
+            "seconds": checkpointed_seconds,
+            "rounds": checkpointed.rounds_committed,
+            "operations_replayed": checkpointed.replayed_operations,
+        },
+        "byte_identical": _store_digests(checkpointed.store) == live,
+        "data_loss": replayed.data_loss or checkpointed.data_loss,
+    }
+
+
+def _bench_compaction(base: Path, records: int, commit_every: int) -> dict:
+    """Write amplification over a run with frequent checkpoints."""
+    directory = base / "compaction"
+    archive = SpotLakeArchive(data_dir=directory, checkpoint_every=2)
+    _ingest_archive(archive, records, commit_every, _pools())
+    stats = archive.engine.stats()
+    archive.close()
+    return {
+        "checkpoints": stats["checkpoints"],
+        "segment_bytes_written": stats["segment_bytes_written"],
+        "live_segment_bytes": stats["live_segment_bytes"],
+        "write_amplification": stats["write_amplification"],
+        "compaction_merges": stats["compaction_merges"],
+        "compaction_points_dropped": stats["compaction_points_dropped"],
+        "wal_bytes_written": stats["wal_bytes_written"],
+    }
+
+
+def run_storage_bench(records: int = DEFAULT_RECORDS,
+                      commit_every: int = DEFAULT_COMMIT_EVERY,
+                      repeats: int = DEFAULT_REPEATS,
+                      workdir: Optional[Path] = None) -> dict:
+    """Full storage benchmark; returns the JSON-serializable report."""
+    own_tmp = workdir is None
+    base = Path(tempfile.mkdtemp(prefix="storagebench-")) if own_tmp \
+        else Path(workdir)
+    try:
+        ingest, wal_dir = _bench_ingest(base, records, commit_every, repeats)
+        report = {
+            "config": {"records": records, "commit_every": commit_every,
+                       "repeats": repeats},
+            "ingest": ingest,
+            "engine_micro": _bench_engine_micro(records, commit_every,
+                                                repeats),
+            "recovery": _bench_recovery(base, wal_dir, records,
+                                        commit_every),
+            "compaction": _bench_compaction(base, records, commit_every),
+        }
+        return report
+    finally:
+        if own_tmp:
+            shutil.rmtree(base, ignore_errors=True)
+
+
+def summary_lines(report: dict) -> List[str]:
+    ingest = report["ingest"]
+    micro = report["engine_micro"]
+    recovery = report["recovery"]
+    compaction = report["compaction"]
+    return [
+        f"ingest: {ingest['records']} records, WAL off "
+        f"{ingest['base_seconds']:.3f}s -> WAL on "
+        f"{ingest['wal_seconds']:.3f}s "
+        f"({ingest['overhead_ratio']:.2f}x overhead, "
+        f"{ingest['records_per_second_wal']:,.0f} rec/s)",
+        f"engine floor: bare write {micro['base_seconds']:.3f}s vs "
+        f"log+write {micro['wal_seconds']:.3f}s "
+        f"({micro['overhead_ratio']:.2f}x)",
+        f"recovery: full WAL replay {recovery['wal_replay']['seconds']:.3f}s "
+        f"({recovery['wal_replay']['operations_replayed']} ops, "
+        f"{recovery['wal_replay']['rounds']} rounds); checkpointed "
+        f"{recovery['checkpointed']['seconds']:.3f}s "
+        f"({recovery['checkpointed']['operations_replayed']} tail ops)",
+        f"recovered store byte-identical to live: "
+        f"{recovery['byte_identical']}",
+        f"compaction: {compaction['checkpoints']} checkpoints, "
+        f"write amplification {compaction['write_amplification']:.2f}x, "
+        f"{compaction['compaction_merges']} merges, "
+        f"live segments {compaction['live_segment_bytes']:,} bytes",
+    ]

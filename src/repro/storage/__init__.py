@@ -1,0 +1,46 @@
+"""Durable log-structured storage under the time-series store.
+
+Write-ahead log (group commits, CRC-protected, torn-tail tolerant),
+immutable sorted segments behind an atomically-published MANIFEST,
+size-tiered compaction with retention folded into merges, and crash
+recovery that reconstructs byte-identical ``Table`` state.
+"""
+
+from .compaction import (
+    CompactionStats,
+    DEFAULT_TIER_FANOUT,
+    compact_table,
+    trim_series,
+)
+from .engine import CRASH_WINDOWS, StorageEngine
+from .recovery import RecoveredState, recover
+from .segments import (
+    CorruptSegmentError,
+    MANIFEST_NAME,
+    Manifest,
+    SegmentMeta,
+    TableManifest,
+    load_manifest,
+    read_segment,
+    store_manifest,
+    write_segment,
+)
+from .wal import (
+    CorruptWalError,
+    DEFAULT_SEGMENT_BYTES,
+    NoopCrashHook,
+    WalReplay,
+    WalWriter,
+    read_wal,
+)
+
+__all__ = [
+    "CompactionStats", "DEFAULT_TIER_FANOUT", "compact_table", "trim_series",
+    "CRASH_WINDOWS", "StorageEngine",
+    "RecoveredState", "recover",
+    "CorruptSegmentError", "MANIFEST_NAME", "Manifest", "SegmentMeta",
+    "TableManifest", "load_manifest", "read_segment", "store_manifest",
+    "write_segment",
+    "CorruptWalError", "DEFAULT_SEGMENT_BYTES", "NoopCrashHook", "WalReplay",
+    "WalWriter", "read_wal",
+]

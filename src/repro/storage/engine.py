@@ -1,0 +1,314 @@
+"""StorageEngine: the durable facade under ``TimeSeriesStore``.
+
+The engine owns a data directory laid out as::
+
+    data_dir/
+      MANIFEST              # atomically-published root of trust
+      wal-00000001.log      # segmented write-ahead log (group commits)
+      seg-00000001-sps-L0.jsonl   # immutable sorted segment files
+      ...
+
+and attaches to a *live* store (the archive's in-memory tables are the
+memtable -- there is no second copy of the data).  The write protocol:
+
+1. every archive mutation is logged first (``log_create_table`` /
+   ``log_record`` / ``log_eviction``) and then applied to the live
+   table by the caller;
+2. ``commit_round`` group-commits the round's batch to the WAL -- the
+   crash-atomicity unit is the collection round;
+3. every ``checkpoint_every`` rounds (the caller's cadence),
+   ``checkpoint`` flushes dirty series to level-0 segments, runs
+   size-tiered compaction, publishes a new manifest and garbage-collects
+   the log.
+
+Crash windows (exercised by ``cloudsim.faults.CrashInjector`` and the
+``doublerun --durability`` harness) cover every step: a torn WAL flush,
+a crash after commit, mid-checkpoint before/after the manifest publish,
+and mid-GC.  Recovery from any of them reconstructs the exact state of
+the last committed round (see ``recovery.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from math import isfinite
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..timeseries.record import Record, SeriesKey
+from ..timeseries.store import RetentionPolicy, TimeSeriesStore
+from .compaction import DEFAULT_TIER_FANOUT, CompactionStats, compact_table
+from .recovery import RecoveredState, recover
+from .segments import (
+    Manifest,
+    TableManifest,
+    store_manifest,
+    write_segment,
+)
+from .wal import (
+    DEFAULT_SEGMENT_BYTES,
+    NoopCrashHook,
+    WalWriter,
+    _ENCODER,
+    wal_file_name,
+)
+
+#: Every named crash window, in the order a round reaches them.
+CRASH_WINDOWS = (
+    "wal.flush",            # torn write during the group-commit flush
+    "wal.commit",           # after the batch is durable, before bookkeeping
+    "checkpoint.segments",  # before dirty series flush to L0 segments
+    "checkpoint.manifest",  # new manifest written but not yet published
+    "checkpoint.publish",   # manifest live, garbage not yet collected
+    "checkpoint.gc",        # before old WAL/segment files are deleted
+)
+
+
+class StorageEngine:
+    """Durable write-ahead-logged storage under one data directory."""
+
+    def __init__(self, data_dir: Union[str, Path], *,
+                 wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 tier_fanout: int = DEFAULT_TIER_FANOUT,
+                 fsync: bool = False,
+                 crash_hook: Optional[NoopCrashHook] = None):
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.tier_fanout = tier_fanout
+        self.crash_hook = crash_hook or NoopCrashHook()
+
+        #: state reconstructed from disk at open (fresh dirs recover empty)
+        self.recovered: RecoveredState = recover(self.data_dir)
+        self._manifest = self.recovered.manifest
+        self.rounds_committed = self.recovered.rounds_committed
+        self.last_commit_time = self.recovered.last_commit_time
+        self._dirty: Dict[str, Set[SeriesKey]] = {
+            name: set(keys) for name, keys in self.recovered.dirty.items()}
+        self._pending_evictions: Dict[str, float] = dict(
+            self.recovered.replayed_evictions)
+        self._line_templates: Dict[Tuple[str, SeriesKey],
+                                   Tuple[str, str]] = {}
+        self._store: Optional[TimeSeriesStore] = None
+
+        # append to the newest existing WAL file (never clobber committed
+        # records); a fully-GC'd log starts at the manifest's next number
+        number = self.recovered.max_wal_number or self._manifest.next_wal_number
+        self._writer = WalWriter(
+            self.data_dir, number=number,
+            next_seq=self.recovered.last_seq + 1,
+            segment_bytes=wal_segment_bytes, fsync=fsync,
+            crash_hook=self.crash_hook)
+        self.checkpoints = 0
+        self.compaction_stats = CompactionStats()
+        self.segment_bytes_written = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, store: TimeSeriesStore) -> None:
+        """Bind the live store whose tables are the engine's memtable."""
+        self._store = store
+
+    @property
+    def store(self) -> TimeSeriesStore:
+        if self._store is None:
+            raise RuntimeError("StorageEngine has no attached store")
+        return self._store
+
+    # -- logging (call before mutating the live store) ---------------------
+
+    def log_create_table(self, name: str,
+                         policy: Optional[RetentionPolicy] = None) -> int:
+        retention = policy.max_age_seconds if policy is not None else None
+        return self._writer.append(
+            {"op": "create", "table": name, "retention": retention})
+
+    def log_record(self, table_name: str, record: Record) -> int:
+        # Hot path: a series' dims/measure/table never change, so the
+        # invariant JSON text around the per-record seq/time/value is
+        # encoded once per (table, series) and spliced thereafter.  The
+        # spliced line is byte-identical to what ``encode_record`` emits
+        # (canonical sorted-key order: dims, measure, op, seq, table,
+        # time, value; scalar formatting matches json's C encoder).  The
+        # cache key avoids constructing/hashing a SeriesKey per record:
+        # its components hash at C speed.
+        entry = self._line_templates.get(
+            (table_name, record.measure_name, record.dimensions))
+        if entry is None:
+            key = SeriesKey.of(record)
+            entry = (
+                '{"dims":%s,"measure":%s,"op":"write","seq":' % (
+                    _ENCODER.encode(record.dimension_dict),
+                    _ENCODER.encode(record.measure_name)),
+                ',"table":%s,"time":' % _ENCODER.encode(table_name),
+                key,
+                self._dirty.setdefault(table_name, set()))
+            self._line_templates[
+                (table_name, record.measure_name, record.dimensions)] = entry
+        prefix, mid, key, dirty = entry
+        # scalar-to-JSON, inlined (this is the single hottest call site):
+        # ``repr`` of a finite float and ``str`` of a non-bool int are
+        # exactly what json's C encoder emits, so splicing them preserves
+        # canonical byte-identity; anything else (bools, strings,
+        # non-finite floats) takes the full encoder below
+        time, value = record.time, record.value
+        kind = type(value)
+        if kind is int:
+            value_text = str(value)
+        elif kind is float and isfinite(value):
+            value_text = repr(value)
+        else:
+            value_text = None
+        if value_text is not None and type(time) is float and isfinite(time):
+            seq = self._writer.append_template(
+                prefix, f'{mid}{time!r},"value":{value_text}}}')
+        else:  # non-finite floats, bools, strings: canonical slow path
+            seq = self._writer.append({
+                "op": "write", "table": table_name,
+                "measure": record.measure_name,
+                "dims": record.dimension_dict,
+                "value": record.value, "time": record.time})
+        dirty.add(key)
+        return seq
+
+    def log_eviction(self, table_name: str, cutoff: float,
+                     touched: Sequence[SeriesKey]) -> int:
+        seq = self._writer.append(
+            {"op": "evict", "table": table_name, "cutoff": cutoff})
+        self._dirty.setdefault(table_name, set()).update(touched)
+        previous = self._pending_evictions.get(table_name, float("-inf"))
+        self._pending_evictions[table_name] = max(previous, cutoff)
+        return seq
+
+    # -- round commit ------------------------------------------------------
+
+    def commit_round(self, time: float) -> int:
+        """Group-commit the round's batch; returns the marker's seq."""
+        seq = self._writer.commit(self.rounds_committed + 1, time)
+        self.rounds_committed += 1
+        self.last_commit_time = time
+        return seq
+
+    # -- checkpoint --------------------------------------------------------
+
+    def _flush_dirty(self, manifest: Manifest) -> None:
+        for table_name in sorted(self._dirty):
+            keys = self._dirty[table_name]
+            if not keys:
+                continue
+            table = self.store.table(table_name)
+            items = []
+            for key in sorted(keys, key=lambda k: (k.measure_name,
+                                                   k.dimensions)):
+                series = table.series(key)
+                if series is not None and series.times:
+                    items.append((key, series))
+            if not items:
+                continue
+            segment_id = manifest.next_segment_id
+            manifest.next_segment_id += 1
+            meta = write_segment(self.data_dir, segment_id, table_name, 0,
+                                 items)
+            manifest.tables[table_name].segments.append(meta)
+            self.segment_bytes_written += meta.bytes
+
+    def _collect_garbage(self, manifest: Manifest) -> None:
+        live = set(manifest.live_files())
+        for entry in sorted(os.listdir(self.data_dir)):
+            if entry.startswith("seg-") and entry.endswith(".jsonl") \
+                    and entry not in live:
+                os.unlink(self.data_dir / entry)
+            elif entry.startswith("wal-") and entry.endswith(".log") and \
+                    entry != wal_file_name(self._writer.number):
+                os.unlink(self.data_dir / entry)
+
+    def checkpoint(self, time: float) -> Manifest:
+        """Fold the committed log into segments and publish a manifest.
+
+        Must run at a round boundary (no uncommitted batch pending): the
+        manifest horizon is the last committed sequence number.
+        """
+        if self._writer.pending:
+            raise RuntimeError(
+                "checkpoint requires a committed round boundary "
+                f"({self._writer.pending} uncommitted records pending)")
+        self.crash_hook.before("checkpoint.segments")
+
+        store = self.store
+        manifest = Manifest(
+            version=self._manifest.version + 1,
+            last_applied_seq=self._writer.next_seq - 1,
+            rounds_committed=self.rounds_committed,
+            last_commit_time=self.last_commit_time,
+            next_segment_id=self._manifest.next_segment_id,
+            next_wal_number=self._writer.number + 1,
+            tables={})
+        for name in store.table_names():
+            previous = self._manifest.tables.get(name)
+            entry = TableManifest(
+                retention=store.policy(name).max_age_seconds,
+                records_written=store.table(name).stats.records_written,
+                evicted_through=previous.evicted_through if previous else None,
+                segments=list(previous.segments) if previous else [])
+            pending = self._pending_evictions.get(name)
+            if pending is not None:
+                current = entry.evicted_through
+                entry.evicted_through = pending if current is None \
+                    else max(current, pending)
+            manifest.tables[name] = entry
+
+        self._flush_dirty(manifest)
+
+        def next_segment_id() -> int:
+            allocated = manifest.next_segment_id
+            manifest.next_segment_id += 1
+            return allocated
+
+        for name in sorted(manifest.tables):
+            stats = compact_table(self.data_dir, name, manifest.tables[name],
+                                  next_segment_id, self.tier_fanout)
+            self.segment_bytes_written += stats.bytes_written
+            self.compaction_stats.merge_into(stats)
+
+        # roll first so the manifest's next_wal_number matches the active
+        # file and every superseded log file is safe to delete
+        self._writer.roll()
+        manifest.next_wal_number = self._writer.number
+        store_manifest(self.data_dir, manifest, self.crash_hook)
+
+        self.crash_hook.before("checkpoint.gc")
+        self._collect_garbage(manifest)
+        self._manifest = manifest
+        # clear in place: log_record's template cache holds references to
+        # these per-table dirty sets
+        for keys in self._dirty.values():
+            keys.clear()
+        self._pending_evictions = {}
+        self.checkpoints += 1
+        return manifest
+
+    # -- lifecycle / introspection -----------------------------------------
+
+    def close(self) -> None:
+        self._writer.close()
+
+    @property
+    def manifest(self) -> Manifest:
+        return self._manifest
+
+    def stats(self) -> dict:
+        """Durability counters (the ``repro recover`` / bench payload)."""
+        live_bytes = self._manifest.live_bytes()
+        return {
+            "rounds_committed": self.rounds_committed,
+            "last_seq": self._writer.next_seq - 1,
+            "checkpoints": self.checkpoints,
+            "manifest_version": self._manifest.version,
+            "wal_bytes_written": self._writer.bytes_written,
+            "wal_records_written": self._writer.records_written,
+            "segment_bytes_written": self.segment_bytes_written,
+            "live_segment_bytes": live_bytes,
+            "compaction_merges": self.compaction_stats.merges,
+            "compaction_points_dropped": self.compaction_stats.points_dropped,
+            "write_amplification": (
+                self.segment_bytes_written / live_bytes if live_bytes else 0.0),
+        }

@@ -1,0 +1,231 @@
+"""Immutable sorted segment files and the versioned MANIFEST.
+
+A *segment* is a checkpoint's flush of change-point series: one
+JSON-lines file per (table, checkpoint) holding the full state of every
+series touched since the previous checkpoint, sorted by series key.
+Segments are immutable once published; newer segments shadow older ones
+series-by-series (newest wins), which is what lets compaction merge them
+without replaying the log.
+
+The ``MANIFEST`` names the live segment set (per table, with retention
+configuration and ingestion counters) plus the log horizon
+(``last_applied_seq``): everything a cold start needs before replaying
+the WAL tail.  It is published via temp file + ``os.replace`` -- readers
+see either the old or the new version, never a torn one -- and each
+segment carries its SHA-256 in the manifest so recovery detects bit rot
+or half-written leftovers from a crashed checkpoint (which are simply
+not referenced and therefore invisible).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._util import atomic_open
+from ..timeseries.compression import ChangePointSeries
+from ..timeseries.record import SeriesKey
+from .wal import NoopCrashHook
+
+MANIFEST_NAME = "MANIFEST"
+MANIFEST_FORMAT = 1
+SEGMENT_FORMAT = 1
+
+
+def segment_file_name(segment_id: int, table: str, level: int) -> str:
+    return f"seg-{segment_id:08d}-{table}-L{level}.jsonl"
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """Manifest entry describing one immutable segment file."""
+
+    file: str
+    segment_id: int
+    table: str
+    level: int
+    series: int
+    bytes: int
+    sha256: str
+
+    def as_dict(self) -> dict:
+        return {"file": self.file, "id": self.segment_id, "table": self.table,
+                "level": self.level, "series": self.series,
+                "bytes": self.bytes, "sha256": self.sha256}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SegmentMeta":
+        return cls(raw["file"], raw["id"], raw["table"], raw["level"],
+                   raw["series"], raw["bytes"], raw["sha256"])
+
+
+class CorruptSegmentError(ValueError):
+    """A manifest-referenced segment failed validation."""
+
+
+def write_segment(directory: Path, segment_id: int, table: str, level: int,
+                  items: Sequence[Tuple[SeriesKey, ChangePointSeries]],
+                  ) -> SegmentMeta:
+    """Publish one segment file; ``items`` must be sorted by series key."""
+    directory = Path(directory)
+    name = segment_file_name(segment_id, table, level)
+    header = {"format": SEGMENT_FORMAT, "table": table, "level": level,
+              "id": segment_id, "series": len(items)}
+    lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+    for key, series in items:
+        lines.append(json.dumps({
+            "measure": key.measure_name,
+            "dims": dict(key.dimensions),
+            "times": series.times,
+            "values": series.values,
+            "observed_until": series.observed_until,
+            "observations": series.observation_count,
+        }, sort_keys=True, separators=(",", ":")))
+    content = "\n".join(lines) + "\n"
+    with atomic_open(directory / name) as fh:
+        fh.write(content)
+    raw = content.encode("utf-8")
+    return SegmentMeta(name, segment_id, table, level, len(items),
+                       len(raw), hashlib.sha256(raw).hexdigest())
+
+
+def read_segment(directory: Path, meta: SegmentMeta, verify: bool = True,
+                 ) -> List[Tuple[SeriesKey, ChangePointSeries]]:
+    """Load a segment's series, validating checksum and header."""
+    path = Path(directory) / meta.file
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CorruptSegmentError(
+            f"manifest references missing segment {meta.file}: {exc}") from None
+    if verify and hashlib.sha256(raw).hexdigest() != meta.sha256:
+        raise CorruptSegmentError(
+            f"segment {meta.file} fails its manifest checksum")
+    lines = raw.decode("utf-8").splitlines()
+    header = json.loads(lines[0])
+    if header.get("format") != SEGMENT_FORMAT or \
+            header.get("table") != meta.table or \
+            header.get("id") != meta.segment_id:
+        raise CorruptSegmentError(
+            f"segment {meta.file} header does not match its manifest entry")
+    items: List[Tuple[SeriesKey, ChangePointSeries]] = []
+    for raw_line in lines[1:]:
+        line = json.loads(raw_line)
+        key = SeriesKey(line["measure"], tuple(sorted(line["dims"].items())))
+        items.append((key, ChangePointSeries(
+            times=[float(t) for t in line["times"]],
+            values=line["values"],
+            observed_until=float(line["observed_until"]),
+            observation_count=int(line["observations"]),
+        )))
+    return items
+
+
+@dataclass
+class TableManifest:
+    """Per-table durable state: retention, counters, live segments."""
+
+    #: RetentionPolicy.max_age_seconds (None = keep everything)
+    retention: Optional[float] = None
+    #: Table.stats.records_written as of ``last_applied_seq``
+    records_written: int = 0
+    #: newest eviction cutoff folded into the segment horizon; recovery
+    #: re-applies it so evict ops GC'd from the WAL are never lost
+    evicted_through: Optional[float] = None
+    #: live segments, oldest first (ascending segment id)
+    segments: List[SegmentMeta] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {"retention": self.retention,
+                "records_written": self.records_written,
+                "evicted_through": self.evicted_through,
+                "segments": [m.as_dict() for m in self.segments]}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TableManifest":
+        return cls(raw["retention"], raw["records_written"],
+                   raw["evicted_through"],
+                   [SegmentMeta.from_dict(m) for m in raw["segments"]])
+
+
+@dataclass
+class Manifest:
+    """The storage engine's atomically-published root of trust."""
+
+    version: int = 0
+    #: WAL records with seq <= this are folded into the segment set
+    last_applied_seq: int = 0
+    rounds_committed: int = 0
+    last_commit_time: Optional[float] = None
+    next_segment_id: int = 1
+    next_wal_number: int = 1
+    tables: Dict[str, TableManifest] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "version": self.version,
+            "last_applied_seq": self.last_applied_seq,
+            "rounds_committed": self.rounds_committed,
+            "last_commit_time": self.last_commit_time,
+            "next_segment_id": self.next_segment_id,
+            "next_wal_number": self.next_wal_number,
+            "tables": {name: t.as_dict()
+                       for name, t in sorted(self.tables.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Manifest":
+        if raw.get("format") != MANIFEST_FORMAT:
+            raise ValueError(
+                f"unsupported manifest format {raw.get('format')!r}")
+        return cls(raw["version"], raw["last_applied_seq"],
+                   raw["rounds_committed"], raw["last_commit_time"],
+                   raw["next_segment_id"], raw["next_wal_number"],
+                   {name: TableManifest.from_dict(t)
+                    for name, t in raw["tables"].items()})
+
+    def live_files(self) -> List[str]:
+        """Every segment file the manifest references."""
+        return [meta.file for name in sorted(self.tables)
+                for meta in self.tables[name].segments]
+
+    def live_bytes(self) -> int:
+        return sum(meta.bytes for name in sorted(self.tables)
+                   for meta in self.tables[name].segments)
+
+
+def load_manifest(directory: Path) -> Optional[Manifest]:
+    """The published manifest, or None for a fresh data directory."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    return Manifest.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+
+def store_manifest(directory: Path, manifest: Manifest,
+                   crash_hook: Optional[NoopCrashHook] = None) -> None:
+    """Atomically publish a new manifest version.
+
+    Crash windows: ``checkpoint.manifest`` fires before the ``os.replace``
+    (the new version is invisible; recovery uses the previous one) and
+    ``checkpoint.publish`` fires just after (the new version is live but
+    WAL/segment garbage collection has not run; recovery tolerates the
+    stale files).
+    """
+    hook = crash_hook or NoopCrashHook()
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    body = json.dumps(manifest.as_dict(), sort_keys=True, indent=1) + "\n"
+    with tmp.open("w", encoding="utf-8") as fh:
+        fh.write(body)
+        fh.flush()
+        os.fsync(fh.fileno())
+    hook.before("checkpoint.manifest")
+    os.replace(tmp, path)
+    hook.before("checkpoint.publish")

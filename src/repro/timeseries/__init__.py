@@ -8,7 +8,13 @@ from .cache import CacheStats, QueryCache
 from .compression import ChangePointSeries
 from .query import QuerySpec, group_aggregate, resample_matrix, run_query, update_intervals
 from .record import DimensionKey, Record, SeriesKey, Value, dimension_key
-from .persistence import dump_store, dump_table, load_store, load_table
+from .persistence import (
+    dump_store,
+    dump_table,
+    load_store,
+    load_table,
+    load_table_with_policy,
+)
 from .store import RetentionPolicy, TimeSeriesStore
 from .table import Table, TableStats
 
@@ -19,5 +25,6 @@ __all__ = [
     "DimensionKey", "Record", "SeriesKey", "Value", "dimension_key",
     "RetentionPolicy", "TimeSeriesStore",
     "dump_store", "dump_table", "load_store", "load_table",
+    "load_table_with_policy",
     "Table", "TableStats",
 ]

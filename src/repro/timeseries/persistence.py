@@ -4,7 +4,15 @@ The real SpotLake publishes its collected dataset for download; the
 artifact ships pickled frames.  Here each table serializes to a compact
 JSON-lines file (one line per series: dimensions, measure, change-point
 arrays), which survives round-trips losslessly -- including the
-observation counters that back the dedup statistics.
+observation counters that back the dedup statistics and the table's
+retention policy.
+
+Snapshot files are published atomically (temp file + ``os.replace`` via
+:func:`repro._util.atomic_open`): a crash mid-dump leaves the previous
+good snapshot untouched instead of truncating it.  For incremental
+durability between snapshots, see :mod:`repro.storage` (the write-ahead
+log / segment engine); its recovery path and these snapshots reconstruct
+byte-identical stores from the same write stream.
 """
 
 from __future__ import annotations
@@ -12,24 +20,34 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Tuple, Union
 
+from .._util import atomic_open
+from .compression import ChangePointSeries
 from .record import SeriesKey
-from .store import TimeSeriesStore
+from .store import RetentionPolicy, TimeSeriesStore
 from .table import Table
 
 #: Snapshot format version written into every file header.
 FORMAT_VERSION = 1
 
 
-def dump_table(table: Table, path: Union[str, Path]) -> int:
-    """Write one table to a JSON-lines file; returns series written."""
+def dump_table(table: Table, path: Union[str, Path],
+               policy: Optional[RetentionPolicy] = None) -> int:
+    """Write one table to a JSON-lines file; returns series written.
+
+    The write is atomic: a crash mid-dump leaves any previous snapshot at
+    ``path`` intact.  ``policy`` (when given) is serialized into the
+    header so retention configuration survives the round trip.
+    """
     path = Path(path)
     count = 0
-    with path.open("w", encoding="utf-8") as fh:
+    with atomic_open(path) as fh:
         header = {"format": FORMAT_VERSION, "table": table.name,
                   "records_written": table.stats.records_written}
-        fh.write(json.dumps(header) + "\n")
+        if policy is not None:
+            header["retention"] = policy.max_age_seconds
+        fh.write(json.dumps(header, allow_nan=False) + "\n")
         for key in table.series_keys():
             series = table.series(key)
             assert series is not None
@@ -41,13 +59,18 @@ def dump_table(table: Table, path: Union[str, Path]) -> int:
                 "observed_until": series.observed_until,
                 "observations": series.observation_count,
             }
-            fh.write(json.dumps(line) + "\n")
+            fh.write(json.dumps(line, allow_nan=False) + "\n")
             count += 1
     return count
 
 
-def load_table(path: Union[str, Path]) -> Table:
-    """Reconstruct a table from a JSON-lines snapshot."""
+def load_table_with_policy(path: Union[str, Path],
+                           ) -> Tuple[Table, Optional[RetentionPolicy]]:
+    """Reconstruct a table and its serialized retention policy.
+
+    The policy is None for snapshots written without one (including all
+    pre-retention-header snapshots, which stay loadable).
+    """
     path = Path(path)
     with path.open("r", encoding="utf-8") as fh:
         header = json.loads(fh.readline())
@@ -56,7 +79,6 @@ def load_table(path: Union[str, Path]) -> Table:
         table = Table(header["table"])
         for raw in fh:
             line = json.loads(raw)
-            from .compression import ChangePointSeries
             series = ChangePointSeries(
                 times=[float(t) for t in line["times"]],
                 values=line["values"],
@@ -69,6 +91,15 @@ def load_table(path: Union[str, Path]) -> Table:
             # latest-value views), bypassing re-ingestion
             table.install_series(key, series)
         table.stats.records_written = header["records_written"]
+    policy = None
+    if "retention" in header:
+        policy = RetentionPolicy(max_age_seconds=header["retention"])
+    return table, policy
+
+
+def load_table(path: Union[str, Path]) -> Table:
+    """Reconstruct a table from a JSON-lines snapshot."""
+    table, _ = load_table_with_policy(path)
     return table
 
 
@@ -79,7 +110,8 @@ def dump_store(store: TimeSeriesStore, directory: Union[str, Path]) -> Dict[str,
     written = {}
     for name in store.table_names():
         written[name] = dump_table(store.table(name),
-                                   directory / f"{name}.jsonl")
+                                   directory / f"{name}.jsonl",
+                                   policy=store.policy(name))
     return written
 
 
@@ -90,8 +122,6 @@ def load_store(directory: Union[str, Path]) -> TimeSeriesStore:
     for entry in sorted(os.listdir(directory)):
         if not entry.endswith(".jsonl"):
             continue
-        table = load_table(directory / entry)
-        store._tables[table.name] = table
-        from .store import RetentionPolicy
-        store._policies[table.name] = RetentionPolicy()
+        table, policy = load_table_with_policy(directory / entry)
+        store.install_table(table, policy)
     return store

@@ -55,6 +55,16 @@ class SeriesKey:
     measure_name: str
     dimensions: DimensionKey
 
+    def __post_init__(self):
+        # keys are hashed on every table/index lookup and on the storage
+        # engine's dirty tracking; compute once instead of per operation
+        object.__setattr__(
+            self, "_hash",
+            hash((self.measure_name, self.dimensions)))  # spotlint: disable=DET003 -- in-memory dict/set key, never persisted
+
+    def __hash__(self) -> int:
+        return self._hash
+
     @classmethod
     def of(cls, record: Record) -> "SeriesKey":
         return cls(record.measure_name, record.dimensions)

@@ -40,11 +40,27 @@ class TimeSeriesStore:
             self._policies[name] = retention or RetentionPolicy()
         return self._tables[name]
 
+    def install_table(self, table: Table,
+                      policy: Optional[RetentionPolicy] = None) -> Table:
+        """Adopt a pre-built table (snapshot load, engine recovery).
+
+        Replaces any existing table of the same name along with its
+        retention policy; ``policy=None`` installs the keep-all default.
+        """
+        self._tables[table.name] = table
+        self._policies[table.name] = policy or RetentionPolicy()
+        return table
+
     def table(self, name: str) -> Table:
         try:
             return self._tables[name]
         except KeyError:
             raise KeyError(f"no table named {name!r}") from None
+
+    def policy(self, name: str) -> RetentionPolicy:
+        """The retention policy of table ``name``."""
+        self.table(name)  # raise the canonical KeyError on unknown names
+        return self._policies[name]
 
     def table_names(self) -> List[str]:
         return sorted(self._tables)

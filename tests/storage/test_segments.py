@@ -1,0 +1,129 @@
+"""Segment files and the MANIFEST: round trips, validation, atomicity."""
+
+import json
+
+import pytest
+
+from repro.cloudsim import CrashInjector, CrashPoint, SimulatedCrash
+from repro.storage import (
+    CorruptSegmentError,
+    MANIFEST_NAME,
+    Manifest,
+    SegmentMeta,
+    TableManifest,
+    load_manifest,
+    read_segment,
+    store_manifest,
+    write_segment,
+)
+from repro.timeseries import Record, Table
+from repro.timeseries.record import SeriesKey
+
+
+def build_items(count=3):
+    table = Table("t")
+    for i in range(count):
+        for t in range(4):
+            table.write(Record.make({"k": f"s{i}"}, "m", (t % 2) + i,
+                                    float(t * 10)))
+    return [(key, table.series(key)) for key in table.series_keys()]
+
+
+class TestSegmentFiles:
+    def test_write_read_round_trip(self, tmp_path):
+        items = build_items()
+        meta = write_segment(tmp_path, 1, "t", 0, items)
+        assert meta.series == len(items)
+        assert meta.file == "seg-00000001-t-L0.jsonl"
+        loaded = read_segment(tmp_path, meta)
+        assert [key for key, _ in loaded] == [key for key, _ in items]
+        for (_, got), (_, want) in zip(loaded, items):
+            assert got.times == want.times
+            assert got.values == want.values
+            assert got.observed_until == want.observed_until
+            assert got.observation_count == want.observation_count
+
+    def test_dimension_order_is_canonical(self, tmp_path):
+        key = SeriesKey("m", (("a", "1"), ("b", "2")))
+        table = Table("t")
+        table.write(Record.make({"b": "2", "a": "1"}, "m", 5, 0.0))
+        items = [(key, table.series(key))]
+        meta = write_segment(tmp_path, 1, "t", 0, items)
+        [(loaded_key, _)] = read_segment(tmp_path, meta)
+        assert loaded_key == key
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        meta = write_segment(tmp_path, 1, "t", 0, build_items())
+        path = tmp_path / meta.file
+        path.write_bytes(path.read_bytes().replace(b'"m"', b'"x"', 1))
+        with pytest.raises(CorruptSegmentError, match="checksum"):
+            read_segment(tmp_path, meta)
+
+    def test_missing_file_detected(self, tmp_path):
+        meta = write_segment(tmp_path, 1, "t", 0, build_items())
+        (tmp_path / meta.file).unlink()
+        with pytest.raises(CorruptSegmentError, match="missing"):
+            read_segment(tmp_path, meta)
+
+    def test_header_mismatch_detected(self, tmp_path):
+        meta = write_segment(tmp_path, 1, "t", 0, build_items())
+        other = SegmentMeta(meta.file, meta.segment_id, "other", meta.level,
+                            meta.series, meta.bytes, meta.sha256)
+        with pytest.raises(CorruptSegmentError, match="header"):
+            read_segment(tmp_path, other)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        write_segment(tmp_path, 1, "t", 0, build_items())
+        assert [p.name for p in tmp_path.iterdir()] == \
+            ["seg-00000001-t-L0.jsonl"]
+
+
+def build_manifest(tmp_path):
+    meta = write_segment(tmp_path, 1, "sps", 0, build_items())
+    return Manifest(
+        version=3, last_applied_seq=17, rounds_committed=4,
+        last_commit_time=1234.5, next_segment_id=2, next_wal_number=2,
+        tables={"sps": TableManifest(retention=3600.0, records_written=12,
+                                     evicted_through=100.0,
+                                     segments=[meta])})
+
+
+class TestManifest:
+    def test_store_load_round_trip(self, tmp_path):
+        manifest = build_manifest(tmp_path)
+        store_manifest(tmp_path, manifest)
+        loaded = load_manifest(tmp_path)
+        assert loaded.as_dict() == manifest.as_dict()
+        assert loaded.live_files() == ["seg-00000001-sps-L0.jsonl"]
+        assert loaded.live_bytes() == manifest.tables["sps"].segments[0].bytes
+
+    def test_fresh_directory_has_no_manifest(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        store_manifest(tmp_path, Manifest())
+        path = tmp_path / MANIFEST_NAME
+        raw = json.loads(path.read_text())
+        raw["format"] = 99
+        path.write_text(json.dumps(raw))
+        with pytest.raises(ValueError, match="format"):
+            load_manifest(tmp_path)
+
+    def test_crash_before_publish_keeps_old_version(self, tmp_path):
+        old = build_manifest(tmp_path)
+        store_manifest(tmp_path, old)
+        new = build_manifest(tmp_path)
+        new.version = 4
+        hook = CrashInjector([CrashPoint("checkpoint.manifest", hit=0)])
+        with pytest.raises(SimulatedCrash):
+            store_manifest(tmp_path, new, hook)
+        assert load_manifest(tmp_path).version == 3  # old manifest intact
+
+    def test_crash_after_publish_shows_new_version(self, tmp_path):
+        store_manifest(tmp_path, build_manifest(tmp_path))
+        new = build_manifest(tmp_path)
+        new.version = 4
+        hook = CrashInjector([CrashPoint("checkpoint.publish", hit=0)])
+        with pytest.raises(SimulatedCrash):
+            store_manifest(tmp_path, new, hook)
+        assert load_manifest(tmp_path).version == 4

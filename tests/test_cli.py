@@ -63,6 +63,49 @@ class TestCommands:
         assert code == 1
         assert "below required" in capsys.readouterr().err
 
+    def test_collect_with_data_dir_then_recover(self, capsys, tmp_path):
+        data_dir = str(tmp_path / "data")
+        code = main(["collect", "--types", "m5.large", "--rounds", "2",
+                     "--data-dir", data_dir, "--checkpoint-every", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "storage:" in out and "rounds committed" in out
+        assert (tmp_path / "data" / "MANIFEST").exists()
+
+        # a restart resumes from the recovered timeline
+        code = main(["collect", "--types", "m5.large", "--rounds", "1",
+                     "--data-dir", data_dir])
+        assert code == 0
+        assert "recovered 2 committed round(s)" in capsys.readouterr().out
+
+        snap = tmp_path / "snap"
+        code = main(["recover", "--data-dir", data_dir,
+                     "--output", str(snap)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 committed round(s)" in out
+        assert "sps:" in out and "retention keep-all" in out
+        assert (snap / "sps.jsonl").exists()
+
+    def test_recover_missing_directory_is_empty_not_error(self, capsys,
+                                                          tmp_path):
+        # recover on a fresh (empty) directory reports zero state, exit 0
+        assert main(["recover", "--data-dir", str(tmp_path / "nope")]) == 0
+        assert "0 committed round(s)" in capsys.readouterr().out
+
+    def test_recover_corrupt_wal_exits_one(self, capsys, tmp_path):
+        from repro.storage.wal import encode_record
+
+        data = tmp_path / "data"
+        data.mkdir()
+        # an invalid line FOLLOWED by a valid record is real corruption
+        # (not a forgivable torn tail)
+        (data / "wal-00000001.log").write_bytes(
+            b"00000000 garbage\n"
+            + encode_record(1, {"op": "commit", "round": 1, "time": 0.0}))
+        assert main(["recover", "--data-dir", str(data)]) == 1
+        assert "recovery failed" in capsys.readouterr().err
+
     def test_query_bad_region(self, capsys):
         assert main(["query", "--type", "m5.large",
                      "--region", "us-east-1",

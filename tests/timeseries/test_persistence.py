@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.timeseries import Record, Table, TimeSeriesStore
+from repro.timeseries import Record, RetentionPolicy, Table, TimeSeriesStore
 from repro.timeseries.persistence import (
     dump_store,
     dump_table,
     load_store,
     load_table,
+    load_table_with_policy,
 )
 
 
@@ -57,6 +58,51 @@ class TestTableRoundTrip:
         path.write_text('{"format": 99, "table": "x", "records_written": 0}\n')
         with pytest.raises(ValueError):
             load_table(path)
+
+    def test_series_count_stat_round_trips(self, tmp_path):
+        """Regression: install_series must rebuild series_count, so a
+        loaded table's TableStats match the dumped table's exactly."""
+        table = build_table()
+        path = tmp_path / "sps.jsonl"
+        dump_table(table, path)
+        loaded = load_table(path)
+        assert loaded.stats.series_count == table.stats.series_count == 2
+        assert loaded.stats.change_points_stored == \
+            table.stats.change_points_stored
+
+    def test_atomic_dump_leaves_original_on_failure(self, tmp_path):
+        """A failing dump must not clobber the existing snapshot file."""
+        table = build_table()
+        path = tmp_path / "sps.jsonl"
+        dump_table(table, path)
+        original = path.read_bytes()
+
+        class Boom(RuntimeError):
+            pass
+
+        broken = build_table()
+        broken.write(Record.make({"it": "m5.large", "az": "a"}, "sps", 2, 50))
+        series = broken.series(broken.series_keys()[1])
+        series.values[-1] = float("nan")  # allow_nan=False -> dump raises
+        with pytest.raises(ValueError):
+            dump_table(broken, path)
+        assert path.read_bytes() == original
+        assert list(tmp_path.iterdir()) == [path]  # no temp debris
+
+    def test_retention_policy_round_trips(self, tmp_path):
+        table = build_table()
+        path = tmp_path / "sps.jsonl"
+        dump_table(table, path, policy=RetentionPolicy(3600.0))
+        loaded, policy = load_table_with_policy(path)
+        assert policy.max_age_seconds == 3600.0
+        assert len(loaded) == len(table)
+
+    def test_policy_absent_in_old_snapshots(self, tmp_path):
+        table = build_table()
+        path = tmp_path / "sps.jsonl"
+        dump_table(table, path)  # no policy: pre-retention header shape
+        _, policy = load_table_with_policy(path)
+        assert policy is None
 
 
 class TestStoreRoundTrip:
