@@ -40,8 +40,19 @@ def _cmd_collect(args: argparse.Namespace) -> int:
                            chaos_profile=args.chaos_profile,
                            chaos_seed=args.chaos_seed,
                            data_dir=args.data_dir,
-                           checkpoint_every=args.checkpoint_every)
+                           checkpoint_every=args.checkpoint_every,
+                           workers=args.workers,
+                           plan_cache=args.plan_cache)
     service = SpotLakeService(config)
+    if args.workers is not None:
+        print(f"parallel collection engine: {args.workers} worker(s)")
+    if args.plan_cache:
+        from .core.plan_cache import PlanCache
+        from .solver import STATS as solver_stats
+        cache_stats = PlanCache.shared().stats()
+        print(f"plan cache: {cache_stats['entries']} entries, "
+              f"{cache_stats['hits']} hits / {cache_stats['misses']} misses "
+              f"(solver calls this process: {solver_stats.total_calls})")
     engine = service.archive.engine
     if engine is not None and engine.rounds_committed:
         print(f"recovered {engine.rounds_committed} committed round(s) "
@@ -89,11 +100,11 @@ def _cmd_collect(args: argparse.Namespace) -> int:
               f"wal {stats['wal_bytes_written']}B, "
               f"segments {stats['live_segment_bytes']}B live "
               f"(amplification {stats['write_amplification']:.2f}x)")
-        service.archive.close()
     if args.output:
         from .timeseries import dump_store
         written = dump_store(service.archive.store, args.output)
         print(f"snapshot written to {args.output}: {written}")
+    service.close()
     return 0
 
 
@@ -258,6 +269,14 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--checkpoint-every", type=int, default=4,
                          help="fold the WAL into segments every N rounds "
                               "(default 4; 0 = only at exit)")
+    collect.add_argument("--workers", type=int, default=None,
+                         help="SPS materialization worker threads (default: "
+                              "legacy serial collector; any count is "
+                              "byte-identical to serial)")
+    collect.add_argument("--plan-cache", default=True,
+                         action=argparse.BooleanOptionalAction,
+                         help="reuse solved query packings across rounds "
+                              "and restarts (default on)")
     collect.set_defaults(func=_cmd_collect)
 
     recover_cmd = sub.add_parser(

@@ -10,6 +10,7 @@ pool of accounts.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Tuple
 
@@ -39,7 +40,10 @@ class Account:
 
     name: str
     quota: int = DEFAULT_QUERY_QUOTA
-    #: first-seen timestamp per unique query currently inside the window
+    #: first-seen timestamp per unique query currently inside the window.
+    #: Insertion order equals charge-time order (the simulation clock is
+    #: forward-only and repeats keep their original stamp), so expiry only
+    #: ever pops from the front -- see :meth:`_expire`.
     _seen: Dict[QueryKey, float] = field(default_factory=dict, repr=False)
     #: security-token validity; flipped by injected credential faults
     _credentials_expired: bool = field(default=False, repr=False)
@@ -65,10 +69,21 @@ class Account:
                 f"credentials before retrying")
 
     def _expire(self, now: float) -> None:
+        """Drop charges that left the rolling window.
+
+        ``_seen`` is charge-ordered (timestamps non-decreasing), so stale
+        entries form a prefix: pop from the front and stop at the first
+        in-window stamp.  Amortized O(1) per call instead of a full scan --
+        ``acquire`` probes every account on a pool miss, which made the
+        full scan the collection round's second-hottest path.
+        """
         cutoff = now - QUOTA_WINDOW_SECONDS
-        expired = [k for k, t in self._seen.items() if t <= cutoff]
-        for key in expired:
-            del self._seen[key]
+        seen = self._seen
+        while seen:
+            key = next(iter(seen))
+            if seen[key] > cutoff:
+                break
+            del seen[key]
 
     def unique_queries_used(self, now: float) -> int:
         """Unique queries charged inside the current rolling window."""
@@ -110,20 +125,37 @@ class AccountPool:
             raise ValueError("an account pool needs at least one account")
         self.accounts: List[Account] = [
             Account(f"{name_prefix}-{i:03d}", quota) for i in range(size)]
+        #: hint index: the account last picked for each key.  A key is only
+        #: ever *charged* to one account while it sits inside the window
+        #: (the linear scan below returns the holder before anyone else can
+        #: be charged), so a validated hint is exact; a stale hint (charge
+        #: never happened, or the window rolled) falls back to the scan.
+        self._charged: Dict[QueryKey, Account] = {}
+        # acquisition must stay race-free under the parallel collection
+        # engine; its control pass is single-threaded, the lock makes the
+        # invariant explicit rather than incidental
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.accounts)
 
     def acquire(self, key: QueryKey, now: float) -> Account:
         """Pick an account able to issue ``key`` at ``now``."""
-        for account in self.accounts:
-            if not account.would_charge(key, now):
-                return account
-        best = max(self.accounts, key=lambda a: a.remaining(now))
-        if best.remaining(now) <= 0:
-            raise QuotaExceededError(
-                "every account in the pool exhausted its unique-query quota")
-        return best
+        with self._lock:
+            hinted = self._charged.get(key)
+            if hinted is not None and not hinted.would_charge(key, now):
+                return hinted
+            for account in self.accounts:
+                if not account.would_charge(key, now):
+                    self._charged[key] = account
+                    return account
+            best = max(self.accounts, key=lambda a: a.remaining(now))
+            if best.remaining(now) <= 0:
+                raise QuotaExceededError(
+                    "every account in the pool exhausted its unique-query "
+                    "quota")
+            self._charged[key] = best
+            return best
 
     def total_remaining(self, now: float) -> int:
         """Unique-query headroom across the whole pool."""

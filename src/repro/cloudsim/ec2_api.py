@@ -33,7 +33,7 @@ from .errors import (
 from .faults import FaultInjector
 from .lifecycle import RequestSimulator, SpotRequest, RequestState
 from .market import SpotMarket
-from .placement import PlacementScoreEngine
+from .placement import CompiledScoreQuery, PlacementScoreEngine
 from .pricing import PricingEngine
 
 #: Result-row cap of a single placement-score query (paper Section 3.1).
@@ -109,16 +109,14 @@ class Ec2Client:
 
     # -- spot placement scores -------------------------------------------------
 
-    def get_spot_placement_scores(self, instance_types: Sequence[str],
-                                  regions: Sequence[str],
-                                  target_capacity: int = 1,
-                                  single_availability_zone: bool = False,
-                                  max_results: int = MAX_SPS_RESULTS) -> List[dict]:
-        """Placement scores for the given types across the given regions.
+    def _sps_admission(self, instance_types: Sequence[str],
+                       regions: Sequence[str], target_capacity: int,
+                       single_availability_zone: bool,
+                       max_results: int) -> None:
+        """Validation, credential, fault, and quota gauntlet of one SPS call.
 
-        Raises :class:`QuotaExceededError` when the account's rolling
-        unique-query budget is exhausted; repeating an identical query is
-        free, exactly as the paper observes.
+        Shared verbatim by the immediate and the deferred entry points so
+        both consume the account budget and the fault schedule identically.
         """
         if not instance_types:
             raise ValidationError("InstanceTypes must not be empty")
@@ -140,13 +138,25 @@ class Ec2Client:
         self.account.check_credentials()
         self.cloud.maybe_fault("sps", self.account)
 
-        now = self.cloud.clock.now()
         key = make_query_key(instance_types, regions, target_capacity,
                              single_availability_zone)
-        self.account.charge(key, now)
+        self.account.charge(key, self.cloud.clock.now())
 
+    def get_spot_placement_scores(self, instance_types: Sequence[str],
+                                  regions: Sequence[str],
+                                  target_capacity: int = 1,
+                                  single_availability_zone: bool = False,
+                                  max_results: int = MAX_SPS_RESULTS) -> List[dict]:
+        """Placement scores for the given types across the given regions.
+
+        Raises :class:`QuotaExceededError` when the account's rolling
+        unique-query budget is exhausted; repeating an identical query is
+        free, exactly as the paper observes.
+        """
+        self._sps_admission(instance_types, regions, target_capacity,
+                            single_availability_zone, max_results)
         rows = self.cloud.placement.score_query(
-            instance_types, regions, now,
+            instance_types, regions, self.cloud.clock.now(),
             target_capacity=target_capacity,
             single_availability_zone=single_availability_zone,
             max_results=max_results)
@@ -158,6 +168,30 @@ class Ec2Client:
             }
             for row in rows
         ]
+
+    def get_spot_placement_scores_deferred(
+            self, instance_types: Sequence[str], regions: Sequence[str],
+            target_capacity: int = 1,
+            single_availability_zone: bool = False,
+            max_results: int = MAX_SPS_RESULTS) -> "DeferredScoreCall":
+        """Admit an SPS call now, defer the score computation.
+
+        Runs the identical validation / credential / fault / quota sequence
+        as :meth:`get_spot_placement_scores` -- the account is charged here,
+        the fault schedule advances here -- but returns a
+        :class:`DeferredScoreCall` handle instead of rows.  Materializing
+        the handle at the admission timestamp yields byte-identical rows;
+        the parallel collection engine uses this split to keep all
+        account/quota/fault control strictly serial while fanning the pure
+        score arithmetic out to worker threads.
+        """
+        self._sps_admission(instance_types, regions, target_capacity,
+                            single_availability_zone, max_results)
+        compiled = self.cloud.placement.compile_query(
+            instance_types, regions, target_capacity=target_capacity,
+            single_availability_zone=single_availability_zone,
+            max_results=max_results)
+        return DeferredScoreCall(compiled)
 
     # -- spot price history -------------------------------------------------------
 
@@ -256,3 +290,26 @@ class Ec2Client:
             else:
                 raise ValidationError(f"unknown location type {location_type!r}")
         return rows
+
+
+@dataclass(frozen=True)
+class DeferredScoreCall:
+    """Admitted-but-unevaluated SPS call (see the deferred client entry).
+
+    ``rows_at(timestamp)`` is pure and thread-safe: quota was charged and
+    faults were drawn at admission, so evaluation can happen on any worker
+    thread at any later moment without touching shared simulation state.
+    """
+
+    compiled: "CompiledScoreQuery"
+
+    def rows_at(self, timestamp: float) -> List[dict]:
+        """API-shaped rows as of ``timestamp`` (the admission instant)."""
+        return [
+            {
+                "Region": row.region,
+                "AvailabilityZoneId": row.availability_zone,
+                "Score": row.score,
+            }
+            for row in self.compiled.rows(timestamp)
+        ]

@@ -65,6 +65,18 @@ class CapacityEvent:
             return 0.0
         if not self.affects(seed, itype_name):
             return 0.0
+        return self.ramp_depth(day)
+
+    def ramp_depth(self, day: float) -> float:
+        """Depth at ``day`` ignoring type membership.
+
+        Callers that pre-resolve :meth:`affects` (the compiled score-query
+        path hashes membership once instead of per evaluation) combine this
+        with their cached membership bit; the arithmetic is shared with
+        :meth:`depth_at` so both paths stay bit-identical.
+        """
+        if not (self.day_start <= day <= self.day_end):
+            return 0.0
         if self.ramp_days <= 0:
             return self.depth
         ramp_in = min(1.0, (day - self.day_start) / self.ramp_days)

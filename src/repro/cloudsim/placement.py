@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .._util import stable_uniform
+from .._util import clip01, stable_uniform
 from .catalog import Catalog, InstanceType
+from .clock import SECONDS_PER_DAY
 from .errors import ValidationError
-from .market import SpotMarket
+from .market import TEMPORAL_COMPONENTS, SpotMarket
 
 #: Maximum score a single-instance-type query can attain (empirical, Sec 5.2).
 SINGLE_TYPE_MAX_SCORE = 3
@@ -86,6 +87,9 @@ class PlacementScoreEngine:
     def __init__(self, market: SpotMarket):
         self.market = market
         self.catalog: Catalog = market.catalog
+        #: compiled-query memo: the plan repeats the same queries every
+        #: round, so the time-invariant resolution work happens once
+        self._compiled: Dict[tuple, "CompiledScoreQuery"] = {}
 
     # -- effective headroom -------------------------------------------------
 
@@ -213,3 +217,126 @@ class PlacementScoreEngine:
                                                 timestamp, target_capacity)))
         rows.sort(key=lambda r: (-r.score, r.region, r.availability_zone or ""))
         return rows[:max_results]
+
+    # -- compiled queries -------------------------------------------------------
+
+    def compile_query(self, itypes: Sequence[InstanceType | str],
+                      regions: Sequence[str], target_capacity: int = 1,
+                      single_availability_zone: bool = False,
+                      max_results: int = 10) -> "CompiledScoreQuery":
+        """Pre-resolve a query's time-invariant state; memoized per shape.
+
+        The returned object's :meth:`CompiledScoreQuery.rows` is a *pure*
+        function of the timestamp -- every hash draw (headroom phases,
+        event membership) is taken here, once, so repeated rounds and the
+        parallel collection engine's worker threads evaluate nothing but
+        arithmetic.  Results are bit-identical to :meth:`score_query`.
+        """
+        names = tuple(t if isinstance(t, str) else t.name for t in itypes)
+        key = (names, tuple(regions), target_capacity,
+               single_availability_zone, max_results)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = CompiledScoreQuery(self, names, tuple(regions),
+                                          target_capacity,
+                                          single_availability_zone,
+                                          max_results)
+            self._compiled[key] = compiled
+        return compiled
+
+
+class CompiledScoreQuery:
+    """One placement-score query with its market state pre-resolved.
+
+    Single-type single-AZ queries -- the only shape the packed collection
+    plan produces -- take a fast path: per (region, zone) cell the base
+    headroom, the four temporal-wave phases, the capacity penalty and the
+    capacity-event membership are resolved at compile time, and
+    :meth:`rows` replays the exact floating-point operation sequence of
+    ``SpotMarket.headroom`` / ``PlacementScoreEngine.zone_score`` so the
+    quantized scores are byte-identical to the uncompiled path.  Any other
+    query shape falls back to :meth:`PlacementScoreEngine.score_query`.
+
+    Evaluation is thread-safe: the fast path touches only immutable
+    compiled state, which is what lets collection workers share one
+    compiled plan.
+    """
+
+    __slots__ = ("engine", "names", "regions", "target_capacity",
+                 "single_availability_zone", "max_results", "_cells",
+                 "_epoch", "_seconds_per_day")
+
+    def __init__(self, engine: PlacementScoreEngine, names: Tuple[str, ...],
+                 regions: Tuple[str, ...], target_capacity: int,
+                 single_availability_zone: bool, max_results: int):
+        self.engine = engine
+        self.names = names
+        self.regions = regions
+        self.target_capacity = target_capacity
+        self.single_availability_zone = single_availability_zone
+        self.max_results = max_results
+        self._epoch = engine.market.epoch
+        self._seconds_per_day = SECONDS_PER_DAY
+        self._cells: Optional[tuple] = None
+        if single_availability_zone and len(names) == 1:
+            self._cells = self._compile_cells()
+
+    def _compile_cells(self) -> tuple:
+        market = self.engine.market
+        catalog = self.engine.catalog
+        name = self.names[0]
+        itype = catalog.instance_type(name)
+        penalty = self.engine._capacity_penalty(itype, self.target_capacity)
+        cells = []
+        for region in self.regions:
+            if not catalog.is_offered(name, region):
+                continue
+            zone_set = sorted(
+                {z for z in catalog.supported_zones(name, region)})
+            for zone in zone_set:
+                base = market.base_headroom(itype, region, zone)
+                # phases exactly as market._temporal_wave draws them
+                waves = tuple(
+                    (amplitude, period,
+                     stable_uniform("phase", idx, "headroom", market.seed,
+                                    itype.name, region, zone) * 2.0 * math.pi)
+                    for idx, (amplitude, period)
+                    in enumerate(TEMPORAL_COMPONENTS))
+                events = tuple(e for e in market.events
+                               if e.affects(market.seed, itype.name))
+                cells.append((region, zone, base, waves, events, penalty))
+        return tuple(cells)
+
+    def rows(self, timestamp: float) -> List[PlacementScore]:
+        """Evaluate at ``timestamp``; equals ``score_query`` byte-for-byte."""
+        if self._cells is None:
+            return self.engine.score_query(
+                list(self.names), list(self.regions), timestamp,
+                target_capacity=self.target_capacity,
+                single_availability_zone=self.single_availability_zone,
+                max_results=self.max_results)
+        day = (timestamp - self._epoch) / self._seconds_per_day
+        sin = math.sin
+        pi = math.pi
+        rows: List[PlacementScore] = []
+        for region, zone, base, waves, events, penalty in self._cells:
+            # replay of SpotMarket.headroom's float-op order: base, += the
+            # summed temporal wave, -= the summed event depth, clip01
+            total = 0.0
+            for amplitude, period, phase in waves:
+                total += amplitude * sin(2.0 * pi * day / period + phase)
+            value = base + total
+            depth = 0.0
+            for event in events:
+                depth += event.ramp_depth(day)
+            value -= depth
+            headroom = clip01(value) - penalty
+            if headroom >= THRESHOLD_3:
+                score = 3
+            elif headroom >= THRESHOLD_2:
+                score = 2
+            else:
+                score = 1
+            rows.append(PlacementScore(region, zone, score))
+        rows.sort(key=lambda r: (-r.score, r.region, r.availability_zone or ""))
+        return rows[:self.max_results]

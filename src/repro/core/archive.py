@@ -32,6 +32,8 @@ from ..timeseries import (
     SeriesKey,
     Table,
     TimeSeriesStore,
+    Value,
+    dimension_key,
     resample_matrix,
     update_intervals,
 )
@@ -87,6 +89,13 @@ class SpotLakeArchive:
         self._caches: Dict[str, QueryCache] = {}
         self._cache_entries = cache_entries
         self.cache_enabled = cache
+        # SeriesKey caches for the batched write path: every collection
+        # round touches the same (type, region, zone) coordinates, so the
+        # keys (and their cached hashes) are built once and reused
+        self._sps_keys: Dict[Tuple[str, str, str], SeriesKey] = {}
+        self._price_keys: Dict[Tuple[str, str, str], SeriesKey] = {}
+        self._advisor_keys: Dict[Tuple[str, str],
+                                 Tuple[SeriesKey, SeriesKey, SeriesKey]] = {}
 
     # -- durability ---------------------------------------------------------
 
@@ -222,6 +231,82 @@ class SpotLakeArchive:
             {DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone},
             PRICE_MEASURE, float(price), time))
 
+    # -- bulk writes (the batched ingest path) --------------------------------
+
+    def _put_points(self, table_name: str,
+                    points: List[Tuple[SeriesKey, float, Value]]) -> int:
+        """Log-then-apply a batch: WAL first (in order), then the table.
+
+        One :meth:`Table.append_many` call replaces N ``write`` calls;
+        byte-identical archive state and WAL lines to the pointwise path
+        because record order, encodings and the log-before-apply protocol
+        are all preserved.
+        """
+        if self.engine is not None:
+            self.engine.log_points(table_name, points)
+        self.store.table(table_name).append_many(points)
+        return len(points)
+
+    def put_sps_batch(self, rows: Sequence[Tuple[str, str, str, int, float]]
+                      ) -> int:
+        """Bulk :meth:`put_sps`: rows of (type, region, zone, score, time)."""
+        keys = self._sps_keys
+        points: List[Tuple[SeriesKey, float, Value]] = []
+        for instance_type, region, zone, score, time in rows:
+            coords = (instance_type, region, zone)
+            key = keys.get(coords)
+            if key is None:
+                key = SeriesKey(SPS_MEASURE, dimension_key(
+                    {DIM_TYPE: instance_type, DIM_REGION: region,
+                     DIM_ZONE: zone}))
+                keys[coords] = key
+            points.append((key, float(time), int(score)))
+        return self._put_points(SPS_TABLE, points)
+
+    def put_price_batch(self, rows: Sequence[Tuple[str, str, str, float, float]]
+                        ) -> int:
+        """Bulk :meth:`put_price`: rows of (type, region, zone, price, time)."""
+        keys = self._price_keys
+        points: List[Tuple[SeriesKey, float, Value]] = []
+        for instance_type, region, zone, price, time in rows:
+            coords = (instance_type, region, zone)
+            key = keys.get(coords)
+            if key is None:
+                key = SeriesKey(PRICE_MEASURE, dimension_key(
+                    {DIM_TYPE: instance_type, DIM_REGION: region,
+                     DIM_ZONE: zone}))
+                keys[coords] = key
+            points.append((key, float(time), float(price)))
+        return self._put_points(PRICE_TABLE, points)
+
+    def put_advisor_batch(self,
+                          rows: Sequence[Tuple[str, str, float, float, int,
+                                               float]]) -> int:
+        """Bulk :meth:`put_advisor`: rows of (type, region, ratio, if_score,
+        savings, time); emits the same three records per row, in the same
+        order."""
+        keys = self._advisor_keys
+        points: List[Tuple[SeriesKey, float, Value]] = []
+        for instance_type, region, ratio, if_score, savings, time in rows:
+            coords = (instance_type, region)
+            triple = keys.get(coords)
+            if triple is None:
+                dims = dimension_key(
+                    {DIM_TYPE: instance_type, DIM_REGION: region})
+                triple = (SeriesKey(INTERRUPTION_RATIO_MEASURE, dims),
+                          SeriesKey(IF_SCORE_MEASURE, dims),
+                          SeriesKey(SAVINGS_MEASURE, dims))
+                keys[coords] = triple
+            stamp = float(time)
+            points.append((triple[0], stamp, float(ratio)))
+            points.append((triple[1], stamp, float(if_score)))
+            points.append((triple[2], stamp, int(savings)))
+        return self._put_points(ADVISOR_TABLE, points)
+
+    def record_batch(self) -> "RecordBatch":
+        """A fresh per-round buffer feeding the batch writers above."""
+        return RecordBatch(self)
+
     def put_gap(self, source: str, key: str, reason: str,
                 attempts: int, time: float) -> None:
         """Record an explicit collection hole.
@@ -335,3 +420,71 @@ class SpotLakeArchive:
 
     def stats(self) -> Dict[str, dict]:
         return self.store.stats()
+
+
+class RecordBatch:
+    """One round's buffered rows, flushed through the archive's batch APIs.
+
+    Collectors accumulate typed rows during a round and land them with a
+    single :meth:`flush` -- one ``append_many`` per touched table, one
+    group-committed WAL run per table, instead of one call per point.
+    Row order within each kind is preserved, so flushing a batch is
+    byte-identical to issuing the same ``put_*`` calls pointwise.
+    """
+
+    def __init__(self, archive: SpotLakeArchive):
+        self.archive = archive
+        self._sps: List[Tuple[str, str, str, int, float]] = []
+        self._price: List[Tuple[str, str, str, float, float]] = []
+        self._advisor: List[Tuple[str, str, float, float, int, float]] = []
+
+    def add_sps(self, instance_type: str, region: str, zone: str,
+                score: int, time: float) -> None:
+        self._sps.append((instance_type, region, zone, score, time))
+
+    def add_sps_rows(self,
+                     rows: Sequence[Tuple[str, str, str, int, float]]) -> None:
+        self._sps.extend(rows)
+
+    def add_price(self, instance_type: str, region: str, zone: str,
+                  price: float, time: float) -> None:
+        self._price.append((instance_type, region, zone, price, time))
+
+    def add_price_rows(self,
+                       rows: Sequence[Tuple[str, str, str, float, float]]
+                       ) -> None:
+        self._price.extend(rows)
+
+    def add_advisor(self, instance_type: str, region: str,
+                    interruption_ratio: float, if_score: float,
+                    savings_percent: int, time: float) -> None:
+        self._advisor.append((instance_type, region, interruption_ratio,
+                              if_score, savings_percent, time))
+
+    def add_advisor_rows(self,
+                         rows: Sequence[Tuple[str, str, float, float, int,
+                                              float]]) -> None:
+        self._advisor.extend(rows)
+
+    def __len__(self) -> int:
+        """Archive records this batch will write (advisor rows count 3)."""
+        return len(self._sps) + len(self._price) + 3 * len(self._advisor)
+
+    def flush(self) -> int:
+        """Write every buffered row and empty the batch.
+
+        Tables flush in a fixed order (sps, advisor, price) so the WAL
+        sequence is independent of buffering order; returns the number of
+        archive records written.
+        """
+        written = 0
+        if self._sps:
+            written += self.archive.put_sps_batch(self._sps)
+            self._sps = []
+        if self._advisor:
+            written += self.archive.put_advisor_batch(self._advisor)
+            self._advisor = []
+        if self._price:
+            written += self.archive.put_price_batch(self._price)
+            self._price = []
+        return written

@@ -54,6 +54,16 @@ class CollectionReport:
     breaker_trips: int = 0
 
     def merge(self, other: "CollectionReport") -> "CollectionReport":
+        """Fold two partial reports into one.
+
+        ``accounts_used`` is *not* additive: two shards running on disjoint
+        accounts would double-count under ``+``, and ``max`` undercounts
+        them.  Neither merge rule can be exact from partial counts alone,
+        so collectors keep shard sub-reports **sum-free by construction**
+        (``accounts_used == 0``) and stamp the true value once at round
+        end, from the pool itself (``max`` then just propagates the single
+        authoritative stamp unchanged).
+        """
         return CollectionReport(
             self.queries_issued + other.queries_issued,
             self.queries_failed + other.queries_failed,
@@ -94,12 +104,16 @@ class SpsCollector:
 
     def __init__(self, cloud: SimulatedCloud, archive: SpotLakeArchive,
                  accounts: AccountPool, plan: Optional[QueryPlan] = None,
-                 resilience: Optional[ResilientExecutor] = None):
+                 resilience: Optional[ResilientExecutor] = None,
+                 engine: Optional["object"] = None):
         self.cloud = cloud
         self.archive = archive
         self.accounts = accounts
         self.plan = plan or plan_for_catalog(cloud.catalog)
         self.resilience = resilience
+        #: optional ParallelCollectionEngine; when set, ``collect`` routes
+        #: the round through its sharded deferred-materialization path
+        self.engine = engine
 
     @staticmethod
     def query_fingerprint(query: SpsQuery) -> str:
@@ -121,6 +135,29 @@ class SpsCollector:
         client = self.cloud.client(account)
         try:
             return client.get_spot_placement_scores(
+                [query.instance_type], list(query.regions),
+                target_capacity=query.target_capacity,
+                single_availability_zone=query.single_availability_zone)
+        except CredentialExpiredError:
+            account.refresh_credentials()
+            raise
+
+    def attempt_deferred(self, query: SpsQuery):
+        """One try of one planned query via the deferred SPS entry point.
+
+        Identical account/credential/fault/quota behavior to
+        :meth:`_attempt` -- the full admission gauntlet runs here, on the
+        caller's (serial) thread -- but the score computation is deferred:
+        the returned :class:`~repro.cloudsim.ec2_api.DeferredScoreCall` is
+        pure and can be materialized on any worker thread.
+        """
+        key = make_query_key([query.instance_type], query.regions,
+                             query.target_capacity,
+                             query.single_availability_zone)
+        account = self.accounts.acquire(key, self.cloud.clock.now())
+        client = self.cloud.client(account)
+        try:
+            return client.get_spot_placement_scores_deferred(
                 [query.instance_type], list(query.regions),
                 target_capacity=query.target_capacity,
                 single_availability_zone=query.single_availability_zone)
@@ -163,17 +200,24 @@ class SpsCollector:
             report.records_written += 1
         return report
 
+    def accounts_used_now(self) -> int:
+        """Accounts with in-window charges -- the round-end authoritative
+        ``accounts_used`` stamp (see :meth:`CollectionReport.merge`)."""
+        return sum(
+            1 for a in self.accounts.accounts
+            if a.unique_queries_used(self.cloud.clock.now()) > 0)
+
     def collect(self) -> CollectionReport:
         """Run the full plan once (one collection round)."""
+        if self.engine is not None:
+            return self.engine.run_sps_round(self)
         if self.resilience is not None:
             self.resilience.start_round()
         total = CollectionReport()
         for query in self.plan.queries:
             result = self.run_query(query)
             total = total.merge(result)
-        total.accounts_used = sum(
-            1 for a in self.accounts.accounts
-            if a.unique_queries_used(self.cloud.clock.now()) > 0)
+        total.accounts_used = self.accounts_used_now()
         return total
 
 
@@ -203,17 +247,17 @@ class AdvisorCollector:
                 return report
             entries = outcome.value
         now = self.cloud.clock.now()
+        batch = self.archive.record_batch()
         for entry in entries:
             # spotlint: disable=QUO001 -- the advisor is web-only (paper
             # Section 3.1): there is no API surface to route through; the
             # scraper's snapshot carries buckets, the raw ratio is archived
             ratio = self.cloud.advisor.interruption_ratio(
                 entry.instance_type, entry.region, now)
-            self.archive.put_advisor(
-                entry.instance_type, entry.region, ratio,
-                score_from_bucket(entry.interruption_bucket),
-                entry.savings_percent, now)
-            report.records_written += 3
+            batch.add_advisor(entry.instance_type, entry.region, ratio,
+                              score_from_bucket(entry.interruption_bucket),
+                              entry.savings_percent, now)
+        report.records_written += batch.flush()
         return report
 
 
@@ -229,7 +273,16 @@ class PriceCollector:
         self.resilience = resilience
 
     def _sweep(self) -> List[Tuple[str, str, str, float, float]]:
-        """One price sweep: a single describe-history-style fetch."""
+        """One price sweep: a single describe-history-style fetch.
+
+        The row timestamp MUST be read *after* the fault hook and *inside*
+        this function: the resilient retry loop re-invokes ``_sweep`` after
+        advancing the clock past the backoff, so a retried sweep stamps its
+        rows with the post-backoff time.  Hoisting ``now`` out of the call
+        (or reading it before ``maybe_fault``) would archive pre-fault
+        timestamps on retry -- the chaos regression test
+        ``tests/chaos/test_price_timestamps.py`` pins this ordering.
+        """
         self.cloud.maybe_fault("price")
         now = self.cloud.clock.now()
         rows = []
@@ -255,7 +308,7 @@ class PriceCollector:
                                      self.cloud.clock.now())
                 return report
             rows = outcome.value
-        for itype, region, zone, price, at in rows:
-            self.archive.put_price(itype, region, zone, price, at)
-            report.records_written += 1
+        batch = self.archive.record_batch()
+        batch.add_price_rows(rows)
+        report.records_written += batch.flush()
         return report

@@ -16,7 +16,7 @@ branch-and-bound solver from :mod:`repro.solver` (the MIP/CBC stand-in).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cloudsim.catalog import Catalog
 from ..cloudsim.ec2_api import MAX_SPS_RESULTS
@@ -72,36 +72,70 @@ class QueryPlan:
         return self.pair_bound_query_count / len(self.queries)
 
 
+#: Memo of solved packing subproblems:
+#: (weights tuple, capacity, algorithm) -> solver bins (item-index lists).
+#: Weights are derived from sorted region lists, so a solution is reusable
+#: across any instance type whose offering profile matches.
+PackMemo = Dict[Tuple[Tuple[float, ...], float, str], List[List[int]]]
+
+
+def pack_offering(regions: Sequence[str], weights: Sequence[float],
+                  capacity: float, algorithm: str,
+                  memo: Optional[PackMemo] = None) -> List[Tuple[str, ...]]:
+    """Pack one type's regions into query groups, optionally memoized.
+
+    Returns sorted region tuples, one per query.  With a ``memo``, an
+    identical ``(weights, capacity, algorithm)`` subproblem reuses the
+    previously solved bin structure instead of re-running the solver --
+    many instance types share an offering profile, so a full-catalog plan
+    solves only the distinct profiles.
+    """
+    if algorithm == "naive":
+        return [(region,) for region in regions]
+    bins: Optional[List[List[int]]] = None
+    sig = None
+    if memo is not None:
+        sig = (tuple(weights), float(capacity), algorithm)
+        bins = memo.get(sig)
+    if bins is None:
+        if algorithm == "exact":
+            bins = branch_and_bound(weights, capacity).bins
+        else:
+            bins = first_fit_decreasing(weights, capacity)
+        if memo is not None:
+            memo[sig] = bins
+    return [tuple(sorted(regions[i] for i in item_indexes))
+            for item_indexes in bins]
+
+
 def plan_for_offering_map(offering_map: Mapping[str, Mapping[str, int]],
                           capacity: int = MAX_SPS_RESULTS,
                           target_capacity: int = 1,
-                          algorithm: str = "exact") -> QueryPlan:
+                          algorithm: str = "exact",
+                          memo: Optional[PackMemo] = None) -> QueryPlan:
     """Build a packed query plan from {type: {region: zone_count}}.
 
     ``algorithm`` selects the packing solver: "exact" (branch-and-bound,
     the CBC stand-in), "ffd" (first-fit decreasing), or "naive" (one query
-    per type-region pair -- the unoptimized baseline of Figure 1).
+    per type-region pair -- the unoptimized baseline of Figure 1).  By
+    default each call shares solved subproblems across the types it plans
+    (see :func:`pack_offering`); pass an explicit ``memo`` to share across
+    calls as well.
     """
     if algorithm not in ("exact", "ffd", "naive"):
         raise ValueError(f"unknown planning algorithm {algorithm!r}")
+    if memo is None:
+        memo = {}
     queries: List[SpsQuery] = []
     naive = 0
     for itype, region_zones in sorted(offering_map.items()):
         regions = sorted(region_zones)
         naive += len(regions)
-        if algorithm == "naive":
-            queries.extend(
-                SpsQuery(itype, (region,), target_capacity) for region in regions)
-            continue
         # zones-per-region can exceed the cap only if a region had > capacity
         # zones; our catalog maxes at 6 so every item fits.
         weights = [min(region_zones[r], capacity) for r in regions]
-        if algorithm == "exact":
-            bins = branch_and_bound(weights, capacity).bins
-        else:
-            bins = first_fit_decreasing(weights, capacity)
-        for item_indexes in bins:
-            packed = tuple(sorted(regions[i] for i in item_indexes))
+        for packed in pack_offering(regions, weights, capacity, algorithm,
+                                    memo):
             queries.append(SpsQuery(itype, packed, target_capacity))
     all_regions = {r for zones in offering_map.values() for r in zones}
     pair_bound = len(offering_map) * len(all_regions)

@@ -14,6 +14,7 @@ during a stall are counted per job in ``missed_rounds``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -36,6 +37,9 @@ class RunEntry:
     name: str
     status: str = "ok"
     error: str = ""
+    #: wall-clock seconds the job body took (host timer, not sim time);
+    #: feeds the collection benchmark's round-latency measurements
+    duration: float = 0.0
 
     def __iter__(self) -> Iterator:
         return iter((self.time, self.name))
@@ -56,15 +60,23 @@ class ScheduledJob:
     last_error: str = ""
     #: periods skipped while the scheduler was stalled past next_due
     missed_rounds: int = 0
+    #: cumulative wall-clock seconds spent inside collect() (host timer)
+    total_runtime: float = 0.0
 
 
 class CollectionScheduler:
     """Fires registered collectors as the simulation clock advances."""
 
-    def __init__(self, clock: SimulationClock):
+    def __init__(self, clock: SimulationClock,
+                 timer: Optional[Callable[[], float]] = None):
         self.clock = clock
         self._jobs: Dict[str, ScheduledJob] = {}
         self.history: List[RunEntry] = []
+        # injectable monotonic timer (same idiom as MetricsRegistry): the
+        # reading never influences scheduling decisions or archived data --
+        # it only annotates history entries -- so determinism is preserved;
+        # tests inject a fake timer to pin the accounting
+        self._timer = timer if timer is not None else time.perf_counter
 
     def register(self, name: str, collect: Callable[[], CollectionReport],
                  period: float = DEFAULT_INTERVAL_SECONDS,
@@ -91,18 +103,25 @@ class CollectionScheduler:
         return due
 
     def _run_job(self, job: ScheduledJob) -> None:
+        started = self._timer()
         try:
             job.last_report = job.collect()
         except Exception as exc:  # noqa: BLE001 -- isolation boundary:
             # one bad collector must not starve its siblings
+            elapsed = self._timer() - started
             job.failures += 1
+            job.total_runtime += elapsed
             job.last_error = f"{type(exc).__name__}: {exc}"
             self.history.append(RunEntry(self.clock.now(), job.name,
                                          status="error",
-                                         error=job.last_error))
+                                         error=job.last_error,
+                                         duration=elapsed))
         else:
+            elapsed = self._timer() - started
             job.runs += 1
-            self.history.append(RunEntry(self.clock.now(), job.name))
+            job.total_runtime += elapsed
+            self.history.append(RunEntry(self.clock.now(), job.name,
+                                         duration=elapsed))
 
     def run_due(self) -> int:
         """Run every job due at the current clock time; returns run count.

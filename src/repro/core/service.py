@@ -17,6 +17,7 @@ gateway.  Two population paths exist:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cloudsim import (
@@ -34,7 +35,9 @@ from .collectors import (
     PriceCollector,
     SpsCollector,
 )
-from .query_planner import QueryPlan, plan_for_catalog
+from .parallel import ParallelCollectionEngine
+from .plan_cache import PlanCache
+from .query_planner import QueryPlan, plan_for_offering_map
 from .resilience import CircuitBreaker, ResilientExecutor, RetryPolicy
 from .scheduler import CollectionScheduler, DEFAULT_INTERVAL_SECONDS
 from .serving import ApiGateway
@@ -78,6 +81,12 @@ class ServiceConfig:
     checkpoint_every: int = 4
     #: storage crash-hook (doublerun --durability installs a CrashInjector).
     storage_crash_hook: Optional[object] = None
+    #: SPS materialization worker threads (None = legacy serial collector;
+    #: 1 = engine path with inline materialization -- byte-identical).
+    workers: Optional[int] = None
+    #: reuse solved query packings via the content-addressed plan cache
+    #: (in-memory always; persisted under ``data_dir`` when durable).
+    plan_cache: bool = True
 
 
 class SpotLakeService:
@@ -107,9 +116,7 @@ class SpotLakeService:
         if self.config.instance_types is not None:
             wanted = set(self.config.instance_types)
             offering_map = {t: rz for t, rz in offering_map.items() if t in wanted}
-        from .query_planner import plan_for_offering_map
-        self.plan: QueryPlan = plan_for_offering_map(
-            offering_map, algorithm=self.config.plan_algorithm)
+        self.plan: QueryPlan = self._build_plan(offering_map)
 
         pool_size = self.config.account_pool_size or AccountPool.size_for(
             self.plan.optimized_query_count)
@@ -127,9 +134,14 @@ class SpotLakeService:
                                    self.config.breaker_threshold,
                                    self.config.breaker_reset))
 
+        self.engine: Optional[ParallelCollectionEngine] = None
+        if self.config.workers is not None:
+            self.engine = ParallelCollectionEngine(self.config.workers)
+
         self.sps_collector = SpsCollector(
             self.cloud, self.archive, self.accounts, self.plan,
-            resilience=self.executors.get("sps"))
+            resilience=self.executors.get("sps"),
+            engine=self.engine)
         self.advisor_collector = AdvisorCollector(
             self.cloud, self.archive,
             resilience=self.executors.get("advisor"))
@@ -151,6 +163,41 @@ class SpotLakeService:
                                 self.config.collection_interval)
 
         self.gateway = ApiGateway(self.archive)
+
+    # -- planning ---------------------------------------------------------------
+
+    def _plan_cache_path(self) -> Optional[str]:
+        if self.config.data_dir is None:
+            return None
+        return str(Path(self.config.data_dir) / "plan-cache.json")
+
+    def _build_plan(self, offering_map) -> QueryPlan:
+        """Build the packed plan, through the plan cache when enabled.
+
+        The cached and uncached constructions produce identical plans; the
+        cache only skips solver work.  With durable storage the cache also
+        round-trips through ``data_dir/plan-cache.json`` so a restarted
+        service replans without a single solver call.
+        """
+        if not self.config.plan_cache:
+            return plan_for_offering_map(
+                offering_map, algorithm=self.config.plan_algorithm)
+        cache = PlanCache.shared()
+        path = self._plan_cache_path()
+        if path is not None:
+            cache.load(path)
+        plan = cache.plan(offering_map, algorithm=self.config.plan_algorithm)
+        if path is not None and cache.dirty:
+            cache.save(path)
+        return plan
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool and the archive's storage engine."""
+        if self.engine is not None:
+            self.engine.close()
+        self.archive.close()
 
     # -- faithful collection ---------------------------------------------------
 

@@ -1,8 +1,10 @@
 """Bin-packing solver substrate (MIP-solver stand-in for OR-Tools/CBC)."""
 
 from .binpack import (
+    STATS,
     BranchAndBoundResult,
     InfeasibleError,
+    SolverStats,
     best_fit_decreasing,
     bin_count,
     branch_and_bound,
@@ -14,7 +16,8 @@ from .binpack import (
 )
 
 __all__ = [
-    "BranchAndBoundResult", "InfeasibleError", "best_fit_decreasing",
-    "bin_count", "branch_and_bound", "first_fit_decreasing",
-    "is_valid_packing", "lower_bound_l1", "lower_bound_l2", "pack",
+    "STATS", "BranchAndBoundResult", "InfeasibleError", "SolverStats",
+    "best_fit_decreasing", "bin_count", "branch_and_bound",
+    "first_fit_decreasing", "is_valid_packing", "lower_bound_l1",
+    "lower_bound_l2", "pack",
 ]

@@ -25,6 +25,31 @@ class InfeasibleError(ValueError):
     """An item exceeds the bin capacity (can never be packed)."""
 
 
+@dataclass
+class SolverStats:
+    """Process-wide solver invocation counters.
+
+    The plan cache's contract -- "an unchanged catalog replans with zero
+    solver calls" -- is asserted against these counters, so every public
+    solver entry point increments them.
+    """
+
+    ffd_calls: int = 0
+    bfd_calls: int = 0
+    bnb_calls: int = 0
+
+    @property
+    def total_calls(self) -> int:
+        return self.ffd_calls + self.bfd_calls + self.bnb_calls
+
+    def reset(self) -> None:
+        self.ffd_calls = self.bfd_calls = self.bnb_calls = 0
+
+
+#: The module-level counter instance (``from repro.solver import STATS``).
+STATS = SolverStats()
+
+
 def _validate(weights: Sequence[float], capacity: float) -> None:
     if capacity <= 0:
         raise ValueError("capacity must be positive")
@@ -68,6 +93,7 @@ def lower_bound_l2(weights: Sequence[float], capacity: float) -> int:
 
 def first_fit_decreasing(weights: Sequence[float], capacity: float) -> List[List[int]]:
     """Classic FFD heuristic (<= 11/9 OPT + 1 bins)."""
+    STATS.ffd_calls += 1
     _validate(weights, capacity)
     order = sorted(range(len(weights)), key=lambda i: -weights[i])
     bins: List[List[int]] = []
@@ -87,6 +113,7 @@ def first_fit_decreasing(weights: Sequence[float], capacity: float) -> List[List
 
 def best_fit_decreasing(weights: Sequence[float], capacity: float) -> List[List[int]]:
     """BFD heuristic: place each item in the tightest bin that fits."""
+    STATS.bfd_calls += 1
     _validate(weights, capacity)
     order = sorted(range(len(weights)), key=lambda i: -weights[i])
     bins: List[List[int]] = []
@@ -127,6 +154,7 @@ def branch_and_bound(weights: Sequence[float], capacity: float,
     lower bound on the unplaced remainder.  When the node budget runs out
     the best incumbent found so far is returned with ``optimal=False``.
     """
+    STATS.bnb_calls += 1
     _validate(weights, capacity)
     n = len(weights)
     if n == 0:

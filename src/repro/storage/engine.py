@@ -88,6 +88,16 @@ class StorageEngine:
             self.recovered.replayed_evictions)
         self._line_templates: Dict[Tuple[str, SeriesKey],
                                    Tuple[str, str]] = {}
+        # batch-ingest twin of _line_templates: per-table, keyed by the
+        # caller's pre-built SeriesKey (cached hash: no per-point key
+        # construction, no per-point (table, key) tuple).  Entries are
+        # [prefix, mid, dirty_epoch] lists: a key whose entry already
+        # carries the current epoch is known to be in the dirty set, so
+        # repeat points skip the set-add (and its Python-level hash call)
+        self._point_templates: Dict[str, Tuple[Dict[SeriesKey, list],
+                                               Set[SeriesKey]]] = {}
+        # bumped by checkpoint() when the dirty sets are cleared
+        self._dirty_epoch = 0
         self._store: Optional[TimeSeriesStore] = None
 
         # append to the newest existing WAL file (never clobber committed
@@ -169,6 +179,120 @@ class StorageEngine:
                 "value": record.value, "time": record.time})
         dirty.add(key)
         return seq
+
+    def _point_state(self, table_name: str
+                     ) -> Tuple[Dict[SeriesKey, list], Set[SeriesKey]]:
+        state = self._point_templates.get(table_name)
+        if state is None:
+            state = ({}, self._dirty.setdefault(table_name, set()))
+            self._point_templates[table_name] = state
+        return state
+
+    def _point_template(self, table_name: str,
+                        templates: Dict[SeriesKey, list],
+                        key: SeriesKey) -> list:
+        entry = [
+            '{"dims":%s,"measure":%s,"op":"write","seq":' % (
+                _ENCODER.encode(key.dimension_dict),
+                _ENCODER.encode(key.measure_name)),
+            ',"table":%s,"time":' % _ENCODER.encode(table_name),
+            -1]  # dirty epoch: "not known dirty"
+        templates[key] = entry
+        return entry
+
+    def log_point(self, table_name: str, key: SeriesKey, time: float,
+                  value) -> int:
+        """Log one (key, time, value) point -- :meth:`log_record` for the
+        batched ingest path.
+
+        Emits byte-identical WAL lines to :meth:`log_record` on the same
+        data (same canonical encoding, same template splice), but takes a
+        pre-built :class:`SeriesKey` so batch writers skip the per-record
+        ``Record`` construction and the (table, measure, dims) tuple hash.
+        """
+        templates, dirty = self._point_state(table_name)
+        entry = templates.get(key)
+        if entry is None:
+            entry = self._point_template(table_name, templates, key)
+        prefix, mid = entry[0], entry[1]
+        # same inlined scalar-to-JSON fast path as log_record
+        kind = type(value)
+        if kind is int:
+            value_text = str(value)
+        elif kind is float and isfinite(value):
+            value_text = repr(value)
+        else:
+            value_text = None
+        if value_text is not None and type(time) is float and isfinite(time):
+            seq = self._writer.append_template(
+                prefix, f'{mid}{time!r},"value":{value_text}}}')
+        else:  # non-finite floats, bools, strings: canonical slow path
+            seq = self._writer.append({
+                "op": "write", "table": table_name,
+                "measure": key.measure_name,
+                "dims": key.dimension_dict,
+                "value": value, "time": time})
+        dirty.add(key)
+        return seq
+
+    def log_points(self, table_name: str,
+                   points: Sequence[Tuple[SeriesKey, float, object]]) -> int:
+        """Bulk :meth:`log_point`: one WAL buffer handoff per batch.
+
+        Byte- and sequence-identical to looping ``log_point`` over
+        ``points`` (a non-fast-path scalar mid-batch flushes the
+        accumulated run first, preserving record order), but amortizes the
+        per-record dispatch: templates and the dirty set resolve once,
+        spliced lines accumulate into a single
+        :meth:`~repro.storage.wal.WalWriter.append_template_many` call.
+        Returns the last sequence number used.
+        """
+        templates, dirty = self._point_state(table_name)
+        templates_get = templates.get
+        dirty_add = dirty.add
+        epoch = self._dirty_epoch
+        parts: List[Tuple[str, str]] = []
+        parts_append = parts.append
+        last_seq = self._writer.next_seq - 1
+        # per-batch memo: collection rounds stamp long runs of points with
+        # the same timestamp, so repr(time) is computed once per run
+        memo_time: object = None
+        time_text = ""
+        for key, time, value in points:
+            entry = templates_get(key)
+            if entry is None:
+                entry = self._point_template(table_name, templates, key)
+            kind = type(value)
+            if kind is int:
+                value_text = str(value)
+            elif kind is float and isfinite(value):
+                value_text = repr(value)
+            else:
+                value_text = None
+            if value_text is not None and type(time) is float \
+                    and isfinite(time):
+                if time is not memo_time:
+                    memo_time = time
+                    time_text = repr(time)
+                parts_append(
+                    (entry[0],
+                     f'{entry[1]}{time_text},"value":{value_text}}}'))
+            else:  # slow path: flush the run first to keep seq order
+                if parts:
+                    last_seq = self._writer.append_template_many(parts)
+                    parts = []
+                    parts_append = parts.append
+                last_seq = self._writer.append({
+                    "op": "write", "table": table_name,
+                    "measure": key.measure_name,
+                    "dims": key.dimension_dict,
+                    "value": value, "time": time})
+            if entry[2] != epoch:
+                entry[2] = epoch
+                dirty_add(key)
+        if parts:
+            last_seq = self._writer.append_template_many(parts)
+        return last_seq
 
     def log_eviction(self, table_name: str, cutoff: float,
                      touched: Sequence[SeriesKey]) -> int:
@@ -282,6 +406,9 @@ class StorageEngine:
         # these per-table dirty sets
         for keys in self._dirty.values():
             keys.clear()
+        # invalidate log_points' per-entry dirty stamps in O(1): entries
+        # compare their stamp against this epoch before re-adding a key
+        self._dirty_epoch += 1
         self._pending_evictions = {}
         self.checkpoints += 1
         return manifest

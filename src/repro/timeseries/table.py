@@ -100,6 +100,93 @@ class Table:
                                        series.values[-1], series.times[-1])
         self._touch(key)
 
+    def append_point(self, key: SeriesKey, time: float, value: Value) -> bool:
+        """Ingest one point addressed by a pre-built :class:`SeriesKey`.
+
+        Semantically identical to :meth:`write`, minus constructing a
+        :class:`Record` and re-deriving its key per point -- batch writers
+        that reuse keys across rounds (every series gets one point per
+        collection round) skip that allocation entirely.
+        """
+        series = self._series.get(key)
+        if series is None:
+            series = ChangePointSeries()
+            self._series[key] = series
+            self._measures[key.measure_name].add(key)
+            for dim in key.dimensions:
+                self._index[dim].add(key)
+            self.stats.series_count += 1
+        changed = series.append(time, value)
+        self.stats.records_written += 1
+        if changed:
+            self.stats.change_points_stored += 1
+            self._latest[key] = Record(key.dimensions, key.measure_name,
+                                       value, time)
+            self._touch(key)
+        return changed
+
+    def append_many(self,
+                    points: Iterable[Tuple[SeriesKey, float, Value]]) -> int:
+        """Bulk ingest of (key, time, value) points.
+
+        Returns the number of change points created.  Equivalent to
+        calling :meth:`append_point` per point, in order -- same series
+        state, same stats, same generation stamps, same latest-value
+        view -- with the per-point lookups and method dispatches hoisted
+        out of the loop.  The change-point test mirrors
+        :meth:`ChangePointSeries.append` and the stamp bump mirrors
+        :meth:`_touch`; the latest-value :class:`Record` is materialized
+        once per touched series after the loop (only the last change
+        point per key survives the batch anyway).
+        """
+        series_map = self._series
+        series_gen = self._series_gen
+        measure_gen = self._measure_gen
+        dim_gen = self._dim_gen
+        gen = self.generation
+        stats = self.stats
+        # last change point per key, materialized into _latest at the end
+        pending: Dict[SeriesKey, Tuple[float, Value]] = {}
+        written = 0
+        changed = 0
+        for key, time, value in points:
+            written += 1
+            series = series_map.get(key)
+            if series is None:
+                series = ChangePointSeries()
+                series_map[key] = series
+                self._measures[key.measure_name].add(key)
+                for dim in key.dimensions:
+                    self._index[dim].add(key)
+                stats.series_count += 1
+            # inlined ChangePointSeries.append
+            if time < series.observed_until:
+                raise ValueError(
+                    f"out-of-order append: {time} < {series.observed_until}")
+            series.observed_until = time
+            series.observation_count += 1
+            values = series.values
+            if values and values[-1] == value:
+                continue
+            series.times.append(time)
+            values.append(value)
+            changed += 1
+            pending[key] = (time, value)
+            # inlined _touch
+            gen += 1
+            series_gen[key] = gen
+            measure_gen[key.measure_name] = gen
+            for dim in key.dimensions:
+                dim_gen[dim] = gen
+        self.generation = gen
+        latest = self._latest
+        for key, (time, value) in pending.items():
+            latest[key] = Record(key.dimensions, key.measure_name,
+                                 value, time)
+        stats.records_written += written
+        stats.change_points_stored += changed
+        return changed
+
     def write_records(self, records: Iterable[Record]) -> int:
         """Batch ingest; returns the number of change points created."""
         return sum(1 for r in records if self.write(r))

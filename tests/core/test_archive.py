@@ -62,3 +62,73 @@ class TestBulkReads:
     def test_stats_tables(self, archive):
         stats = archive.stats()
         assert set(stats) == {"sps", "advisor", "price"}
+
+
+class TestBatchedWrites:
+    """The bulk writers must be byte-equivalent to their pointwise twins."""
+
+    SPS_ROWS = [("m5.large", "r1", "r1a", 3, 10.0),
+                ("m5.large", "r1", "r1b", 2, 10.0),
+                ("c5.xlarge", "r2", "r2a", 1, 10.0)]
+    PRICE_ROWS = [("m5.large", "r1", "r1a", 0.12, 10.0),
+                  ("c5.xlarge", "r2", "r2a", 0.31, 10.0)]
+    ADVISOR_ROWS = [("m5.large", "r1", 0.04, 3.0, 60, 10.0),
+                    ("c5.xlarge", "r2", 0.17, 2.0, 55, 10.0)]
+
+    def _pointwise(self):
+        archive = SpotLakeArchive()
+        for row in self.SPS_ROWS:
+            archive.put_sps(*row)
+        for row in self.ADVISOR_ROWS:
+            archive.put_advisor(*row)
+        for row in self.PRICE_ROWS:
+            archive.put_price(*row)
+        return archive
+
+    def _dump(self, archive):
+        import hashlib
+        import tempfile
+        from pathlib import Path
+        from repro.timeseries import dump_store
+        with tempfile.TemporaryDirectory() as tmp:
+            dump_store(archive.store, Path(tmp))
+            return {p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+                    for p in sorted(Path(tmp).glob("*.jsonl"))}
+
+    def test_batch_apis_match_pointwise_writes(self):
+        batched = SpotLakeArchive()
+        assert batched.put_sps_batch(self.SPS_ROWS) == len(self.SPS_ROWS)
+        assert batched.put_advisor_batch(self.ADVISOR_ROWS) == \
+            3 * len(self.ADVISOR_ROWS)
+        assert batched.put_price_batch(self.PRICE_ROWS) == \
+            len(self.PRICE_ROWS)
+        assert self._dump(batched) == self._dump(self._pointwise())
+
+    def test_record_batch_buffers_then_flushes_once(self):
+        archive = SpotLakeArchive()
+        batch = archive.record_batch()
+        batch.add_sps_rows(self.SPS_ROWS)
+        for row in self.ADVISOR_ROWS:
+            batch.add_advisor(*row)
+        batch.add_price_rows(self.PRICE_ROWS)
+        expected = len(self.SPS_ROWS) + 3 * len(self.ADVISOR_ROWS) \
+            + len(self.PRICE_ROWS)
+        assert len(batch) == expected
+        # nothing lands until flush
+        assert archive.stats()["sps"]["records_written"] == 0
+        assert batch.flush() == expected
+        assert len(batch) == 0
+        assert self._dump(archive) == self._dump(self._pointwise())
+        # a flushed batch is reusable and an empty flush is a no-op
+        assert batch.flush() == 0
+
+    def test_batches_are_durably_logged(self, tmp_path):
+        durable = SpotLakeArchive(data_dir=tmp_path / "d", checkpoint_every=0)
+        batch = durable.record_batch()
+        batch.add_sps_rows(self.SPS_ROWS)
+        batch.flush()
+        durable.commit_round(10.0)
+        durable.close()
+        reopened = SpotLakeArchive(data_dir=tmp_path / "d")
+        assert reopened.sps_at("m5.large", "r1", "r1a", 10.0) == 3
+        reopened.close()

@@ -1,0 +1,142 @@
+"""Plan cache: zero warm solves, targeted invalidation, disk round-trip.
+
+The cache's contract has three legs: (1) it never changes the plan --
+cached and uncached constructions are equal; (2) an unchanged offering
+map replans with *zero* solver calls (asserted against the solver's
+process-wide counters); (3) catalog drift re-solves only the types whose
+content fingerprints moved.
+"""
+
+import json
+
+import pytest
+
+from repro.core.plan_cache import CACHE_VERSION, PlanCache, type_signature
+from repro.core.query_planner import plan_for_offering_map
+from repro.solver import STATS
+
+OFFERINGS = {
+    "m9.large": {"rg-one-1": 3, "rg-two-1": 2, "rg-three-1": 3},
+    "m9.xlarge": {"rg-one-1": 3, "rg-two-1": 2, "rg-three-1": 3},
+    "p9.2xlarge": {"rg-one-1": 2, "rg-two-1": 2},
+    "c9.metal": {"rg-one-1": 1},
+}
+
+
+class TestPlanEquality:
+    def test_cached_plan_equals_direct_construction(self):
+        for algorithm in ("exact", "ffd", "naive"):
+            direct = plan_for_offering_map(OFFERINGS, algorithm=algorithm)
+            cached = PlanCache().plan(OFFERINGS, algorithm=algorithm)
+            assert cached.queries == direct.queries
+            assert cached.naive_query_count == direct.naive_query_count
+            assert cached.pair_bound_query_count == \
+                direct.pair_bound_query_count
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            PlanCache().plan(OFFERINGS, algorithm="magic")
+
+
+class TestZeroWarmSolves:
+    def test_second_construction_makes_no_solver_calls(self):
+        cache = PlanCache()
+        STATS.reset()
+        cold = cache.plan(OFFERINGS)
+        assert STATS.total_calls > 0, "cold build must actually solve"
+        STATS.reset()
+        warm = cache.plan(OFFERINGS)
+        assert STATS.total_calls == 0, \
+            "warm replan of an unchanged catalog must not touch the solver"
+        assert warm.queries == cold.queries
+        assert cache.hits == len(OFFERINGS)
+
+    def test_shared_memo_collapses_identical_profiles(self):
+        """Types with the same (weights, capacity) offering profile share
+        one solver subproblem: N such types cost one solve, not N."""
+        cache = PlanCache()
+        STATS.reset()
+        cache.plan({"m9.large": OFFERINGS["m9.large"]})
+        solves_for_one = STATS.total_calls
+        STATS.reset()
+        PlanCache().plan(OFFERINGS)
+        # m9.large and m9.xlarge share a profile -> 3 distinct subproblems
+        # for 4 types; the duplicate type must not add solver calls
+        assert STATS.total_calls == 3 * solves_for_one
+
+
+class TestTargetedInvalidation:
+    def test_single_type_drift_resolves_only_that_type(self):
+        cache = PlanCache()
+        cache.plan(OFFERINGS)
+        cache.hits = cache.misses = 0
+        drifted = {t: dict(z) for t, z in OFFERINGS.items()}
+        drifted["p9.2xlarge"]["rg-three-1"] = 1  # region launch
+        STATS.reset()
+        cache.plan(drifted)
+        assert cache.misses == 1
+        assert cache.hits == len(OFFERINGS) - 1
+        assert STATS.total_calls > 0
+
+    def test_signature_covers_every_packing_input(self):
+        base = type_signature("m9.large", {"r1": 3, "r2": 2}, 10, "exact")
+        assert type_signature("m9.xlarge", {"r1": 3, "r2": 2}, 10,
+                              "exact") != base
+        assert type_signature("m9.large", {"r1": 3, "r2": 1}, 10,
+                              "exact") != base
+        assert type_signature("m9.large", {"r1": 3, "r2": 2}, 9,
+                              "exact") != base
+        assert type_signature("m9.large", {"r1": 3, "r2": 2}, 10,
+                              "ffd") != base
+        # dict ordering must not matter (content, not construction order)
+        assert type_signature("m9.large", {"r2": 2, "r1": 3}, 10,
+                              "exact") == base
+
+
+class TestPersistence:
+    def test_roundtrip_replans_without_solving(self, tmp_path):
+        path = str(tmp_path / "plan-cache.json")
+        first = PlanCache()
+        first.plan(OFFERINGS)
+        assert first.dirty
+        first.save(path)
+        assert not first.dirty
+
+        restored = PlanCache()
+        assert restored.load(path) == len(first._groups)
+        STATS.reset()
+        plan = restored.plan(OFFERINGS)
+        assert STATS.total_calls == 0
+        assert plan.queries == plan_for_offering_map(OFFERINGS).queries
+
+    def test_missing_and_corrupt_files_load_nothing(self, tmp_path):
+        cache = PlanCache()
+        assert cache.load(str(tmp_path / "absent.json")) == 0
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json", encoding="utf-8")
+        assert cache.load(str(garbled)) == 0
+        skewed = tmp_path / "skewed.json"
+        skewed.write_text(json.dumps({"version": CACHE_VERSION + 1,
+                                      "entries": {}}), encoding="utf-8")
+        assert cache.load(str(skewed)) == 0
+        assert len(cache) == 0
+
+    def test_loaded_entries_never_clobber_live_ones(self, tmp_path):
+        path = str(tmp_path / "plan-cache.json")
+        stale = PlanCache()
+        stale.plan(OFFERINGS)
+        stale.save(path)
+        live = PlanCache()
+        live.plan(OFFERINGS)
+        before = dict(live._groups)
+        assert live.load(path) == 0  # all signatures already present
+        assert live._groups == before
+
+
+class TestSharedInstance:
+    def test_shared_is_a_singleton_until_reset(self):
+        PlanCache.reset_shared()
+        first = PlanCache.shared()
+        assert PlanCache.shared() is first
+        PlanCache.reset_shared()
+        assert PlanCache.shared() is not first

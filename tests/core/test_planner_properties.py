@@ -1,0 +1,58 @@
+"""Property-based planner invariants over randomized offering maps.
+
+The packing algorithms trade solver effort for query count; whatever the
+catalog shape, three orderings and bounds must hold:
+
+* exact never needs more queries than ffd, ffd never more than naive
+  (per type -- the solvers only interact within one type's offering);
+* every offered (type, region) pair appears in exactly one query of the
+  exact plan (complete, non-overlapping coverage);
+* no query's summed zone count exceeds ``MAX_SPS_RESULTS`` -- the API
+  cap the packing exists to respect.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cloudsim.ec2_api import MAX_SPS_RESULTS
+from repro.core.query_planner import plan_for_offering_map
+
+region_names = st.sampled_from(
+    [f"rg-{chr(ord('a') + i)}-1" for i in range(12)])
+
+offering_maps = st.dictionaries(
+    keys=st.sampled_from([f"fam{i}.large" for i in range(8)]),
+    values=st.dictionaries(keys=region_names,
+                           values=st.integers(min_value=1,
+                                              max_value=MAX_SPS_RESULTS),
+                           min_size=1, max_size=10),
+    min_size=1, max_size=6)
+
+
+class TestPlannerProperties:
+    @given(offering_maps)
+    @settings(max_examples=30, deadline=None)
+    def test_algorithm_ordering_exact_ffd_naive(self, offerings):
+        exact = plan_for_offering_map(offerings, algorithm="exact")
+        ffd = plan_for_offering_map(offerings, algorithm="ffd")
+        naive = plan_for_offering_map(offerings, algorithm="naive")
+        assert len(exact.queries) <= len(ffd.queries) <= len(naive.queries)
+        assert len(naive.queries) == naive.naive_query_count
+
+    @given(offering_maps)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_plan_covers_every_pair_exactly_once(self, offerings):
+        plan = plan_for_offering_map(offerings, algorithm="exact")
+        covered = [(q.instance_type, region)
+                   for q in plan.queries for region in q.regions]
+        expected = [(itype, region)
+                    for itype, zones in offerings.items() for region in zones]
+        assert sorted(covered) == sorted(expected)
+
+    @given(offering_maps, st.sampled_from(["exact", "ffd"]))
+    @settings(max_examples=30, deadline=None)
+    def test_no_query_overflows_the_result_cap(self, offerings, algorithm):
+        plan = plan_for_offering_map(offerings, algorithm=algorithm)
+        for query in plan.queries:
+            rows = sum(offerings[query.instance_type][region]
+                       for region in query.regions)
+            assert rows <= MAX_SPS_RESULTS

@@ -83,3 +83,49 @@ class TestExecution:
         scheduler.run_due()
         assert job.last_report.queries_issued == 1
         assert job.runs == 1
+
+
+class TestRuntimeAccounting:
+    """The injectable host timer annotates history without touching
+    scheduling: durations are observability, sim time drives cadence."""
+
+    @staticmethod
+    def _fake_timer(step=2.5):
+        reading = [0.0]
+
+        def timer():
+            reading[0] += step
+            return reading[0]
+        return timer
+
+    def test_durations_recorded_per_run_and_per_job(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock, timer=self._fake_timer())
+        job = scheduler.register("a", make_job([]), period=600)
+        scheduler.run_for(600, step=600)
+        assert job.runs == 2
+        # each run brackets the body with two timer reads 2.5s apart
+        assert job.total_runtime == pytest.approx(5.0)
+        assert [entry.duration for entry in scheduler.history] == \
+            pytest.approx([2.5, 2.5])
+
+    def test_failed_runs_still_charge_runtime(self):
+        clock = SimulationClock()
+        scheduler = CollectionScheduler(clock, timer=self._fake_timer())
+
+        def explode():
+            raise RuntimeError("boom")
+
+        job = scheduler.register("bad", explode, period=600)
+        scheduler.run_due()
+        assert job.failures == 1
+        assert job.total_runtime == pytest.approx(2.5)
+        assert scheduler.history[-1].duration == pytest.approx(2.5)
+
+    def test_fake_timer_never_affects_cadence(self):
+        clock = SimulationClock()
+        with_timer = CollectionScheduler(clock, timer=self._fake_timer(99.0))
+        runs = []
+        with_timer.register("a", make_job(runs), period=600)
+        with_timer.run_for(3600, step=600)
+        assert sum(runs) == 7  # same cadence as the wall-clock default
