@@ -201,24 +201,34 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_code_list(raw, what):
+    """Validated comma-separated rule codes, or an error string."""
+    from .devtools import registered_codes
+
+    codes = [c.strip() for c in raw.split(",") if c.strip()]
+    unknown = sorted(set(codes) - set(registered_codes()))
+    if unknown:
+        return None, (f"unknown {what} code(s): {', '.join(unknown)} "
+                      f"(registered: {', '.join(registered_codes())})")
+    return codes, None
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from .devtools import (
         ConfigError,
         lint_paths,
         load_config,
-        registered_codes,
         write_report,
     )
     from .devtools.config import find_pyproject
 
     codes = None
     if args.rules:
-        codes = [c.strip() for c in args.rules.split(",") if c.strip()]
-        unknown = sorted(set(codes) - set(registered_codes()))
-        if unknown:
-            print(f"unknown rule code(s): {', '.join(unknown)} "
-                  f"(registered: {', '.join(registered_codes())})",
-                  file=sys.stderr)
+        codes, error = _parse_code_list(args.rules, "rule")
+        if error:
+            print(error, file=sys.stderr)
             return 2
 
     paths = args.paths or ["src/repro"]
@@ -228,11 +238,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except (ConfigError, OSError) as exc:
         print(f"bad spotlint config {pyproject}: {exc}", file=sys.stderr)
         return 2
+    # --select / --ignore override the [tool.spotlint] config wholesale
+    if args.select:
+        selected, error = _parse_code_list(args.select, "select")
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        config = dataclasses.replace(config, select=tuple(selected))
+    if args.ignore:
+        ignored, error = _parse_code_list(args.ignore, "ignore")
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        config = dataclasses.replace(config, ignore=tuple(ignored))
     try:
         result = lint_paths(paths, config, codes)
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.sanitize:
+        from .devtools.sanitizer import SANITIZER_CODES, run_sanitized_probe
+
+        probe = run_sanitized_probe()
+        result.rules_run.extend(code for code in SANITIZER_CODES
+                                if code not in result.rules_run)
+        result.findings.extend(probe.findings)
+        result.sort()
     write_report(result, sys.stdout, fmt=args.format,
                  show_suppressed=args.show_suppressed)
     return 0 if result.clean else 1
@@ -326,6 +357,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files or directories (default: src/repro)")
     lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule codes to enable, "
+                           "overriding [tool.spotlint] select")
+    lint.add_argument("--ignore", default=None,
+                      help="comma-separated rule codes to disable, "
+                           "overriding [tool.spotlint] ignore")
+    lint.add_argument("--sanitize", action="store_true",
+                      help="also run a parallel collection probe under the "
+                           "runtime concurrency sanitizer (SAN001/SAN002)")
     lint.add_argument("--rules", default=None,
                       help="comma-separated rule codes (default: all)")
     lint.add_argument("--config", default=None,

@@ -16,6 +16,7 @@ artifact.  Tests inject a fake timer to make percentile math exact.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from bisect import insort
 from dataclasses import dataclass, field
@@ -96,27 +97,37 @@ class MetricsRegistry:
     def __init__(self, timer: Optional[Callable[[], float]] = None):
         self._timer = timer if timer is not None else time.perf_counter
         self._routes: Dict[str, RouteMetrics] = {}
+        # the registry is shared across serving threads (ROADMAP item 1)
+        self._lock = threading.Lock()
 
     def clock(self) -> float:
         """Current timer reading, in seconds."""
         return self._timer()
 
     def route(self, route: str) -> RouteMetrics:
-        metrics = self._routes.get(route)
-        if metrics is None:
-            metrics = self._routes[route] = RouteMetrics()
-        return metrics
+        with self._lock:
+            metrics = self._routes.get(route)
+            if metrics is None:
+                metrics = self._routes[route] = RouteMetrics()
+            return metrics
 
     def observe(self, route: str, status: int, rows: int,
                 latency_seconds: float) -> None:
         """Record one dispatched request."""
-        self.route(route).observe(status, rows, latency_seconds * 1000.0)
+        metrics = self.route(route)
+        with self._lock:
+            metrics.observe(status, rows, latency_seconds * 1000.0)
 
     def reset(self) -> None:
-        self._routes.clear()
+        with self._lock:
+            self._routes.clear()
 
     def snapshot(self) -> dict:
         """JSON-able metrics payload (the ``/metrics`` body core)."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict:
         routes = {route: metrics.snapshot()
                   for route, metrics in sorted(self._routes.items())}
         return {

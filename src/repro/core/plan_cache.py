@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from .._util import atomic_open, stable_hash
@@ -33,6 +34,9 @@ from .query_planner import PackMemo, QueryPlan, SpsQuery, pack_offering
 
 #: On-disk format version; bump on any incompatible change.
 CACHE_VERSION = 1
+
+#: Guards the process-wide singleton slot (PlanCache._shared).
+_SHARED_LOCK = threading.Lock()
 
 
 def type_signature(itype: str, region_zones: Mapping[str, int],
@@ -70,26 +74,33 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self._dirty = False
+        # reentrant: plan() and the persistence hooks may nest via the
+        # service's save-on-close path
+        self._lock = threading.RLock()
 
     @classmethod
     def shared(cls) -> "PlanCache":
         """The process-wide cache instance (lazily created)."""
-        if cls._shared is None:
-            cls._shared = cls()
-        return cls._shared
+        with _SHARED_LOCK:
+            if cls._shared is None:
+                cls._shared = cls()
+            return cls._shared
 
     @classmethod
     def reset_shared(cls) -> None:
         """Drop the process-wide instance (test isolation hook)."""
-        cls._shared = None
+        with _SHARED_LOCK:
+            cls._shared = None
 
     def __len__(self) -> int:
-        return len(self._groups)
+        with self._lock:
+            return len(self._groups)
 
     @property
     def dirty(self) -> bool:
         """True when the cache holds entries not yet saved to disk."""
-        return self._dirty
+        with self._lock:
+            return self._dirty
 
     def plan(self, offering_map: Mapping[str, Mapping[str, int]],
              capacity: int = MAX_SPS_RESULTS, target_capacity: int = 1,
@@ -104,22 +115,24 @@ class PlanCache:
             raise ValueError(f"unknown planning algorithm {algorithm!r}")
         queries: List[SpsQuery] = []
         naive = 0
-        for itype, region_zones in sorted(offering_map.items()):
-            regions = sorted(region_zones)
-            naive += len(regions)
-            sig = type_signature(itype, region_zones, capacity, algorithm)
-            groups = self._groups.get(sig)
-            if groups is None:
-                self.misses += 1
-                weights = [min(region_zones[r], capacity) for r in regions]
-                groups = pack_offering(regions, weights, capacity, algorithm,
-                                       self._memo)
-                self._groups[sig] = groups
-                self._dirty = True
-            else:
-                self.hits += 1
-            for packed in groups:
-                queries.append(SpsQuery(itype, packed, target_capacity))
+        with self._lock:
+            for itype, region_zones in sorted(offering_map.items()):
+                regions = sorted(region_zones)
+                naive += len(regions)
+                sig = type_signature(itype, region_zones, capacity, algorithm)
+                groups = self._groups.get(sig)
+                if groups is None:
+                    self.misses += 1
+                    weights = [min(region_zones[r], capacity)
+                               for r in regions]
+                    groups = pack_offering(regions, weights, capacity,
+                                           algorithm, self._memo)
+                    self._groups[sig] = groups
+                    self._dirty = True
+                else:
+                    self.hits += 1
+                for packed in groups:
+                    queries.append(SpsQuery(itype, packed, target_capacity))
         all_regions = {r for zones in offering_map.values() for r in zones}
         pair_bound = len(offering_map) * len(all_regions)
         return QueryPlan(queries, naive, algorithm, pair_bound)
@@ -128,14 +141,15 @@ class PlanCache:
 
     def save(self, path: str) -> None:
         """Write the per-type groups to ``path`` (atomic replace)."""
-        payload = {
-            "version": CACHE_VERSION,
-            "entries": {sig: [list(group) for group in groups]
-                        for sig, groups in sorted(self._groups.items())},
-        }
-        with atomic_open(path) as handle:
-            json.dump(payload, handle, separators=(",", ":"))
-        self._dirty = False
+        with self._lock:
+            payload = {
+                "version": CACHE_VERSION,
+                "entries": {sig: [list(group) for group in groups]
+                            for sig, groups in sorted(self._groups.items())},
+            }
+            with atomic_open(path) as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            self._dirty = False
 
     def load(self, path: str) -> int:
         """Merge entries from ``path``; returns how many were loaded.
@@ -154,18 +168,20 @@ class PlanCache:
         if not isinstance(entries, dict):
             return 0
         loaded = 0
-        for sig, groups in entries.items():
-            if sig in self._groups:
-                continue
-            try:
-                self._groups[sig] = [tuple(str(r) for r in group)
-                                     for group in groups]
-            except TypeError:
-                continue
-            loaded += 1
+        with self._lock:
+            for sig, groups in entries.items():
+                if sig in self._groups:
+                    continue
+                try:
+                    self._groups[sig] = [tuple(str(r) for r in group)
+                                         for group in groups]
+                except TypeError:
+                    continue
+                loaded += 1
         return loaded
 
     def stats(self) -> Dict[str, int]:
         """Counters for CLI / benchmark reporting."""
-        return {"entries": len(self._groups), "hits": self.hits,
-                "misses": self.misses}
+        with self._lock:
+            return {"entries": len(self._groups), "hits": self.hits,
+                    "misses": self.misses}

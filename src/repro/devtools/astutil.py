@@ -57,6 +57,33 @@ def chain_suffix_matches(chain: Sequence[str],
     return len(chain) >= n and tuple(chain[-n:]) == tuple(pattern)
 
 
+def deep_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Like :func:`dotted_chain` but descends through call results.
+
+    Intermediate calls are marked with a ``"()"`` segment so patterns can
+    anchor on them: ``self.store.table(name).write`` -> ("self", "store",
+    "table", "()", "write").  Chains bottoming out in anything else keep
+    the ``"?"`` marker of :func:`dotted_chain`.
+    """
+    parts = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Call):
+            parts.append("()")
+            node = node.func
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            break
+        else:
+            if not parts:
+                return None
+            parts.append("?")
+            break
+    return tuple(reversed(parts))
+
+
 def call_chain(node: ast.Call) -> Optional[Tuple[str, ...]]:
     """The dotted chain of a call's function expression."""
     return dotted_chain(node.func)

@@ -62,6 +62,7 @@ class LintConfig:
     """Resolved spotlint configuration."""
 
     select: Optional[Tuple[str, ...]] = None
+    ignore: Tuple[str, ...] = ()
     clocked_packages: Tuple[str, ...] = DEFAULT_CLOCKED_PACKAGES
     shared_modules: Tuple[str, ...] = DEFAULT_SHARED_MODULES
     layering_dag: Mapping[str, Tuple[str, ...]] = field(
@@ -74,6 +75,8 @@ class LintConfig:
     def rule_enabled(self, code: str, package: str = "") -> bool:
         """Is ``code`` active globally and for ``package``?"""
         if self.select is not None and code not in self.select:
+            return False
+        if code in self.ignore:
             return False
         disabled = self.per_package_disable.get(package, ())
         return code not in disabled
@@ -122,6 +125,10 @@ def config_from_table(table: Mapping[str, object]) -> LintConfig:
     if "select" in table:
         select = _str_tuple(table["select"], "tool.spotlint.select")
 
+    ignore: Tuple[str, ...] = ()
+    if "ignore" in table:
+        ignore = _str_tuple(table["ignore"], "tool.spotlint.ignore")
+
     clocked = DEFAULT_CLOCKED_PACKAGES
     det_table = table.get("det001", {})
     if not isinstance(det_table, Mapping):
@@ -167,7 +174,8 @@ def config_from_table(table: Mapping[str, object]) -> LintConfig:
         if isinstance(value, Mapping)
         and key not in ("layering", "per-package")
     }
-    return LintConfig(select=select, clocked_packages=clocked,
+    return LintConfig(select=select, ignore=ignore,
+                      clocked_packages=clocked,
                       shared_modules=shared, layering_dag=dag,
                       per_package_disable=per_package, rule_options=options)
 

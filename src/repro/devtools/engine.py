@@ -1,4 +1,13 @@
-"""The lint engine: file discovery, rule dispatch, suppression filtering.
+"""The lint engine: file discovery, project graph, rule dispatch.
+
+Linting is a two-pass pipeline since spotconc:
+
+1. **Parse pass** -- every discovered file is read and parsed; syntax
+   errors become ``PARSE`` pseudo-findings.
+2. **Project pass** -- the parsed modules are assembled into one
+   :class:`~repro.devtools.callgraph.CallGraph`, which the
+   interprocedural rules (CONC001, FLOW001) query through
+   ``ctx.project``; single-file rules ignore it.
 
 Usage::
 
@@ -11,15 +20,20 @@ Usage::
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from .callgraph import CallGraph
 from .config import LintConfig
 from .findings import Finding, LintResult, parse_error_finding
-from .registry import FileContext, Rule, make_rules
-from .suppressions import is_suppressed, suppression_map
+from .registry import FileContext, Rule, make_rules, registered_codes
+from .suppressions import is_suppressed, parse_directive, suppression_map
 
 _ROOT = "repro"
+
+#: Pseudo-rule codes the engine itself emits (never in the registry).
+ENGINE_CODES = ("PARSE", "IO", "SUPP")
 
 
 def module_identity(path: Path) -> Tuple[str, str]:
@@ -43,15 +57,43 @@ def module_identity(path: Path) -> Tuple[str, str]:
     return module, package
 
 
+@dataclass
+class _ParsedFile:
+    path: str
+    module: str
+    package: str
+    tree: ast.Module
+    lines: List[str]
+
+
+def _enabled_codes(rules: Sequence[Rule],
+                   config: LintConfig) -> List[str]:
+    """The codes that can actually fire under ``config`` (select/ignore).
+
+    ``rules_run`` must not claim a rule ran when ``--select``/``--ignore``
+    kept it from ever being dispatched; per-package disables still count
+    as "ran" because they apply to a subset of files only.
+    """
+    return [r.code for r in rules if config.rule_enabled(r.code)]
+
+
 def lint_source(source: str, *, path: str = "<string>",
                 module: str = "module", package: str = "",
                 config: Optional[LintConfig] = None,
                 rules: Optional[Sequence[Rule]] = None) -> LintResult:
-    """Lint one in-memory source blob (the unit-test entry point)."""
+    """Lint one in-memory source blob (the unit-test entry point).
+
+    The project graph for interprocedural rules spans just this module.
+    """
     config = config or LintConfig()
     rules = list(rules) if rules is not None else make_rules()
-    result = LintResult(rules_run=[r.code for r in rules])
-    _lint_one(source, path, module, package, config, rules, result)
+    result = LintResult(rules_run=_enabled_codes(rules, config))
+    parsed = _parse_one(source, path, module, package, result)
+    project = CallGraph.build(
+        [(f.path, f.module, f.package, f.tree) for f in ([parsed] if parsed
+                                                         else [])])
+    if parsed is not None:
+        _lint_parsed(parsed, config, rules, result, project)
     result.files_checked = 1
     result.sort()
     return result
@@ -63,7 +105,8 @@ def lint_paths(paths: Iterable[Union[str, Path]],
     """Lint every ``.py`` file under the given files/directories."""
     config = config or LintConfig()
     rules = make_rules(codes)
-    result = LintResult(rules_run=[r.code for r in rules])
+    result = LintResult(rules_run=_enabled_codes(rules, config))
+    parsed_files: List[_ParsedFile] = []
     for file_path in discover_files(paths):
         module, package = module_identity(file_path)
         try:
@@ -72,9 +115,14 @@ def lint_paths(paths: Iterable[Union[str, Path]],
             result.parse_errors.append(
                 Finding("IO", str(file_path), 0, 0, str(exc)))
             continue
-        _lint_one(source, str(file_path), module, package, config, rules,
-                  result)
+        parsed = _parse_one(source, str(file_path), module, package, result)
         result.files_checked += 1
+        if parsed is not None:
+            parsed_files.append(parsed)
+    project = CallGraph.build(
+        [(f.path, f.module, f.package, f.tree) for f in parsed_files])
+    for parsed in parsed_files:
+        _lint_parsed(parsed, config, rules, result, project)
     result.sort()
     return result
 
@@ -94,25 +142,59 @@ def discover_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
     return sorted(seen)
 
 
-def _lint_one(source: str, path: str, module: str, package: str,
-              config: LintConfig, rules: Sequence[Rule],
-              result: LintResult) -> None:
+def _parse_one(source: str, path: str, module: str, package: str,
+               result: LintResult) -> Optional[_ParsedFile]:
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         result.parse_errors.append(parse_error_finding(path, exc))
-        return
-    lines = source.splitlines()
-    suppressions = suppression_map(lines)
-    ctx = FileContext(path=path, module=module, package=package,
-                      tree=tree, lines=lines, config=config)
+        return None
+    return _ParsedFile(path=path, module=module, package=package, tree=tree,
+                       lines=source.splitlines())
+
+
+def _lint_parsed(parsed: _ParsedFile, config: LintConfig,
+                 rules: Sequence[Rule], result: LintResult,
+                 project: CallGraph) -> None:
+    suppressions = suppression_map(parsed.lines)
+    ctx = FileContext(path=parsed.path, module=parsed.module,
+                      package=parsed.package, tree=parsed.tree,
+                      lines=parsed.lines, config=config, project=project)
+    emit = _make_sink(result, suppressions)
+    for finding in _unknown_suppression_codes(parsed):
+        emit(finding)
     for rule in rules:
-        if not config.rule_enabled(rule.code, package):
+        if not config.rule_enabled(rule.code, parsed.package):
             continue
         if not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
-            if is_suppressed(finding.rule, finding.line, suppressions):
-                result.suppressed.append(finding)
-            else:
-                result.findings.append(finding)
+            emit(finding)
+
+
+def _make_sink(result: LintResult, suppressions):
+    def emit(finding: Finding) -> None:
+        if is_suppressed(finding.rule, finding.line, suppressions):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    return emit
+
+
+def _unknown_suppression_codes(parsed: _ParsedFile) -> Iterable[Finding]:
+    """SUPP findings for directives naming codes that do not exist.
+
+    A typo'd code silently un-suppresses the intended rule, so it blocks
+    like any other finding (the directive itself can suppress SUPP while
+    a rename migrates).
+    """
+    known = set(registered_codes()) | set(ENGINE_CODES)
+    for lineno, line in enumerate(parsed.lines, start=1):
+        codes = parse_directive(line)
+        unknown = sorted(codes - known)
+        if unknown:
+            yield Finding(
+                "SUPP", parsed.path, lineno, 1,
+                f"suppression names unknown rule code(s): "
+                f"{', '.join(unknown)} (registered: "
+                f"{', '.join(registered_codes())})")

@@ -55,9 +55,16 @@ class LintResult:
         self.suppressed.sort(key=key)
         self.parse_errors.sort(key=key)
 
+    def by_rule(self) -> dict:
+        """Finding counts per rule code, sorted by code."""
+        counts: dict = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
     def as_dict(self) -> dict:
         return {
-            "version": 1,
+            "schema_version": 2,
             "files_checked": self.files_checked,
             "rules_run": list(self.rules_run),
             "findings": [f.as_dict() for f in self.findings],
@@ -65,7 +72,9 @@ class LintResult:
             "parse_errors": [f.as_dict() for f in self.parse_errors],
             "summary": {
                 "finding_count": len(self.findings),
+                "parse_error_count": len(self.parse_errors),
                 "suppressed_count": len(self.suppressed),
+                "by_rule": self.by_rule(),
                 "clean": self.clean,
             },
         }

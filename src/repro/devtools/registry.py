@@ -10,10 +10,23 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from .config import LintConfig
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .callgraph import CallGraph
 
 
 @dataclass
@@ -26,6 +39,9 @@ class FileContext:
     tree: ast.AST             #: parsed module
     lines: Sequence[str]      #: raw source lines (no trailing newlines)
     config: LintConfig
+    #: project-wide call graph (interprocedural rules); None only when a
+    #: rule is driven outside the engine
+    project: Optional["CallGraph"] = None
 
     def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
         return Finding(rule.code, self.path,
@@ -58,7 +74,7 @@ def rule(cls: Type[Rule]) -> Type[Rule]:
         raise ValueError(f"rule {cls.__name__} has no code")
     if cls.code in _REGISTRY and _REGISTRY[cls.code] is not cls:
         raise ValueError(f"duplicate rule code {cls.code}")
-    _REGISTRY[cls.code] = cls
+    _REGISTRY[cls.code] = cls  # spotlint: disable=CONC003 -- import-time registration, serialized by the module import lock
     return cls
 
 

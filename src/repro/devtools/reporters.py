@@ -19,11 +19,15 @@ def render_text(result: LintResult, show_suppressed: bool = False) -> str:
         for finding in result.suppressed:
             lines.append(f"{finding.location()} {finding.rule} "
                          f"{finding.message} [suppressed]")
-    status = "clean" if result.clean else \
-        f"{len(result.findings) + len(result.parse_errors)} finding(s)"
+    if result.clean:
+        status = "clean"
+    else:
+        status = f"{len(result.findings)} finding(s)"
+        if result.parse_errors:
+            status += f", {len(result.parse_errors)} parse error(s)"
     lines.append(f"spotlint: {status}, {len(result.suppressed)} "
                  f"suppressed, {result.files_checked} file(s), "
-                 f"rules: {','.join(result.rules_run)}")
+                 f"rules: {','.join(sorted(result.rules_run))}")
     return "\n".join(lines)
 
 

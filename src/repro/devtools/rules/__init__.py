@@ -1,3 +1,10 @@
 """spotlint rule modules; importing this package registers every rule."""
 
-from . import clockflow, determinism, layering, quota  # noqa: F401
+from . import (  # noqa: F401
+    clockflow,
+    concurrency,
+    determinism,
+    flow,
+    layering,
+    quota,
+)

@@ -17,7 +17,8 @@ All solvers return a list of bins, each a list of the original item indexes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 
@@ -37,13 +38,18 @@ class SolverStats:
     ffd_calls: int = 0
     bfd_calls: int = 0
     bnb_calls: int = 0
+    #: guards the counters; solvers may run on pool workers (PR 5)
+    lock: threading.Lock = field(default_factory=threading.Lock,
+                                 repr=False, compare=False)
 
     @property
     def total_calls(self) -> int:
-        return self.ffd_calls + self.bfd_calls + self.bnb_calls
+        with self.lock:
+            return self.ffd_calls + self.bfd_calls + self.bnb_calls
 
     def reset(self) -> None:
-        self.ffd_calls = self.bfd_calls = self.bnb_calls = 0
+        with self.lock:
+            self.ffd_calls = self.bfd_calls = self.bnb_calls = 0
 
 
 #: The module-level counter instance (``from repro.solver import STATS``).
@@ -93,7 +99,8 @@ def lower_bound_l2(weights: Sequence[float], capacity: float) -> int:
 
 def first_fit_decreasing(weights: Sequence[float], capacity: float) -> List[List[int]]:
     """Classic FFD heuristic (<= 11/9 OPT + 1 bins)."""
-    STATS.ffd_calls += 1
+    with STATS.lock:
+        STATS.ffd_calls += 1
     _validate(weights, capacity)
     order = sorted(range(len(weights)), key=lambda i: -weights[i])
     bins: List[List[int]] = []
@@ -113,7 +120,8 @@ def first_fit_decreasing(weights: Sequence[float], capacity: float) -> List[List
 
 def best_fit_decreasing(weights: Sequence[float], capacity: float) -> List[List[int]]:
     """BFD heuristic: place each item in the tightest bin that fits."""
-    STATS.bfd_calls += 1
+    with STATS.lock:
+        STATS.bfd_calls += 1
     _validate(weights, capacity)
     order = sorted(range(len(weights)), key=lambda i: -weights[i])
     bins: List[List[int]] = []
@@ -154,7 +162,8 @@ def branch_and_bound(weights: Sequence[float], capacity: float,
     lower bound on the unplaced remainder.  When the node budget runs out
     the best incumbent found so far is returned with ``optimal=False``.
     """
-    STATS.bnb_calls += 1
+    with STATS.lock:
+        STATS.bnb_calls += 1
     _validate(weights, capacity)
     n = len(weights)
     if n == 0:

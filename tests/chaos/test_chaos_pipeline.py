@@ -138,3 +138,21 @@ class TestOutageRecovery:
         assert not service.chaos_enabled
         service.collect_once()
         assert service.archive.gap_count() == 0
+
+
+class TestSanitizedChaos:
+    """Fault injection under the runtime concurrency sanitizer.
+
+    Chaos exercises the retry/breaker/gap paths on pool workers -- the
+    code most likely to touch shared state off the happy path -- so a
+    clean sanitizer verdict here is the strongest dynamic evidence the
+    threaded pipeline holds its locks.
+    """
+
+    def test_chaotic_parallel_rounds_are_race_free(self, conc_sanitizer):
+        service = build_chaos_service("moderate", chaos_seed=42, workers=4)
+        try:
+            totals = run_rounds(service, rounds=6)
+            assert totals["sps"].queries_issued > 0
+        finally:
+            service.close()

@@ -43,3 +43,55 @@ def tiny_catalog() -> Catalog:
     ]
     regions = [Region("rg-one-1", "rg", 3), Region("rg-two-1", "rg", 2)]
     return Catalog(seed=1, families=families, regions=regions)
+
+
+@pytest.fixture()
+def conc_sanitizer():
+    """Run the test body under the runtime concurrency sanitizer.
+
+    Teardown asserts the sanitizer observed no lock-order cycles and no
+    unguarded off-owner shared writes, so a test using this fixture is
+    itself the concurrency contract.
+    """
+    from repro.core.plan_cache import PlanCache
+    from repro.devtools.reporters import render_text
+    from repro.devtools.sanitizer import ConcurrencySanitizer
+
+    PlanCache.reset_shared()
+    sanitizer = ConcurrencySanitizer()
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+        PlanCache.reset_shared()
+    result = sanitizer.result()
+    assert result.clean, "\n" + render_text(result)
+
+
+@pytest.fixture(autouse=True)
+def _spotconc_autosanitize():
+    """Whole-suite sanitizer sweep, gated on SPOTCONC_SANITIZE=1.
+
+    The CI ``conc`` job runs the parallel and chaos suites with the
+    sanitizer wrapped around every test; local runs pay nothing.
+    """
+    import os
+
+    if os.environ.get("SPOTCONC_SANITIZE") != "1":
+        yield
+        return
+    from repro.core.plan_cache import PlanCache
+    from repro.devtools.reporters import render_text
+    from repro.devtools.sanitizer import ConcurrencySanitizer
+
+    PlanCache.reset_shared()
+    sanitizer = ConcurrencySanitizer()
+    sanitizer.install()
+    try:
+        yield
+    finally:
+        sanitizer.uninstall()
+        PlanCache.reset_shared()
+    result = sanitizer.result()
+    assert result.clean, "\n" + render_text(result)

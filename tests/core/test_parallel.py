@@ -136,3 +136,22 @@ class TestShardReportMerge:
         merged.accounts_used = 3  # the round-end pool-derived stamp
         final = merged.merge(CollectionReport())
         assert final.accounts_used == 3  # max propagates, nothing sums
+
+
+class TestSanitized:
+    """The parallel engine under the runtime concurrency sanitizer.
+
+    ``conc_sanitizer`` (tests/conftest.py) asserts at teardown that the
+    run produced zero lock-order cycles and zero unguarded off-owner
+    shared writes -- the acceptance bar for the spotconc subsystem.
+    """
+
+    def test_multiworker_round_is_race_free(self, conc_sanitizer):
+        digest, reports, _ = _run_service(4, rounds=2)
+        assert digest and all(isinstance(r, CollectionReport)
+                              for r in reports)
+
+    def test_sanitized_run_matches_unsanitized_digest(self, conc_sanitizer):
+        # the sanitizer observes; it must never perturb the archive bytes
+        digest, _, _ = _run_service(2, rounds=2)
+        assert digest == _run_service(2, rounds=2)[0]

@@ -140,3 +140,55 @@ class TestSharedInstance:
         assert PlanCache.shared() is first
         PlanCache.reset_shared()
         assert PlanCache.shared() is not first
+
+
+class TestThreadSafety:
+    def test_concurrent_plans_agree_and_count_consistently(self):
+        """N threads planning the same map: identical plans, exact totals.
+
+        The per-instance lock means hits + misses must equal the total
+        number of (thread, type) lookups even under contention, and every
+        thread sees the same QueryPlan bytes.
+        """
+        import threading
+
+        cache = PlanCache()
+        reference = plan_for_offering_map(OFFERINGS)
+        plans = [None] * 8
+        barrier = threading.Barrier(len(plans))
+
+        def worker(slot):
+            barrier.wait()
+            plans[slot] = cache.plan(OFFERINGS)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(plans))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for plan in plans:
+            assert plan.queries == reference.queries
+        counters = cache.stats()
+        assert counters["hits"] + counters["misses"] == \
+            len(plans) * len(OFFERINGS)
+        assert counters["entries"] == len(OFFERINGS)
+
+    def test_shared_singleton_is_created_once_under_contention(self):
+        import threading
+
+        PlanCache.reset_shared()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            seen.append(PlanCache.shared())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        PlanCache.reset_shared()
+        assert len({id(cache) for cache in seen}) == 1

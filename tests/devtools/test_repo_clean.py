@@ -26,6 +26,9 @@ def test_every_shipped_rule_ran():
     result = lint_paths([SRC / "cli.py"], load_config(PYPROJECT))
     assert set(result.rules_run) == set(registered_codes())
     assert len(result.rules_run) >= 6
+    # the spotconc interprocedural rules patrol the whole tree
+    for code in ("CONC001", "CONC002", "CONC003", "FLOW001"):
+        assert code in result.rules_run
 
 
 def test_layering_dag_matches_design_inventory():

@@ -35,11 +35,29 @@ class TestTextReporter:
         assert "1 suppressed" in shown
 
 
+class TestTextReporterSeparation:
+    def test_parse_errors_counted_separately(self):
+        source = "def broken(:\n"
+        result = lint_source(source, package="core", module="repro.core.x",
+                             rules=make_rules(["DET002"]))
+        text = render_text(result)
+        assert "1 parse error(s)" in text
+        assert "0 finding(s)" in text
+
+    def test_rules_list_is_sorted(self):
+        result = result_for(DIRTY)
+        result.rules_run = ["QUO001", "DET002", "CLK001"]
+        summary = render_text(result).splitlines()[-1]
+        assert "rules: CLK001,DET002,QUO001" in summary
+
+
 class TestJsonReporter:
     def test_round_trip_structure(self):
         payload = json.loads(render_json(result_for(DIRTY)))
-        assert payload["version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["summary"]["finding_count"] == 1
+        assert payload["summary"]["parse_error_count"] == 0
+        assert payload["summary"]["by_rule"] == {"DET002": 1}
         assert payload["summary"]["clean"] is False
         finding = payload["findings"][0]
         assert finding["rule"] == "DET002"

@@ -78,3 +78,68 @@ class TestEngineIntegration:
             """, ["QUO001"])
         assert result.findings == []
         assert [f.rule for f in result.suppressed] == ["QUO001"]
+
+
+class TestMultiCodeAndUnknown:
+    def test_one_comment_suppresses_multiple_codes(self):
+        result = lint("""
+            import random
+
+            def emit(xs):
+                # spotlint: disable=DET002, DET003 -- fixture needs both
+                return list(set(xs)) + [random.random()]
+            """, ["DET002", "DET003"])
+        assert result.findings == []
+        assert sorted(f.rule for f in result.suppressed) == \
+            ["DET002", "DET003"]
+
+    def test_unknown_code_in_directive_blocks(self):
+        result = lint("""
+            def emit(xs):
+                return list(set(xs))  # spotlint: disable=DET999 -- typo
+            """, ["DET003"])
+        rules = [f.rule for f in result.findings]
+        # the typo'd directive suppresses nothing AND is itself flagged
+        assert "SUPP" in rules and "DET003" in rules
+        supp = next(f for f in result.findings if f.rule == "SUPP")
+        assert "DET999" in supp.message
+        assert not result.clean
+
+    def test_engine_codes_allowed_in_directives(self):
+        result = lint("""
+            x = 1  # spotlint: disable=SUPP -- migrating a renamed rule
+            """, ["DET003"])
+        assert [f.rule for f in result.findings] == []
+
+    def test_mixed_known_unknown_flags_only_unknown(self):
+        result = lint("""
+            def emit(xs):
+                return list(set(xs))  # spotlint: disable=DET003, NOPE1 -- x
+            """, ["DET003"])
+        assert [f.rule for f in result.findings] == ["SUPP"]
+        assert "NOPE1" in result.findings[0].message
+        assert [f.rule for f in result.suppressed] == ["DET003"]
+
+
+class TestConcFlowSuppression:
+    def test_conc003_suppressible_with_reason(self):
+        result = lint_source(textwrap.dedent("""
+            REGISTRY = {}
+
+            def register(key, value):
+                REGISTRY[key] = value  # spotlint: disable=CONC003 -- import-time only
+            """), module="repro.core.snippet", package="core",
+            rules=make_rules(["CONC003"]))
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["CONC003"]
+
+    def test_flow001_suppressible_with_reason(self):
+        result = lint_source(textwrap.dedent("""
+            class Collector:
+                def collect(self):
+                    # spotlint: disable=FLOW001 -- replay path, WAL upstream
+                    self.store.table("sps").append_many(self.points)
+            """), module="repro.core.snippet", package="core",
+            rules=make_rules(["FLOW001"]))
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["FLOW001"]
