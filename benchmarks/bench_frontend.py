@@ -1,0 +1,78 @@
+"""Concurrent serving benchmark: SLO-gated load test of the frontend.
+
+Drives the admission-controlled ``ServingFrontend`` (worker pool, token
+buckets, bounded queue) with the closed- and open-loop arrival models
+from ``repro.devtools.frontendbench`` over a zipf-skewed query mix, and
+gates the run on the serving SLOs:
+
+* closed loop at 4 workers: p99 latency under ``P99_LIMIT_MS``, zero
+  errors, per-tenant fairness at or above ``FAIRNESS_FLOOR``;
+* worker sweep {1, 2, 4}: every response byte-identical at every count;
+* open-loop overload burst: both throttling (429) and shedding (503)
+  fire, every rejection carries a ``retry_after`` hint, and no tenant is
+  starved.
+
+The report merges into ``BENCH_serving.json`` under the ``concurrent``
+key (the cached-vs-uncached report owns the rest of the file).
+
+Run standalone (CI smoke) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_frontend.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_frontend.py -q
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.devtools.frontendbench import (
+    evaluate_slos,
+    run_frontend_bench,
+    summary_lines,
+)
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def run_and_report(write_report: bool = True) -> dict:
+    report = run_frontend_bench(seed=0)
+    report["slo"] = evaluate_slos(report)
+    print("\nFrontend bench: concurrent serving under admission control")
+    for line in summary_lines(report):
+        print(f"  {line}")
+    slo = report["slo"]
+    print(f"  SLO: p99={slo['p99_ms']:.2f}ms (limit {slo['p99_limit_ms']}) "
+          f"error_rate={slo['error_rate']:.3f} "
+          f"fairness={slo['fairness']:.2f} passed={slo['passed']}")
+    if write_report:
+        merged = {}
+        if REPORT_PATH.exists():
+            try:
+                merged = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                merged = {}
+        merged["concurrent"] = report
+        REPORT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True)
+                               + "\n", encoding="utf-8")
+        print(f"  report merged into {REPORT_PATH}")
+    return report
+
+
+def test_frontend_slo_gates():
+    report = run_and_report()
+    slo = report["slo"]
+    assert slo["byte_identical_across_workers"], report["worker_sweep"]
+    assert slo["p99_ok"], f"p99 {slo['p99_ms']:.2f}ms over the limit"
+    assert slo["error_rate_ok"], f"error rate {slo['error_rate']:.3f}"
+    assert slo["fairness_ok"], report["open"]["per_tenant_success"]
+    assert slo["throttling_exercised"], report["open"]
+    assert slo["retry_after_on_rejections"], report["open"]
+    assert slo["passed"]
+
+
+if __name__ == "__main__":
+    result = run_and_report()
+    if not result["slo"]["passed"]:
+        print(f"FAIL: {json.dumps(result['slo'], indent=2)}",
+              file=sys.stderr)
+    sys.exit(0 if result["slo"]["passed"] else 1)

@@ -34,7 +34,17 @@ def run_and_report(write_report: bool = True) -> dict:
     for line in summary_lines(report):
         print(f"  {line}")
     if write_report:
-        REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True)
+        # preserve the concurrent-frontend section (bench_frontend.py
+        # merges it into the same file)
+        payload = dict(report)
+        if REPORT_PATH.exists():
+            try:
+                old = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                old = {}
+            if "concurrent" in old:
+                payload["concurrent"] = old["concurrent"]
+        REPORT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
                                + "\n", encoding="utf-8")
         print(f"  report written to {REPORT_PATH}")
     return report

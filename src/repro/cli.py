@@ -176,7 +176,48 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench_concurrent(args: argparse.Namespace) -> int:
+    """The --concurrent arm: frontend load test with SLO gates."""
+    import json as _json
+
+    from .devtools.frontendbench import (
+        evaluate_slos,
+        run_frontend_bench,
+        summary_lines as frontend_summary,
+    )
+
+    report = run_frontend_bench(seed=args.seed, requests=args.requests,
+                                clients=args.clients,
+                                tenant_count=args.tenants,
+                                workers=args.workers)
+    report["slo"] = slo = evaluate_slos(report)
+    for line in frontend_summary(report):
+        print(line)
+    print(f"SLO: p99={slo['p99_ms']:.2f}ms (limit {slo['p99_limit_ms']}) "
+          f"error_rate={slo['error_rate']:.3f} "
+          f"fairness={slo['fairness']:.2f} passed={slo['passed']}")
+    if args.output:
+        merged = {}
+        try:
+            with open(args.output, "r", encoding="utf-8") as fh:
+                merged = _json.load(fh)
+        except (OSError, ValueError):
+            merged = {}
+        merged["concurrent"] = report
+        with open(args.output, "w", encoding="utf-8") as fh:
+            _json.dump(merged, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report merged into {args.output}")
+    if not slo["passed"]:
+        print(f"FAIL: SLO gates not met: "
+              f"{_json.dumps(slo, sort_keys=True)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.concurrent:
+        return _cmd_serve_bench_concurrent(args)
     from .devtools.servebench import run_serve_bench, summary_lines
 
     report = run_serve_bench(seed=args.seed, days=args.days,
@@ -350,6 +391,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--min-speedup", type=float, default=0.0,
                              help="exit 1 when the cache speedup falls "
                                   "below this factor")
+    serve_bench.add_argument("--concurrent", action="store_true",
+                             help="load-test the threaded admission-"
+                                  "controlled frontend instead (SLO-gated)")
+    serve_bench.add_argument("--workers", type=int, default=4,
+                             help="serving worker threads (--concurrent)")
+    serve_bench.add_argument("--clients", type=int, default=8,
+                             help="closed-loop client threads "
+                                  "(--concurrent)")
+    serve_bench.add_argument("--requests", type=int, default=320,
+                             help="zipf-mixed requests per model "
+                                  "(--concurrent)")
+    serve_bench.add_argument("--tenants", type=int, default=4,
+                             help="tenant API keys in the fleet "
+                                  "(--concurrent)")
     serve_bench.set_defaults(func=_cmd_serve_bench)
 
     lint = sub.add_parser(

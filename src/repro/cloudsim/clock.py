@@ -69,6 +69,10 @@ class SimulationClock:
         """Jump the clock to an absolute time (must not move backwards)."""
         if timestamp < self._now:
             raise ValueError("clock cannot move backwards")
+        # spotlint: disable=CONC001 -- false positive: the serving worker
+        # dispatch reaches a threading.Event.set() call that the call
+        # graph's name fallback resolves here; serving workers never
+        # touch the simulation clock
         self._now = float(timestamp)
         return self._now
 

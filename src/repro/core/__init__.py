@@ -49,7 +49,16 @@ from .scheduler import (
     RunEntry,
     ScheduledJob,
 )
-from .metrics import MetricsRegistry, RouteMetrics, percentile
+from .frontend import (
+    ACCEPTING,
+    FrontendTicket,
+    RollingQuota,
+    SHEDDING,
+    ServingFrontend,
+    Tenant,
+    TokenBucket,
+)
+from .metrics import MetricsRegistry, RouteMetrics, TenantMetrics, percentile
 from .service import ServiceConfig, SpotLakeService
 from .serving import (
     ApiGateway,
@@ -78,6 +87,8 @@ __all__ = [
     "ScheduledJob",
     "ServiceConfig", "SpotLakeService",
     "ApiGateway", "BadRequest", "LambdaHandlers", "Response",
-    "MetricsRegistry", "RouteMetrics", "percentile",
+    "MetricsRegistry", "RouteMetrics", "TenantMetrics", "percentile",
     "decode_cursor", "encode_cursor",
+    "ACCEPTING", "SHEDDING", "FrontendTicket", "RollingQuota",
+    "ServingFrontend", "Tenant", "TokenBucket",
 ]

@@ -18,6 +18,7 @@ paper's core contribution -- are plain time-range reads.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -85,8 +86,11 @@ class SpotLakeArchive:
             self._ensure_table(name, retention)
         if self.engine is not None:
             self.engine.attach(self.store)
-        #: generation-stamped read caches, one per table (lazily created)
+        #: generation-stamped read caches, one per table (lazily created;
+        #: creation is guarded so concurrent serving workers agree on one
+        #: cache instance per table)
         self._caches: Dict[str, QueryCache] = {}
+        self._caches_lock = threading.Lock()
         self._cache_entries = cache_entries
         self.cache_enabled = cache
         # SeriesKey caches for the batched write path: every collection
@@ -157,19 +161,22 @@ class SpotLakeArchive:
         """The table's read cache, or None while caching is disabled."""
         if not self.cache_enabled:
             return None
-        cache = self._caches.get(table_name)
-        if cache is None:
-            cache = QueryCache(self.store.table(table_name),
-                               max_entries=self._cache_entries)
-            self._caches[table_name] = cache
-        return cache
+        with self._caches_lock:
+            cache = self._caches.get(table_name)
+            if cache is None:
+                cache = QueryCache(self.store.table(table_name),
+                                   max_entries=self._cache_entries)
+                self._caches[table_name] = cache
+            return cache
 
     def cache_stats(self) -> Dict[str, dict]:
         """Per-table cache counters plus an aggregate ``hit_rate``."""
+        with self._caches_lock:
+            caches = dict(self._caches)
         per_table = {name: cache.stats.as_dict()
-                     for name, cache in sorted(self._caches.items())}
-        hits = sum(c.stats.hits for c in self._caches.values())
-        requests = sum(c.stats.requests for c in self._caches.values())
+                     for name, cache in sorted(caches.items())}
+        hits = sum(c.stats.hits for c in caches.values())
+        requests = sum(c.stats.requests for c in caches.values())
         return {
             "enabled": self.cache_enabled,
             "tables": per_table,

@@ -110,6 +110,19 @@ class CircuitBreaker:
         self._maybe_half_open()
         return self._state is not BreakerState.OPEN
 
+    def cooldown_remaining(self) -> float:
+        """Sim-seconds until an open breaker starts half-open probing.
+
+        0.0 whenever the breaker is not open -- the serving front end
+        folds this into 503 ``Retry-After`` hints so shed clients back
+        off at least as long as the degraded source needs to recover.
+        """
+        self._maybe_half_open()
+        if self._state is not BreakerState.OPEN or self._opened_at is None:
+            return 0.0
+        remaining = self.reset_timeout - (self.clock.now() - self._opened_at)
+        return max(0.0, remaining)
+
     def record_success(self) -> None:
         self._consecutive_failures = 0
         if self.state is not BreakerState.CLOSED:

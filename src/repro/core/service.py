@@ -39,6 +39,7 @@ from .parallel import ParallelCollectionEngine
 from .plan_cache import PlanCache
 from .query_planner import QueryPlan, plan_for_offering_map
 from .resilience import CircuitBreaker, ResilientExecutor, RetryPolicy
+from .frontend import ServingFrontend, Tenant
 from .scheduler import CollectionScheduler, DEFAULT_INTERVAL_SECONDS
 from .serving import ApiGateway
 
@@ -87,6 +88,12 @@ class ServiceConfig:
     #: reuse solved query packings via the content-addressed plan cache
     #: (in-memory always; persisted under ``data_dir`` when durable).
     plan_cache: bool = True
+    #: serving worker threads behind the admission-controlled frontend.
+    frontend_workers: int = 4
+    #: bound on queued-but-undispatched serving requests (overflow sheds).
+    frontend_queue_depth: int = 64
+    #: virtual-seconds a shed frontend refuses new work.
+    frontend_shed_cooldown: float = 5.0
 
 
 class SpotLakeService:
@@ -263,6 +270,40 @@ class SpotLakeService:
         snapshot = self.gateway.metrics.snapshot()
         snapshot["cache"] = self.archive.cache_stats()
         return snapshot
+
+    # -- concurrent serving ----------------------------------------------------
+
+    def breaker_cooldown(self) -> float:
+        """Longest remaining breaker cool-down across the data sources.
+
+        0.0 when every source is healthy; the serving frontend raises
+        its 503 ``retry_after`` hints to this, so shed clients back off
+        until degraded collection can plausibly have recovered.
+        """
+        if not self.executors:
+            return 0.0
+        return max(e.breaker.cooldown_remaining()
+                   for e in self.executors.values())
+
+    def frontend(self, tenants: Optional[Sequence[Tenant]] = None,
+                 workers: Optional[int] = None,
+                 **kwargs) -> ServingFrontend:
+        """An admission-controlled frontend over this service's gateway.
+
+        Config supplies the worker/queue/shed defaults; keyword
+        arguments pass straight through to :class:`ServingFrontend`.
+        The frontend is not started -- use it as a context manager or
+        call ``start()``.
+        """
+        kwargs.setdefault("queue_depth", self.config.frontend_queue_depth)
+        kwargs.setdefault("shed_cooldown", self.config.frontend_shed_cooldown)
+        kwargs.setdefault("breaker_cooldown", self.breaker_cooldown)
+        return ServingFrontend(
+            self.gateway,
+            tenants=tuple(tenants) if tenants is not None else (),
+            workers=(workers if workers is not None
+                     else self.config.frontend_workers),
+            **kwargs)
 
     # -- fast backfill -------------------------------------------------------------
 

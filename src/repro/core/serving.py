@@ -25,6 +25,7 @@ import base64
 import binascii
 import json
 import math
+import threading
 from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -155,6 +156,7 @@ class LambdaHandlers:
         # fallback rows memo for cache-disabled archives: nothing is
         # memoized, rows are rendered per request
         self._render_calls = 0
+        self._render_lock = threading.Lock()
 
     # -- history -------------------------------------------------------------
 
@@ -168,7 +170,8 @@ class LambdaHandlers:
         the scan and the row rendering.
         """
         def render() -> Tuple[List[dict], List[CursorPos]]:
-            self._render_calls += 1
+            with self._render_lock:
+                self._render_calls += 1
             records = self.archive.history(table, measure, filters,
                                            start, end)
             rows = [{"time": r.time, "value": r.value, **r.dimension_dict}
@@ -283,27 +286,40 @@ class ApiGateway:
     def routes(self) -> List[str]:
         return sorted(self._routes)
 
-    def get(self, path: str, params: Optional[Dict[str, str]] = None) -> Response:
-        """Dispatch a GET request."""
+    def get(self, path: str, params: Optional[Dict[str, str]] = None,
+            tenant: Optional[str] = None) -> Response:
+        """Dispatch a GET request.
+
+        The whole dispatch -- route resolution included -- runs inside
+        the error envelope: a crash *before* a route is resolved (e.g.
+        an unhashable path object blowing up the route lookup) still
+        yields a counted 500 under the shared ``<unknown>`` label
+        instead of escaping with no envelope and no metrics sample,
+        and a crash after resolution keeps its real route label.
+        """
         started = self.metrics.clock()
-        handler = self._routes.get(path)
-        if handler is None:
-            # one shared label keeps route cardinality in /metrics bounded
-            route, response = "<unknown>", Response(
-                404, {"error": f"no route {path!r}"})
-        else:
-            route = path
-            try:
-                response = Response(200, handler(params or {}))
-            except BadRequest as exc:
-                response = Response(400, {"error": str(exc)})
-            except Exception as exc:  # noqa: BLE001 -- the 500 envelope
-                response = Response(500, {
-                    "error": "internal server error",
-                    "exception": type(exc).__name__,
-                })
+        # one shared label keeps route cardinality in /metrics bounded;
+        # it sticks until a real route is resolved so pre-resolution
+        # crashes are still attributed somewhere
+        route = "<unknown>"
+        try:
+            handler = self._routes.get(path)
+            if handler is None:
+                response = Response(404, {"error": f"no route {path!r}"})
+            else:
+                route = path
+                try:
+                    response = Response(200, handler(params or {}))
+                except BadRequest as exc:
+                    response = Response(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 -- the 500 envelope
+            response = Response(500, {
+                "error": "internal server error",
+                "exception": type(exc).__name__,
+            })
         rows = response.body.get("count") if response.status == 200 else 0
         self.metrics.observe(route, response.status,
                              rows if isinstance(rows, int) else 0,
-                             self.metrics.clock() - started)
+                             self.metrics.clock() - started,
+                             tenant=tenant)
         return response

@@ -1,0 +1,344 @@
+"""Concurrent serving load harness: arrival models, SLO gates, sweeps.
+
+Drives the admission-controlled :class:`~repro.core.frontend.ServingFrontend`
+with two arrival models over a zipf-skewed mix of the canonical serving
+workload (see :mod:`.servebench`):
+
+* **closed loop** -- a fixed fleet of client threads, each issuing its
+  next request only after the previous one resolves.  Concurrency is
+  bounded by the fleet size, so with generous per-tenant limits nothing
+  is rejected and the run measures the serving path itself: latency
+  percentiles, throughput, per-tenant fairness, and -- replayed across
+  worker counts -- byte-identity of every response.
+* **open loop** -- the whole request schedule arrives as one burst,
+  submitted before the workers start.  Token buckets and quotas reject
+  deterministically (admission is a pure per-tenant fold over arrival
+  times), the bounded queue overflows deterministically (no worker is
+  draining yet), and the drain phase then serves exactly the admitted
+  prefix.  This is the overload / 429 / 503 half of the SLO story.
+
+Lives in ``devtools`` because it times with the *host* clock; everything
+that reaches a response body stays inside the simulation's determinism
+envelope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.frontend import ServingFrontend, Tenant
+from ..core.metrics import percentile
+from ..core.service import SpotLakeService
+from .servebench import RequestSpec, build_backfilled_service, build_workload
+
+#: Default zipf skew exponent of the request mix (1.0 = classic zipf).
+ZIPF_S = 1.1
+
+#: Default shape of the concurrent workload.
+DEFAULT_TENANT_COUNT = 4
+DEFAULT_CLIENTS = 8
+DEFAULT_REQUESTS = 320
+DEFAULT_WORKER_SWEEP = (1, 2, 4)
+
+#: SLO defaults.  Cached serving answers in well under a millisecond;
+#: the p99 ceiling absorbs CI jitter.  The closed-loop model provisions
+#: no rejections, so any non-200 is an error.
+P99_LIMIT_MS = 250.0
+ERROR_RATE_LIMIT = 0.0
+FAIRNESS_FLOOR = 0.9
+
+
+def zipf_mix(requests: Sequence[RequestSpec], total: int,
+             seed: int, s: float = ZIPF_S) -> List[RequestSpec]:
+    """A ``total``-long request sequence, zipf-skewed over the battery.
+
+    Rank 0 (the hottest dashboard query) dominates, the tail thins as
+    ``1/rank^s`` -- the shape real dashboard+probe traffic has.  Pure
+    function of (requests, total, seed, s).
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** s for rank in range(len(requests))]
+    picks = rng.choices(range(len(requests)), weights=weights, k=total)
+    return [requests[i] for i in picks]
+
+
+def bench_tenants(count: int = DEFAULT_TENANT_COUNT, *,
+                  rate: float = 10_000.0, burst: float = 100_000.0,
+                  quota_limit: Optional[int] = None,
+                  quota_window: float = 60.0) -> Tuple[Tenant, ...]:
+    """A uniform tenant fleet (``tenant-0`` .. ``tenant-N-1``).
+
+    The defaults are deliberately non-binding: the closed-loop model
+    measures serving, not throttling, and non-binding limits keep every
+    admission decision independent of thread interleaving (byte-identity
+    across worker counts depends on this).
+    """
+    return tuple(Tenant(f"tenant-{i}", rate=rate, burst=burst,
+                        quota_limit=quota_limit, quota_window=quota_window)
+                 for i in range(count))
+
+
+def _tenant_for(seq: int, tenants: Sequence[Tenant]) -> Tenant:
+    """Deterministic round-robin request->tenant assignment."""
+    return tenants[seq % len(tenants)]
+
+
+def _fairness(per_tenant_success: Dict[str, int]) -> float:
+    """min/max per-tenant successes (1.0 = perfectly even, 0 = starved)."""
+    if not per_tenant_success:
+        return 1.0
+    lo = min(per_tenant_success.values())
+    hi = max(per_tenant_success.values())
+    return lo / hi if hi else 1.0
+
+
+# -- closed loop -----------------------------------------------------------
+
+
+def run_closed_loop(service: SpotLakeService, mix: Sequence[RequestSpec],
+                    tenants: Sequence[Tenant], clients: int,
+                    workers: int, arrival_step: float = 0.05) -> dict:
+    """One closed-loop run; returns measurements + the response digest.
+
+    Request ``seq`` is assigned tenant ``seq % T`` and client
+    ``seq % clients``; each client thread walks its own subsequence
+    synchronously.  The digest hashes every ``(client, seq, status,
+    body)`` record in deterministic order, so two runs agree iff every
+    response is byte-identical.
+    """
+    frontend = service.frontend(tenants=tenants, workers=workers,
+                                queue_depth=max(64, clients * 4))
+    per_client: List[List[Tuple[int, RequestSpec]]] = [[] for _ in
+                                                       range(clients)]
+    for seq, spec in enumerate(mix):
+        per_client[seq % clients].append((seq, spec))
+
+    latencies_ms: List[float] = []
+    records: List[Tuple[int, int, int, str]] = []
+    merge_lock = threading.Lock()
+
+    def client_loop(cid: int) -> None:
+        local_lat: List[float] = []
+        local_rec: List[Tuple[int, int, int, str]] = []
+        for seq, (path, params) in per_client[cid]:
+            tenant = _tenant_for(seq, tenants)
+            begun = time.perf_counter()
+            response = frontend.request(tenant.api_key, path, params,
+                                        arrival_time=seq * arrival_step,
+                                        timeout=120.0)
+            local_lat.append((time.perf_counter() - begun) * 1000.0)
+            local_rec.append((cid, seq, response.status, response.json()))
+        with merge_lock:
+            latencies_ms.extend(local_lat)
+            records.extend(local_rec)
+
+    with frontend:
+        begun = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients,
+                                thread_name_prefix="client") as fleet:
+            for future in [fleet.submit(client_loop, c)
+                           for c in range(clients)]:
+                future.result()
+        elapsed = time.perf_counter() - begun
+
+    records.sort(key=lambda r: (r[0], r[1]))
+    sha = hashlib.sha256()
+    for cid, seq, status, body in records:
+        sha.update(f"{cid}|{seq}|{status}|{body}\n".encode("utf-8"))
+
+    per_tenant_success: Dict[str, int] = {t.name: 0 for t in tenants}
+    errors = 0
+    for _cid, seq, status, _body in records:
+        if status == 200:
+            per_tenant_success[_tenant_for(seq, tenants).name] += 1
+        else:
+            errors += 1
+    ordered = sorted(latencies_ms)
+    return {
+        "workers": workers,
+        "clients": clients,
+        "requests": len(records),
+        "elapsed_seconds": elapsed,
+        "throughput_rps": len(records) / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": percentile(ordered, 50),
+        "p95_ms": percentile(ordered, 95),
+        "p99_ms": percentile(ordered, 99),
+        "max_ms": ordered[-1] if ordered else 0.0,
+        "errors": errors,
+        "error_rate": errors / len(records) if records else 0.0,
+        "fairness": _fairness(per_tenant_success),
+        "per_tenant_success": dict(sorted(per_tenant_success.items())),
+        "response_digest": sha.hexdigest(),
+    }
+
+
+# -- open loop -------------------------------------------------------------
+
+
+def run_open_loop(service: SpotLakeService, mix: Sequence[RequestSpec],
+                  workers: int, queue_depth: int = 32,
+                  rate: float = 5.0, burst: float = 20.0,
+                  tenant_count: int = DEFAULT_TENANT_COUNT,
+                  arrival_rate: float = 50.0) -> dict:
+    """One open-loop burst: submit everything, then start the drain.
+
+    Arrivals come at ``arrival_rate`` requests/sec of *virtual* time
+    with binding token buckets, so a deterministic share is 429'd; the
+    queue (bounded at ``queue_depth``) overflows deterministically
+    because no worker runs until every request is submitted, so the
+    overflow is 503'd with ``retry_after`` hints.  The drain phase then
+    serves exactly the admitted prefix.
+    """
+    tenants = tuple(Tenant(f"tenant-{i}", rate=rate, burst=burst)
+                    for i in range(tenant_count))
+    frontend = service.frontend(tenants=tenants, workers=workers,
+                                queue_depth=queue_depth)
+    tickets = []
+    for seq, (path, params) in enumerate(mix):
+        tenant = _tenant_for(seq, tenants)
+        tickets.append(frontend.submit(tenant.api_key, path, params,
+                                       arrival_time=seq / arrival_rate))
+    with frontend:
+        responses = [t.result(timeout=120.0) for t in tickets]
+
+    by_status: Dict[str, int] = {}
+    retry_after_ok = True
+    per_tenant_success: Dict[str, int] = {t.name: 0 for t in tenants}
+    for seq, response in enumerate(responses):
+        bucket = str(response.status)
+        by_status[bucket] = by_status.get(bucket, 0) + 1
+        if response.status in (429, 503):
+            hint = response.body.get("retry_after")
+            if not isinstance(hint, (int, float)) or hint < 0:
+                retry_after_ok = False
+        elif response.status == 200:
+            per_tenant_success[_tenant_for(seq, tenants).name] += 1
+    counters = frontend.snapshot()["counters"]
+    return {
+        "workers": workers,
+        "submitted": len(responses),
+        "by_status": dict(sorted(by_status.items())),
+        "served": counters["served"],
+        "rate_limited": counters["rate_limited"],
+        "shed": counters["shed"],
+        "shed_events": counters["shed_events"],
+        "retry_after_on_rejections": retry_after_ok,
+        "fairness": _fairness(per_tenant_success),
+        "per_tenant_success": dict(sorted(per_tenant_success.items())),
+    }
+
+
+# -- the full report -------------------------------------------------------
+
+
+def run_frontend_bench(seed: int = 0, days: int = 30, pool_types: int = 8,
+                       requests: int = DEFAULT_REQUESTS,
+                       clients: int = DEFAULT_CLIENTS,
+                       tenant_count: int = DEFAULT_TENANT_COUNT,
+                       workers: int = 4,
+                       worker_sweep: Sequence[int] = DEFAULT_WORKER_SWEEP,
+                       ) -> dict:
+    """Closed loop at ``workers``, a worker-count byte-identity sweep,
+    and an open-loop overload burst; returns one JSON-able report."""
+    service = build_backfilled_service(seed=seed, days=days,
+                                       pool_types=pool_types)
+    try:
+        battery = build_workload(service)
+        mix = zipf_mix(battery, requests, seed)
+
+        sweep: Dict[str, dict] = {}
+        for count in sorted(set(list(worker_sweep) + [workers])):
+            service.metrics.reset()
+            sweep[str(count)] = run_closed_loop(
+                service, mix, bench_tenants(tenant_count), clients, count)
+        digests = {run["response_digest"] for run in sweep.values()}
+        closed = sweep[str(workers)]
+
+        service.metrics.reset()
+        open_report = run_open_loop(service, mix, workers=workers)
+
+        return {
+            "workload": {
+                "seed": seed,
+                "days": days,
+                "pool_types": pool_types,
+                "distinct_requests": len(battery),
+                "requests": len(mix),
+                "zipf_s": ZIPF_S,
+                "tenants": tenant_count,
+                "clients": clients,
+            },
+            "closed": closed,
+            "open": open_report,
+            "worker_sweep": {
+                "counts": sorted(int(c) for c in sweep),
+                "digests": {c: run["response_digest"]
+                            for c, run in sorted(sweep.items())},
+                "byte_identical": len(digests) == 1,
+            },
+        }
+    finally:
+        service.close()
+
+
+def evaluate_slos(report: dict, p99_limit_ms: float = P99_LIMIT_MS,
+                  error_rate_limit: float = ERROR_RATE_LIMIT,
+                  fairness_floor: float = FAIRNESS_FLOOR) -> dict:
+    """SLO verdicts for one :func:`run_frontend_bench` report."""
+    closed = report["closed"]
+    open_report = report["open"]
+    sweep = report["worker_sweep"]
+    gates = {
+        "p99_ms": closed["p99_ms"],
+        "p99_limit_ms": p99_limit_ms,
+        "p99_ok": closed["p99_ms"] <= p99_limit_ms,
+        "error_rate": closed["error_rate"],
+        "error_rate_limit": error_rate_limit,
+        "error_rate_ok": closed["error_rate"] <= error_rate_limit,
+        "fairness": min(closed["fairness"], open_report["fairness"]),
+        "fairness_floor": fairness_floor,
+        "fairness_ok": (closed["fairness"] >= fairness_floor
+                        and open_report["fairness"] >= fairness_floor),
+        "byte_identical_across_workers": sweep["byte_identical"],
+        "throttling_exercised": (open_report["rate_limited"] > 0
+                                 and open_report["shed"] > 0),
+        "retry_after_on_rejections":
+            open_report["retry_after_on_rejections"],
+    }
+    gates["passed"] = all([
+        gates["p99_ok"], gates["error_rate_ok"], gates["fairness_ok"],
+        gates["byte_identical_across_workers"],
+        gates["throttling_exercised"], gates["retry_after_on_rejections"],
+    ])
+    return gates
+
+
+def summary_lines(report: dict) -> List[str]:
+    """Human-readable report, one line per fact."""
+    work = report["workload"]
+    closed = report["closed"]
+    open_report = report["open"]
+    sweep = report["worker_sweep"]
+    return [
+        f"workload: {work['requests']} requests over "
+        f"{work['distinct_requests']} distinct queries "
+        f"(zipf s={work['zipf_s']}), {work['tenants']} tenants, "
+        f"{work['clients']} clients, {work['days']} days backfilled",
+        f"closed loop @ {closed['workers']} workers: "
+        f"{closed['throughput_rps']:.0f} req/s  "
+        f"p50={closed['p50_ms']:.2f}ms p99={closed['p99_ms']:.2f}ms  "
+        f"errors={closed['errors']} fairness={closed['fairness']:.2f}",
+        f"worker sweep {sweep['counts']}: byte_identical="
+        f"{sweep['byte_identical']}",
+        f"open burst @ {open_report['workers']} workers: "
+        f"{open_report['by_status']}  rate_limited="
+        f"{open_report['rate_limited']} shed={open_report['shed']} "
+        f"retry_after_on_rejections="
+        f"{open_report['retry_after_on_rejections']} "
+        f"fairness={open_report['fairness']:.2f}",
+    ]

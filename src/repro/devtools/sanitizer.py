@@ -168,10 +168,12 @@ class ConcurrencySanitizer:
         # imported lazily: devtools must not pull the service stack in at
         # import time (and never through the repro root package, LAY001)
         from ..cloudsim.accounts import AccountPool
-        from ..core.metrics import MetricsRegistry
+        from ..core.metrics import MetricsRegistry, RouteMetrics, TenantMetrics
         from ..core.plan_cache import PlanCache
+        from ..timeseries.cache import CacheStats, QueryCache
         from ..timeseries.table import Table
-        return [PlanCache, Table, AccountPool, MetricsRegistry]
+        return [PlanCache, Table, AccountPool, MetricsRegistry,
+                QueryCache, CacheStats, RouteMetrics, TenantMetrics]
 
     def _make_factory(self, real: Any) -> Any:
         def factory(*args: Any, **kwargs: Any) -> TrackedLock:

@@ -21,6 +21,14 @@ Invalidation rule (the generation-stamp contract):
   spurious recompute, never a stale answer.
 
 Cached results are shared between callers: treat them as immutable.
+
+Thread-safety (ROADMAP item 1): the cache serializes on its table's
+reentrant :attr:`~repro.timeseries.table.Table.lock` -- the same lock
+every table mutator takes -- so a (generation stamp, result) pair is
+always read atomically with respect to writes, and a cold entry is
+computed exactly once even when N serving workers race on it (the first
+holder renders, the rest hit).  The lock must be reentrant because a
+``derived`` computation re-enters ``scan`` while rendering rows.
 """
 
 from __future__ import annotations
@@ -83,32 +91,41 @@ class QueryCache:
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self.table.lock:
+            return len(self._entries)
 
     # -- core memoization ------------------------------------------------------
 
     def memo(self, key: Hashable, stamp: int,
              compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key`` at ``stamp``, computing on
-        miss.  A stamp mismatch counts as an invalidation + miss."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            if entry[0] == stamp:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return entry[1]
-            self.stats.invalidations += 1
-        self.stats.misses += 1
-        value = compute()
-        self._entries[key] = (stamp, value)
-        self._entries.move_to_end(key)
-        if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return value
+        miss.  A stamp mismatch counts as an invalidation + miss.
+
+        Runs entirely under the table lock: the computed value is
+        guaranteed to describe the table state the stamp was taken from
+        (no write can land in between), and concurrent workers missing on
+        the same cold key serialize into one compute + N-1 hits.
+        """
+        with self.table.lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry[0] == stamp:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return entry[1]
+                self.stats.invalidations += 1
+            self.stats.misses += 1
+            value = compute()
+            self._entries[key] = (stamp, value)
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return value
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self.table.lock:
+            self._entries.clear()
 
     # -- cached table reads ----------------------------------------------------
 
@@ -117,29 +134,32 @@ class QueryCache:
              start: float = float("-inf"),
              end: float = float("inf")) -> List[Record]:
         """Cached :meth:`Table.scan`."""
-        stamp = self.table.generation_stamp(measure_name, filters)
-        key = ("scan", measure_name, _filters_key(filters), start, end)
-        return self.memo(key, stamp,
-                         lambda: self.table.scan(measure_name, filters,
-                                                 start, end))
+        with self.table.lock:
+            stamp = self.table.generation_stamp(measure_name, filters)
+            key = ("scan", measure_name, _filters_key(filters), start, end)
+            return self.memo(key, stamp,
+                             lambda: self.table.scan(measure_name, filters,
+                                                     start, end))
 
     def latest(self, measure_name: str,
                filters: Optional[Dict[str, str]] = None) -> List[Record]:
         """Cached :meth:`Table.latest`."""
-        stamp = self.table.generation_stamp(measure_name, filters)
-        key = ("latest", measure_name, _filters_key(filters))
-        return self.memo(key, stamp,
-                         lambda: self.table.latest(measure_name, filters))
+        with self.table.lock:
+            stamp = self.table.generation_stamp(measure_name, filters)
+            key = ("latest", measure_name, _filters_key(filters))
+            return self.memo(key, stamp,
+                             lambda: self.table.latest(measure_name, filters))
 
     def value_at(self, measure_name: str, dimensions: Dict[str, str],
                  time: float) -> Optional[Value]:
         """Cached :meth:`Table.value_at` (exact per-series stamp)."""
-        series_key = SeriesKey(measure_name, dimension_key(dimensions))
-        stamp = self.table.series_generation(series_key)
-        key = ("value_at", series_key, time)
-        return self.memo(key, stamp,
-                         lambda: self.table.value_at(measure_name,
-                                                     dimensions, time))
+        with self.table.lock:
+            series_key = SeriesKey(measure_name, dimension_key(dimensions))
+            stamp = self.table.series_generation(series_key)
+            key = ("value_at", series_key, time)
+            return self.memo(key, stamp,
+                             lambda: self.table.value_at(measure_name,
+                                                         dimensions, time))
 
     def derived(self, tag: str, measure_name: Optional[str],
                 filters: Optional[Dict[str, str]],
@@ -150,6 +170,7 @@ class QueryCache:
         The serving layer uses this to keep rendered response rows hot
         under the same invalidation rule as the records they came from.
         """
-        stamp = self.table.generation_stamp(measure_name, filters)
-        key = (tag, measure_name, _filters_key(filters)) + tuple(extra)
-        return self.memo(key, stamp, compute)
+        with self.table.lock:
+            stamp = self.table.generation_stamp(measure_name, filters)
+            key = (tag, measure_name, _filters_key(filters)) + tuple(extra)
+            return self.memo(key, stamp, compute)

@@ -7,6 +7,7 @@ every series.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -33,10 +34,22 @@ class TableStats:
 
 
 class Table:
-    """One logical dataset (e.g. "sps", "advisor", "price")."""
+    """One logical dataset (e.g. "sps", "advisor", "price").
+
+    Thread-safety contract (ROADMAP item 1, the concurrent serving front
+    end): every public mutator and reader serializes on :attr:`lock`, a
+    reentrant per-table lock.  Collection writes and serving reads of one
+    table therefore never observe torn series state, and the table's
+    :class:`~repro.timeseries.cache.QueryCache` shares the *same* lock so
+    a (generation stamp, scan result) pair is read atomically.  The lock
+    is reentrant because cached "derived" reads re-enter ``scan`` while
+    rendering rows.
+    """
 
     def __init__(self, name: str):
         self.name = name
+        #: per-table reentrant guard; shared with the table's query cache
+        self.lock = threading.RLock()
         self._series: Dict[SeriesKey, ChangePointSeries] = {}
         # inverted index: (dim name, dim value) -> series keys
         self._index: Dict[Tuple[str, str], Set[SeriesKey]] = defaultdict(set)
@@ -68,37 +81,39 @@ class Table:
 
     def write(self, record: Record) -> bool:
         """Ingest one record; returns True when it created a change point."""
-        key = SeriesKey.of(record)
-        series = self._series.get(key)
-        if series is None:
-            series = ChangePointSeries()
-            self._series[key] = series
-            self._measures[record.measure_name].add(key)
-            for dim in record.dimensions:
-                self._index[dim].add(key)
-            self.stats.series_count += 1
-        changed = series.append(record.time, record.value)
-        self.stats.records_written += 1
-        if changed:
-            self.stats.change_points_stored += 1
-            self._latest[key] = Record(key.dimensions, key.measure_name,
-                                       record.value, record.time)
-            self._touch(key)
-        return changed
+        with self.lock:
+            key = SeriesKey.of(record)
+            series = self._series.get(key)
+            if series is None:
+                series = ChangePointSeries()
+                self._series[key] = series
+                self._measures[record.measure_name].add(key)
+                for dim in record.dimensions:
+                    self._index[dim].add(key)
+                self.stats.series_count += 1
+            changed = series.append(record.time, record.value)
+            self.stats.records_written += 1
+            if changed:
+                self.stats.change_points_stored += 1
+                self._latest[key] = Record(key.dimensions, key.measure_name,
+                                           record.value, record.time)
+                self._touch(key)
+            return changed
 
     def install_series(self, key: SeriesKey, series: ChangePointSeries) -> None:
         """Install a pre-built series (snapshot load), indexes and the
         materialized views included, without re-ingesting records."""
-        self._series[key] = series
-        self._measures[key.measure_name].add(key)
-        for dim in key.dimensions:
-            self._index[dim].add(key)
-        self.stats.series_count += 1
-        self.stats.change_points_stored += len(series)
-        if series.times:
-            self._latest[key] = Record(key.dimensions, key.measure_name,
-                                       series.values[-1], series.times[-1])
-        self._touch(key)
+        with self.lock:
+            self._series[key] = series
+            self._measures[key.measure_name].add(key)
+            for dim in key.dimensions:
+                self._index[dim].add(key)
+            self.stats.series_count += 1
+            self.stats.change_points_stored += len(series)
+            if series.times:
+                self._latest[key] = Record(key.dimensions, key.measure_name,
+                                           series.values[-1], series.times[-1])
+            self._touch(key)
 
     def append_point(self, key: SeriesKey, time: float, value: Value) -> bool:
         """Ingest one point addressed by a pre-built :class:`SeriesKey`.
@@ -108,22 +123,23 @@ class Table:
         that reuse keys across rounds (every series gets one point per
         collection round) skip that allocation entirely.
         """
-        series = self._series.get(key)
-        if series is None:
-            series = ChangePointSeries()
-            self._series[key] = series
-            self._measures[key.measure_name].add(key)
-            for dim in key.dimensions:
-                self._index[dim].add(key)
-            self.stats.series_count += 1
-        changed = series.append(time, value)
-        self.stats.records_written += 1
-        if changed:
-            self.stats.change_points_stored += 1
-            self._latest[key] = Record(key.dimensions, key.measure_name,
-                                       value, time)
-            self._touch(key)
-        return changed
+        with self.lock:
+            series = self._series.get(key)
+            if series is None:
+                series = ChangePointSeries()
+                self._series[key] = series
+                self._measures[key.measure_name].add(key)
+                for dim in key.dimensions:
+                    self._index[dim].add(key)
+                self.stats.series_count += 1
+            changed = series.append(time, value)
+            self.stats.records_written += 1
+            if changed:
+                self.stats.change_points_stored += 1
+                self._latest[key] = Record(key.dimensions, key.measure_name,
+                                           value, time)
+                self._touch(key)
+            return changed
 
     def append_many(self,
                     points: Iterable[Tuple[SeriesKey, float, Value]]) -> int:
@@ -139,53 +155,54 @@ class Table:
         once per touched series after the loop (only the last change
         point per key survives the batch anyway).
         """
-        series_map = self._series
-        series_gen = self._series_gen
-        measure_gen = self._measure_gen
-        dim_gen = self._dim_gen
-        gen = self.generation
-        stats = self.stats
-        # last change point per key, materialized into _latest at the end
-        pending: Dict[SeriesKey, Tuple[float, Value]] = {}
-        written = 0
-        changed = 0
-        for key, time, value in points:
-            written += 1
-            series = series_map.get(key)
-            if series is None:
-                series = ChangePointSeries()
-                series_map[key] = series
-                self._measures[key.measure_name].add(key)
+        with self.lock:
+            series_map = self._series
+            series_gen = self._series_gen
+            measure_gen = self._measure_gen
+            dim_gen = self._dim_gen
+            gen = self.generation
+            stats = self.stats
+            # last change point per key, materialized into _latest at the end
+            pending: Dict[SeriesKey, Tuple[float, Value]] = {}
+            written = 0
+            changed = 0
+            for key, time, value in points:
+                written += 1
+                series = series_map.get(key)
+                if series is None:
+                    series = ChangePointSeries()
+                    series_map[key] = series
+                    self._measures[key.measure_name].add(key)
+                    for dim in key.dimensions:
+                        self._index[dim].add(key)
+                    stats.series_count += 1
+                # inlined ChangePointSeries.append
+                if time < series.observed_until:
+                    raise ValueError(
+                        f"out-of-order append: {time} < {series.observed_until}")
+                series.observed_until = time
+                series.observation_count += 1
+                values = series.values
+                if values and values[-1] == value:
+                    continue
+                series.times.append(time)
+                values.append(value)
+                changed += 1
+                pending[key] = (time, value)
+                # inlined _touch
+                gen += 1
+                series_gen[key] = gen
+                measure_gen[key.measure_name] = gen
                 for dim in key.dimensions:
-                    self._index[dim].add(key)
-                stats.series_count += 1
-            # inlined ChangePointSeries.append
-            if time < series.observed_until:
-                raise ValueError(
-                    f"out-of-order append: {time} < {series.observed_until}")
-            series.observed_until = time
-            series.observation_count += 1
-            values = series.values
-            if values and values[-1] == value:
-                continue
-            series.times.append(time)
-            values.append(value)
-            changed += 1
-            pending[key] = (time, value)
-            # inlined _touch
-            gen += 1
-            series_gen[key] = gen
-            measure_gen[key.measure_name] = gen
-            for dim in key.dimensions:
-                dim_gen[dim] = gen
-        self.generation = gen
-        latest = self._latest
-        for key, (time, value) in pending.items():
-            latest[key] = Record(key.dimensions, key.measure_name,
-                                 value, time)
-        stats.records_written += written
-        stats.change_points_stored += changed
-        return changed
+                    dim_gen[dim] = gen
+            self.generation = gen
+            latest = self._latest
+            for key, (time, value) in pending.items():
+                latest[key] = Record(key.dimensions, key.measure_name,
+                                     value, time)
+            stats.records_written += written
+            stats.change_points_stored += changed
+            return changed
 
     def write_records(self, records: Iterable[Record]) -> int:
         """Batch ingest; returns the number of change points created."""
@@ -196,16 +213,18 @@ class Table:
     def series_keys(self, measure_name: Optional[str] = None,
                     filters: Optional[Dict[str, str]] = None) -> List[SeriesKey]:
         """Series matching a measure and/or dimension filters."""
-        candidates: Optional[Set[SeriesKey]] = None
-        if measure_name is not None:
-            candidates = set(self._measures.get(measure_name, set()))
-        if filters:
-            for item in filters.items():
-                indexed = self._index.get(item, set())
-                candidates = set(indexed) if candidates is None else candidates & indexed
-        if candidates is None:
-            candidates = set(self._series)
-        return sorted(candidates, key=lambda k: (k.measure_name, k.dimensions))
+        with self.lock:
+            candidates: Optional[Set[SeriesKey]] = None
+            if measure_name is not None:
+                candidates = set(self._measures.get(measure_name, set()))
+            if filters:
+                for item in filters.items():
+                    indexed = self._index.get(item, set())
+                    candidates = set(indexed) if candidates is None else candidates & indexed
+            if candidates is None:
+                candidates = set(self._series)
+            return sorted(candidates,
+                          key=lambda k: (k.measure_name, k.dimensions))
 
     def series(self, key: SeriesKey) -> Optional[ChangePointSeries]:
         return self._series.get(key)
@@ -217,7 +236,8 @@ class Table:
 
     def series_generation(self, key: SeriesKey) -> int:
         """Generation of the last mutation of one series (0 = never)."""
-        return self._series_gen.get(key, 0)
+        with self.lock:
+            return self._series_gen.get(key, 0)
 
     def generation_stamp(self, measure_name: Optional[str] = None,
                          filters: Optional[Dict[str, str]] = None) -> int:
@@ -231,24 +251,26 @@ class Table:
         sharing only some constraints may bump it spuriously (conservative
         invalidation, never stale data).
         """
-        constraints: List[int] = []
-        if measure_name is not None:
-            constraints.append(self._measure_gen.get(measure_name, 0))
-        if filters:
-            for item in filters.items():
-                constraints.append(self._dim_gen.get(item, 0))
-        if not constraints:
-            return self.generation
-        return min(constraints)
+        with self.lock:
+            constraints: List[int] = []
+            if measure_name is not None:
+                constraints.append(self._measure_gen.get(measure_name, 0))
+            if filters:
+                for item in filters.items():
+                    constraints.append(self._dim_gen.get(item, 0))
+            if not constraints:
+                return self.generation
+            return min(constraints)
 
     # -- reads -----------------------------------------------------------------
 
     def value_at(self, measure_name: str, dimensions: Dict[str, str],
                  time: float) -> Optional[Value]:
         """Point lookup of the value in force at ``time``."""
-        key = SeriesKey(measure_name, dimension_key(dimensions))
-        series = self._series.get(key)
-        return series.value_at(time) if series else None
+        with self.lock:
+            key = SeriesKey(measure_name, dimension_key(dimensions))
+            series = self._series.get(key)
+            return series.value_at(time) if series else None
 
     def latest(self, measure_name: str,
                filters: Optional[Dict[str, str]] = None) -> List[Record]:
@@ -256,24 +278,26 @@ class Table:
 
         Served from the materialized latest-value view: no series walk.
         """
-        out: List[Record] = []
-        for key in self.series_keys(measure_name, filters):
-            record = self._latest.get(key)
-            if record is not None:
-                out.append(record)
-        return out
+        with self.lock:
+            out: List[Record] = []
+            for key in self.series_keys(measure_name, filters):
+                record = self._latest.get(key)
+                if record is not None:
+                    out.append(record)
+            return out
 
     def scan(self, measure_name: Optional[str] = None,
              filters: Optional[Dict[str, str]] = None,
              start: float = float("-inf"),
              end: float = float("inf")) -> List[Record]:
         """All change-point records in [start, end], time-ordered."""
-        out: List[Record] = []
-        for key in self.series_keys(measure_name, filters):
-            for t, v in self._series[key].change_points(start, end):
-                out.append(Record(key.dimensions, key.measure_name, v, t))
-        out.sort(key=lambda r: r.time)
-        return out
+        with self.lock:
+            out: List[Record] = []
+            for key in self.series_keys(measure_name, filters):
+                for t, v in self._series[key].change_points(start, end):
+                    out.append(Record(key.dimensions, key.measure_name, v, t))
+            out.sort(key=lambda r: r.time)
+            return out
 
     # -- retention -----------------------------------------------------------------
 
@@ -284,17 +308,19 @@ class Table:
         is still in force), matching tiered-retention semantics.  Returns
         the number of change points dropped.
         """
-        dropped = 0
-        for key, series in self._series.items():
-            # index of the last change point at or before the cutoff: that
-            # point stays (its value is in force), everything earlier goes.
-            keep_from = bisect_right(series.times, cutoff) - 1
-            if keep_from > 0:
-                dropped += keep_from
-                del series.times[:keep_from]
-                del series.values[:keep_from]
-                self._touch(key)
-        self.stats.change_points_stored -= dropped
-        assert self.stats.change_points_stored == \
-            sum(len(s) for s in self._series.values())
-        return dropped
+        with self.lock:
+            dropped = 0
+            for key, series in self._series.items():
+                # index of the last change point at or before the cutoff:
+                # that point stays (its value is in force), everything
+                # earlier goes.
+                keep_from = bisect_right(series.times, cutoff) - 1
+                if keep_from > 0:
+                    dropped += keep_from
+                    del series.times[:keep_from]
+                    del series.values[:keep_from]
+                    self._touch(key)
+            self.stats.change_points_stored -= dropped
+            assert self.stats.change_points_stored == \
+                sum(len(s) for s in self._series.values())
+            return dropped

@@ -1,8 +1,9 @@
 """Tests for the serving observability layer (core/metrics.py)."""
 
 import json
+import threading
 
-from repro.core import MetricsRegistry, RouteMetrics, percentile
+from repro.core import MetricsRegistry, RouteMetrics, TenantMetrics, percentile
 from repro.core.metrics import MAX_SAMPLES
 
 
@@ -85,7 +86,7 @@ class TestMetricsRegistry:
         registry.observe("/b", 500, 0, 0.002)
         totals = registry.snapshot()["totals"]
         assert totals == {"requests": 2, "server_errors": 1,
-                          "rows_served": 2}
+                          "rows_served": 2, "rate_limited": 0, "shed": 0}
 
     def test_reset(self):
         registry = MetricsRegistry(timer=FakeTimer())
@@ -97,3 +98,127 @@ class TestMetricsRegistry:
         registry = MetricsRegistry(timer=FakeTimer())
         registry.observe("/a", 200, 1, 0.001)
         json.dumps(registry.snapshot())
+
+
+class TestTenantMetrics:
+    def test_observe_classifies_statuses(self):
+        m = TenantMetrics()
+        m.observe(200, 5)
+        m.observe(200, 3)
+        m.observe(429, 0)
+        m.observe(503, 0)
+        m.observe(400, 0)
+        snap = m.snapshot()
+        assert snap["requests"] == 5
+        assert snap["succeeded"] == 2
+        assert snap["rate_limited"] == 1
+        assert snap["shed"] == 1
+        assert snap["rows_served"] == 8
+        assert snap["by_status"] == {"200": 2, "400": 1, "429": 1, "503": 1}
+
+    def test_rejections_roll_up_into_totals(self):
+        registry = MetricsRegistry(timer=FakeTimer())
+        registry.observe("/a", 200, 1, 0.001, tenant="t1")
+        registry.observe_rejection("/a", 429, tenant="t1")
+        registry.observe_rejection("/b", 503, tenant="t2")
+        snap = registry.snapshot()
+        assert snap["totals"]["rate_limited"] == 1
+        assert snap["totals"]["shed"] == 1
+        assert snap["tenants"]["t1"]["rate_limited"] == 1
+        assert snap["tenants"]["t2"]["shed"] == 1
+
+    def test_rejections_contribute_no_latency_samples(self):
+        registry = MetricsRegistry(timer=FakeTimer())
+        registry.observe("/a", 200, 0, 0.050)
+        for _ in range(9):
+            registry.observe_rejection("/a", 429)
+        route = registry.route("/a")
+        assert route.requests == 10
+        assert route.samples_ms == [50.0]
+        # the p50 describes the served request, not a pile of 0ms 429s
+        assert registry.snapshot()["routes"]["/a"]["latency"]["p50_ms"] == 50.0
+
+
+class TestConcurrentObserve:
+    """The registry is shared by every serving worker; counters and the
+    latency reservoir must stay exact and ordered under races."""
+
+    THREADS = 8
+    PER_THREAD = 2000
+
+    def test_counters_and_reservoir_exact_under_race(self):
+        registry = MetricsRegistry(timer=FakeTimer())
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker():
+            barrier.wait()
+            for i in range(self.PER_THREAD):
+                registry.observe("/hot", 200, 1, (i % 50) / 1000.0)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = self.THREADS * self.PER_THREAD
+        snap = registry.snapshot()["routes"]["/hot"]
+        assert snap["requests"] == total  # no lost increments
+        assert snap["rows_served"] == total
+        assert snap["by_status"] == {"200": total}
+        route = registry.route("/hot")
+        # the decimating reservoir stayed bounded and sorted (insort
+        # into an unsorted list would silently corrupt percentiles)
+        assert len(route.samples_ms) < MAX_SAMPLES
+        assert route.samples_ms == sorted(route.samples_ms)
+        assert 0.0 <= snap["latency"]["p50_ms"] <= 49.0
+        assert snap["latency"]["max_ms"] == 49.0
+
+    def test_tenant_counters_isolated_under_race(self):
+        registry = MetricsRegistry(timer=FakeTimer())
+        names = [f"tenant-{i}" for i in range(6)]
+        barrier = threading.Barrier(len(names))
+
+        def worker(name, index):
+            barrier.wait()
+            for i in range(500):
+                registry.observe("/shared", 200, 1, 0.001, tenant=name)
+                if i % (index + 2) == 0:
+                    registry.observe_rejection("/shared", 429, tenant=name)
+
+        threads = [threading.Thread(target=worker, args=(name, index))
+                   for index, name in enumerate(names)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        snap = registry.snapshot()
+        for index, name in enumerate(names):
+            expected_429 = len(range(0, 500, index + 2))
+            tenant = snap["tenants"][name]
+            assert tenant["succeeded"] == 500
+            assert tenant["rate_limited"] == expected_429
+            assert tenant["requests"] == 500 + expected_429
+        assert snap["routes"]["/shared"]["requests"] == sum(
+            snap["tenants"][name]["requests"] for name in names)
+
+    def test_concurrent_registration_yields_one_route_object(self):
+        registry = MetricsRegistry(timer=FakeTimer())
+        seen = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            route = registry.route("/race")
+            with lock:
+                seen.append(id(route))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(seen)) == 1

@@ -304,7 +304,7 @@ class TestMetricsRoute:
         response = gateway.get("/metrics")
         assert response.status == 200
         body = response.body
-        assert set(body) == {"routes", "totals", "cache"}
+        assert set(body) == {"routes", "tenants", "totals", "cache"}
         route = body["routes"]["/sps/history"]
         assert route["requests"] == 1
         assert route["by_status"] == {"200": 1}

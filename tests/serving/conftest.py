@@ -1,0 +1,57 @@
+"""Shared fixtures for the concurrent-serving suite.
+
+Everything runs against a two-family, two-region catalog with a short
+backfill so that races, shed episodes, and worker sweeps stay
+sub-second.  Services are built *inside* fixtures/tests (never at module
+scope) so that when the suite runs under ``SPOTCONC_SANITIZE=1`` every
+lock is created after the sanitizer installs and is therefore tracked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ServiceConfig, SimulatedCloud, SpotLakeService
+from repro.cloudsim import Catalog, InstanceFamily, Region
+from repro.core import Tenant
+
+#: Samples in the default serving backfill (half-hourly).
+DEFAULT_SAMPLES = 24
+
+
+def build_serving_service(seed: int = 0, samples: int = DEFAULT_SAMPLES,
+                          **config_kwargs) -> SpotLakeService:
+    """A tiny-catalog service with a short half-hourly backfill."""
+    families = [
+        InstanceFamily("m9", "M", "general", ("large", "xlarge")),
+        InstanceFamily("p9", "P", "accelerated", ("2xlarge",), "gpu", 3.0),
+    ]
+    regions = [Region("rg-one-1", "rg", 3), Region("rg-two-1", "rg", 2)]
+    cloud = SimulatedCloud(seed=seed,
+                           catalog=Catalog(seed=1, families=families,
+                                           regions=regions))
+    service = SpotLakeService(ServiceConfig(seed=seed, **config_kwargs),
+                              cloud=cloud)
+    start = cloud.clock.start
+    times = [start + 1800.0 * i for i in range(samples)]
+    service.bulk_backfill(times)
+    cloud.clock.set(times[-1] + 1.0)
+    return service
+
+
+def generous_tenant(name: str = "dash") -> Tenant:
+    """A tenant whose limits never bind (isolates non-throttle behaviour)."""
+    return Tenant(name, rate=1_000_000.0, burst=1_000_000.0)
+
+
+def full_range(service: SpotLakeService) -> dict:
+    """History-query params covering the whole backfilled window."""
+    clock = service.cloud.clock
+    return {"start": str(clock.start - 1.0), "end": str(clock.now() + 1.0)}
+
+
+@pytest.fixture()
+def service() -> SpotLakeService:
+    svc = build_serving_service()
+    yield svc
+    svc.close()

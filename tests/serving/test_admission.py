@@ -1,0 +1,193 @@
+"""Admission-control primitives: token buckets, quotas, tenants.
+
+The frontend's determinism contract rests on these: a tenant's
+admit/reject sequence must be a pure fold over its ``(arrival_time,
+cost)`` sequence, identical whether the arrivals are replayed on one
+thread or raced across many.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core import RollingQuota, Tenant, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_exact_deficit(self):
+        bucket = TokenBucket(rate=2.0, burst=3)
+        for _ in range(3):
+            assert bucket.admit(0.0) == (True, 0.0)
+        ok, retry_after = bucket.admit(0.0)
+        assert not ok
+        assert retry_after == pytest.approx(0.5)  # 1 token / 2 per second
+
+    def test_refill_follows_virtual_time(self):
+        bucket = TokenBucket(rate=2.0, burst=3)
+        for _ in range(3):
+            assert bucket.admit(0.0)[0]
+        assert not bucket.admit(0.25)[0]  # only half a token back
+        assert bucket.admit(0.75)[0]      # the other half arrived
+        assert not bucket.admit(0.75)[0]
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert bucket.admit(0.0)[0]
+        # a huge idle gap must not bank more than the burst
+        for _ in range(3):
+            assert bucket.admit(1000.0)[0]
+        assert not bucket.admit(1000.0)[0]
+
+    def test_refund_caps_at_burst(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        bucket.refund(10.0)
+        assert bucket.tokens == 2.0
+
+    def test_time_moving_backwards_never_drains(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        assert bucket.admit(10.0)[0]
+        # an out-of-order arrival must not produce a negative refill
+        assert bucket.admit(5.0)[0]
+        assert not bucket.admit(5.0)[0]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+    def test_decision_sequence_is_a_pure_fold(self):
+        rng = random.Random(7)
+        now = 0.0
+        arrivals = []
+        for _ in range(200):
+            now += rng.random() * 0.4
+            arrivals.append(now)
+
+        def fold(bucket):
+            return [bucket.admit(t) for t in arrivals]
+
+        first = fold(TokenBucket(rate=5.0, burst=4))
+        second = fold(TokenBucket(rate=5.0, burst=4))
+        assert first == second
+        assert any(not ok for ok, _ in first)
+        assert any(ok for ok, _ in first)
+
+
+class TestRollingQuota:
+    def test_limit_within_window(self):
+        quota = RollingQuota(limit=2, window=60.0)
+        assert quota.admit(0.0) == (True, 0.0)
+        assert quota.admit(10.0) == (True, 0.0)
+        ok, retry_after = quota.admit(20.0)
+        assert not ok
+        assert retry_after == pytest.approx(40.0)  # oldest expires at t=60
+
+    def test_front_expiry_frees_capacity(self):
+        quota = RollingQuota(limit=2, window=60.0)
+        quota.admit(0.0)
+        quota.admit(10.0)
+        assert quota.admit(60.0)[0]  # the t=0 charge has aged out
+        assert quota.used() == 2
+        assert not quota.admit(60.0)[0]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RollingQuota(limit=0, window=60.0)
+        with pytest.raises(ValueError):
+            RollingQuota(limit=1, window=0.0)
+
+
+class TestTenant:
+    def test_default_api_key_derives_from_name(self):
+        assert Tenant("alice").api_key == "key-alice"
+        assert Tenant("bob", api_key="secret").api_key == "secret"
+
+    def test_quota_veto_refunds_the_bucket(self):
+        tenant = Tenant("t", rate=100.0, burst=5.0, quota_limit=1,
+                        quota_window=60.0)
+        assert tenant.admit(0.0) == (True, 0.0)
+        ok, retry_after = tenant.admit(0.0)
+        assert not ok
+        assert retry_after == pytest.approx(60.0)
+        # the vetoed grant went back: the bucket is a function of the
+        # *admitted* sequence, not of every attempt
+        assert tenant.bucket.tokens == pytest.approx(4.0)
+        assert (tenant.admitted, tenant.rejected) == (1, 1)
+
+    def test_bucket_rejection_never_charges_the_quota(self):
+        tenant = Tenant("t", rate=1.0, burst=1.0, quota_limit=100,
+                        quota_window=60.0)
+        assert tenant.admit(0.0)[0]
+        assert not tenant.admit(0.0)[0]
+        assert tenant.quota.used() == 1
+
+
+class TestInterleavingDeterminism:
+    """The tentpole claim: thread interleaving cannot change decisions."""
+
+    def _tenant_arrivals(self, seed, tenants=4, per_tenant=120):
+        rng = random.Random(seed)
+        arrivals = {}
+        for i in range(tenants):
+            now = 0.0
+            times = []
+            for _ in range(per_tenant):
+                now += rng.random() * 0.3
+                times.append(now)
+            arrivals[f"t{i}"] = times
+        return arrivals
+
+    def test_raced_tenants_match_single_threaded_fold(self):
+        arrivals = self._tenant_arrivals(seed=13)
+
+        def make_tenants():
+            return {name: Tenant(name, rate=6.0, burst=3.0, quota_limit=80,
+                                 quota_window=30.0) for name in arrivals}
+
+        reference = make_tenants()
+        expected = {name: [reference[name].admit(t) for t in times]
+                    for name, times in arrivals.items()}
+
+        raced = make_tenants()
+        decisions = {name: [] for name in arrivals}
+        barrier = threading.Barrier(len(arrivals))
+
+        def drive(name):
+            barrier.wait()
+            for t in arrivals[name]:
+                decisions[name].append(raced[name].admit(t))
+
+        threads = [threading.Thread(target=drive, args=(name,))
+                   for name in arrivals]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert decisions == expected
+        for name in arrivals:
+            assert raced[name].admitted == reference[name].admitted
+            assert raced[name].rejected == reference[name].rejected
+
+    def test_shared_bucket_admits_exactly_burst_under_race(self):
+        # at a frozen instant the balance is the only state: no matter
+        # how 8 threads interleave, exactly `burst` grants exist
+        bucket = TokenBucket(rate=0.001, burst=50)
+        admitted = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            grants = sum(1 for _ in range(25) if bucket.admit(0.0)[0])
+            with lock:
+                admitted.append(grants)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(admitted) == 50

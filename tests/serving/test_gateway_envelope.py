@@ -1,0 +1,53 @@
+"""Regression suite for the gateway's 500 envelope (satellite fix).
+
+The pre-fix dispatcher resolved the route *outside* the error envelope:
+a crash during route resolution (an unhashable path object blowing up
+the dict probe) escaped with no Response and no metrics sample, and a
+handler crash lost its route label.  Both stay pinned here.
+"""
+
+
+class TestPreResolutionCrash:
+    def test_unhashable_path_yields_counted_500(self, service):
+        gateway = service.gateway
+        response = gateway.get(["sps", "history"])  # unhashable path
+        assert response.status == 500
+        assert response.body["exception"] == "TypeError"
+        snap = service.metrics.snapshot()
+        assert snap["routes"]["<unknown>"]["by_status"]["500"] == 1
+        assert snap["routes"]["<unknown>"]["server_errors"] == 1
+        assert snap["totals"]["requests"] == 1
+        assert snap["totals"]["server_errors"] == 1
+
+    def test_pre_resolution_crash_is_tenant_attributed(self, service):
+        service.gateway.get(["boom"], tenant="probe")
+        snap = service.metrics.snapshot()
+        assert snap["tenants"]["probe"]["by_status"]["500"] == 1
+
+    def test_envelope_body_is_json_able(self, service):
+        response = service.gateway.get({"un": "hashable"}.keys())
+        assert response.status == 500
+        response.json()  # must serialize
+
+
+class TestPostResolutionCrash:
+    def test_handler_crash_keeps_its_route_label(self, service):
+        gateway = service.gateway
+
+        def boom(params):
+            raise RuntimeError("handler exploded")
+
+        gateway._routes["/boom"] = boom
+        response = gateway.get("/boom")
+        assert response.status == 500
+        assert response.body["exception"] == "RuntimeError"
+        snap = service.metrics.snapshot()
+        assert snap["routes"]["/boom"]["server_errors"] == 1
+        assert "<unknown>" not in snap["routes"]
+
+    def test_missing_route_is_a_404_under_the_shared_label(self, service):
+        response = service.gateway.get("/no/such/route")
+        assert response.status == 404
+        snap = service.metrics.snapshot()
+        assert snap["routes"]["<unknown>"]["by_status"]["404"] == 1
+        assert snap["routes"]["<unknown>"]["server_errors"] == 0
