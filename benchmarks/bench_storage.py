@@ -7,9 +7,11 @@ leave on: it drives the archive's ingest path with the WAL off and on,
 times crash recovery from a pure log replay and from a checkpointed
 directory, and reports compaction write amplification.
 
-Acceptance: WAL-on ingest must cost < 2x the no-WAL baseline, and the
-recovered store must be byte-identical to the live one.  The JSON report
-lands in ``BENCH_storage.json`` next to this file's parent.
+Acceptance: WAL-on ingest must cost < 2x the no-WAL baseline, the
+recovered store must be byte-identical to the live one, and the v2
+columnar segment codec must beat the v1 JSON-lines codec by >= 2x on
+bytes-on-disk and >= 3x on cold windowed-scan rows/sec.  The JSON
+report lands in ``BENCH_storage.json`` next to this file's parent.
 
 Run standalone (CI smoke) or under pytest:
 
@@ -25,6 +27,9 @@ from repro.devtools.storagebench import run_storage_bench, summary_lines
 
 #: The acceptance ceiling for WAL-on ingest cost (ratio to no-WAL).
 MAX_OVERHEAD = 2.0
+#: v2 columnar codec gates vs the v1 JSON-lines codec.
+MIN_SIZE_RATIO = 2.0
+MIN_SCAN_SPEEDUP = 3.0
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
 
@@ -53,16 +58,36 @@ def test_wal_overhead_and_recovery_identity():
         "clean-shutdown recovery reported data loss"
     assert report["compaction"]["checkpoints"] > 0
     assert report["compaction"]["live_segment_bytes"] > 0
+    codec = report["codec"]
+    assert codec["size_ratio"] >= MIN_SIZE_RATIO, \
+        f"v2 segments only {codec['size_ratio']:.2f}x smaller than v1 " \
+        f"(gate {MIN_SIZE_RATIO:.1f}x)"
+    assert codec["scan_speedup"] >= MIN_SCAN_SPEEDUP, \
+        f"v2 windowed scan only {codec['scan_speedup']:.2f}x faster than " \
+        f"v1 (gate {MIN_SCAN_SPEEDUP:.1f}x)"
+
+
+def _gates_pass(result: dict) -> bool:
+    codec = result["codec"]
+    return (result["ingest"]["overhead_ratio"] < MAX_OVERHEAD
+            and result["recovery"]["byte_identical"]
+            and not result["recovery"]["data_loss"]
+            and codec["size_ratio"] >= MIN_SIZE_RATIO
+            and codec["scan_speedup"] >= MIN_SCAN_SPEEDUP)
 
 
 if __name__ == "__main__":
     result = run_and_report()
-    ratio = result["ingest"]["overhead_ratio"]
-    ok = (ratio < MAX_OVERHEAD and result["recovery"]["byte_identical"]
-          and not result["recovery"]["data_loss"])
-    if not ok:
-        print(f"FAIL: overhead={ratio:.2f}x (ceiling {MAX_OVERHEAD:.1f}x) "
+    if not _gates_pass(result):
+        codec = result["codec"]
+        print(f"FAIL: overhead={result['ingest']['overhead_ratio']:.2f}x "
+              f"(ceiling {MAX_OVERHEAD:.1f}x) "
               f"byte_identical={result['recovery']['byte_identical']} "
-              f"data_loss={result['recovery']['data_loss']}",
+              f"data_loss={result['recovery']['data_loss']} "
+              f"codec_size={codec['size_ratio']:.2f}x "
+              f"(gate {MIN_SIZE_RATIO:.1f}x) "
+              f"codec_scan={codec['scan_speedup']:.2f}x "
+              f"(gate {MIN_SCAN_SPEEDUP:.1f}x)",
               file=sys.stderr)
-    sys.exit(0 if ok else 1)
+        sys.exit(1)
+    sys.exit(0)

@@ -256,6 +256,7 @@ def durability_run(seed: int = 0,
                    checkpoint_every: int = 2,
                    chaos_profile: str = "none",
                    chaos_seed: Optional[int] = None,
+                   legacy_format_rounds: int = 0,
                    cloud_factory=None) -> DurabilityResult:
     """Kill the service at every storage crash window; verify recovery.
 
@@ -267,13 +268,19 @@ def durability_run(seed: int = 0,
     byte-identical to the reference at however many rounds recovery says
     survived.  A crash before the first commit must recover to an empty
     store -- the manifest protocol admits no other states.
+
+    ``legacy_format_rounds`` makes the first N rounds of every run (the
+    reference and each crash victim) flush v1 JSON-lines segments, so the
+    matrix also covers crashing *mid-migration*: later checkpoints rewrite
+    those segments to the columnar format, and a kill in any window must
+    leave a mixed v1/v2 directory that still recovers byte-identically.
     """
     from ..cloudsim.faults import (
         CrashInjector,
         SimulatedCrash,
         seeded_crash_point,
     )
-    from ..storage import CRASH_WINDOWS, recover
+    from ..storage import CRASH_WINDOWS, forced_segment_format, recover
 
     def build(data_dir: Path, hook=None) -> SpotLakeService:
         return SpotLakeService(ServiceConfig(
@@ -286,13 +293,20 @@ def durability_run(seed: int = 0,
             storage_crash_hook=hook),
             cloud=cloud_factory() if cloud_factory is not None else None)
 
+    def run_round(service: SpotLakeService, index: int) -> None:
+        if index < legacy_format_rounds:
+            with forced_segment_format(1):
+                service.collect_once()
+        else:
+            service.collect_once()
+
     base = Path(tempfile.mkdtemp(prefix="spotlake-durability-"))
     try:
         # -- reference: uninterrupted, digested at every round boundary ----
         reference = build(base / "reference")
         ref: Dict[int, Dict[str, str]] = {0: {}}
         for committed in range(1, rounds + 1):
-            reference.collect_once()
+            run_round(reference, committed - 1)
             ref[committed] = _store_digests(reference.archive.store)
             reference.cloud.clock.advance_minutes(interval_minutes)
         reference.archive.close()
@@ -318,8 +332,8 @@ def durability_run(seed: int = 0,
             victim = build(crash_dir, injector)
             crashed = False
             try:
-                for _ in range(rounds):
-                    victim.collect_once()
+                for index in range(rounds):
+                    run_round(victim, index)
                     victim.cloud.clock.advance_minutes(interval_minutes)
             except SimulatedCrash:
                 crashed = True
@@ -362,6 +376,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
     parser.add_argument("--checkpoint-every", type=int, default=2,
                         help="checkpoint cadence of the durability run "
                              "(rounds; default 2)")
+    parser.add_argument("--mixed-format", action="store_true",
+                        help="durability mode only: flush the first half of "
+                             "each run's rounds as legacy v1 segments so "
+                             "crashes land mid columnar migration")
     parser.add_argument("--workers-sweep", default=None, metavar="N,N,...",
                         help="worker-sweep mode: byte-compare the serial "
                              "collector against each listed --workers count "
@@ -375,10 +393,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
         print(result.summary())
         return 0 if result.identical else 1
     if args.durability:
+        legacy_rounds = max(1, args.rounds // 2) if args.mixed_format else 0
         result = durability_run(seed=args.seed, rounds=args.rounds,
                                 checkpoint_every=args.checkpoint_every,
                                 chaos_profile=args.chaos_profile,
-                                chaos_seed=args.chaos_seed)
+                                chaos_seed=args.chaos_seed,
+                                legacy_format_rounds=legacy_rounds)
         for case in result.cases:
             print(case.summary())
         print(result.summary())

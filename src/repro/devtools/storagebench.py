@@ -23,6 +23,7 @@ seed+clock determinism envelope (latencies are reported, never archived).
 from __future__ import annotations
 
 import hashlib
+import random
 import shutil
 import tempfile
 import time
@@ -30,8 +31,16 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..core.archive import SpotLakeArchive
-from ..storage import StorageEngine, recover
+from ..storage import (
+    StorageEngine,
+    forced_segment_format,
+    recover,
+    scan_segment,
+    write_segment,
+)
 from ..timeseries import Record, RetentionPolicy, TimeSeriesStore, dump_store
+from ..timeseries.compression import ChangePointSeries
+from ..timeseries.record import SeriesKey
 
 #: Workload shape: enough records that per-record costs dominate setup,
 #: small enough for a CI smoke run.
@@ -210,6 +219,96 @@ def _bench_compaction(base: Path, records: int, commit_every: int) -> dict:
     }
 
 
+#: Codec comparison workload: series x change points per series.
+DEFAULT_CODEC_SERIES = 48
+DEFAULT_CODEC_POINTS = 2500
+#: Fraction of the time range covered by the windowed-scan query.
+CODEC_WINDOW_FRACTION = 0.25
+
+
+def _codec_items(series_count: int, points: int,
+                 seed: int = 0) -> List[Tuple[SeriesKey, ChangePointSeries]]:
+    """A spot-archive-shaped workload: per pool, a price series doing a
+    bounded random walk on the $0.0001 grid plus an integer SPS series.
+    Deterministic in ``seed`` so both codecs serialize identical items."""
+    rng = random.Random(seed)
+    items = []
+    for s in range(series_count // 2):
+        dims = (("it", f"bench{s}.large"), ("region", "us-bench-1"),
+                ("zone", f"us-bench-1{chr(ord('a') + s % DEFAULT_ZONES)}"))
+        base_price = round(rng.uniform(0.5, 4.0), 4)
+        price = base_price
+        t = 0.0
+        price_t, price_v, sps_t, sps_v = [], [], [], []
+        for _ in range(points):
+            t += 300.0 * rng.choice((1, 1, 1, 2))
+            step = rng.choice((-0.002, -0.001, 0.001, 0.001, 0.002))
+            price = round(min(base_price + 0.03,
+                              max(base_price - 0.03, price + step)), 4)
+            price_t.append(t)
+            price_v.append(price)
+            sps_t.append(t)
+            sps_v.append(rng.choice((1, 1, 2, 2, 2, 3)))
+        for measure, times, values in (("spot_price", price_t, price_v),
+                                       ("sps", sps_t, sps_v)):
+            items.append((SeriesKey(measure, dims), ChangePointSeries(
+                times=times, values=values, observed_until=t,
+                observation_count=points * 3)))
+    items.sort(key=lambda kv: (kv[0].measure_name, kv[0].dimensions))
+    return items
+
+
+def _bench_codec(base: Path, repeats: int,
+                 series_count: int = DEFAULT_CODEC_SERIES,
+                 points: int = DEFAULT_CODEC_POINTS) -> dict:
+    """v1 JSON-lines vs v2 columnar: bytes on disk and cold-scan rate.
+
+    The same logical segment is written in both formats and queried with
+    a time window covering ``CODEC_WINDOW_FRACTION`` of the range -- the
+    canonical archive read.  The v1 reader must parse the whole file per
+    scan; the v2 reader mmaps and decodes only the chunks whose zone maps
+    overlap the window, which is where the speedup gate comes from.
+    """
+    directory = base / "codec"
+    directory.mkdir(parents=True, exist_ok=True)
+    items = _codec_items(series_count, points)
+    meta_v2 = write_segment(directory, 1, "codec", 0, items)
+    with forced_segment_format(1):
+        meta_v1 = write_segment(directory, 2, "codec", 0, items)
+
+    t_max = max(series.times[-1] for _, series in items)
+    start = t_max * (1.0 - 1.5 * CODEC_WINDOW_FRACTION)
+    end = start + t_max * CODEC_WINDOW_FRACTION
+
+    def timed_scan(meta) -> Tuple[float, int]:
+        best, rows = float("inf"), 0
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = scan_segment(directory, meta, start, end)
+            best = min(best, time.perf_counter() - started)
+            rows = sum(len(r) for _, r in result)
+        return best, rows
+
+    v1_seconds, v1_rows = timed_scan(meta_v1)
+    v2_seconds, v2_rows = timed_scan(meta_v2)
+    assert v1_rows == v2_rows, "codecs disagree on the windowed scan"
+    total_rows = sum(len(series.times) for _, series in items)
+    return {
+        "series": len(items),
+        "rows": total_rows,
+        "v1_bytes": meta_v1.bytes,
+        "v2_bytes": meta_v2.bytes,
+        "size_ratio": meta_v1.bytes / meta_v2.bytes,
+        "window_fraction": CODEC_WINDOW_FRACTION,
+        "scan_rows": v1_rows,
+        "v1_scan_seconds": v1_seconds,
+        "v2_scan_seconds": v2_seconds,
+        "v1_rows_per_second": v1_rows / v1_seconds if v1_seconds else 0.0,
+        "v2_rows_per_second": v2_rows / v2_seconds if v2_seconds else 0.0,
+        "scan_speedup": v1_seconds / v2_seconds if v2_seconds else 0.0,
+    }
+
+
 def run_storage_bench(records: int = DEFAULT_RECORDS,
                       commit_every: int = DEFAULT_COMMIT_EVERY,
                       repeats: int = DEFAULT_REPEATS,
@@ -229,6 +328,7 @@ def run_storage_bench(records: int = DEFAULT_RECORDS,
             "recovery": _bench_recovery(base, wal_dir, records,
                                         commit_every),
             "compaction": _bench_compaction(base, records, commit_every),
+            "codec": _bench_codec(base, repeats),
         }
         return report
     finally:
@@ -241,6 +341,7 @@ def summary_lines(report: dict) -> List[str]:
     micro = report["engine_micro"]
     recovery = report["recovery"]
     compaction = report["compaction"]
+    codec = report["codec"]
     return [
         f"ingest: {ingest['records']} records, WAL off "
         f"{ingest['base_seconds']:.3f}s -> WAL on "
@@ -261,4 +362,10 @@ def summary_lines(report: dict) -> List[str]:
         f"write amplification {compaction['write_amplification']:.2f}x, "
         f"{compaction['compaction_merges']} merges, "
         f"live segments {compaction['live_segment_bytes']:,} bytes",
+        f"codec: v1 {codec['v1_bytes']:,}B -> v2 {codec['v2_bytes']:,}B "
+        f"({codec['size_ratio']:.1f}x smaller); "
+        f"{codec['window_fraction']:.0%}-window scan "
+        f"{codec['v1_rows_per_second']:,.0f} -> "
+        f"{codec['v2_rows_per_second']:,.0f} rows/s "
+        f"({codec['scan_speedup']:.1f}x)",
     ]

@@ -1,15 +1,19 @@
 """Durable log-structured storage under the time-series store.
 
 Write-ahead log (group commits, CRC-protected, torn-tail tolerant),
-immutable sorted segments behind an atomically-published MANIFEST,
-size-tiered compaction with retention folded into merges, and crash
-recovery that reconstructs byte-identical ``Table`` state.
+immutable sorted segments (binary columnar v2 with zone-map predicate
+pushdown; legacy JSON-lines v1 readable and migrated in place) behind
+an atomically-published MANIFEST, size-tiered compaction with retention
+folded into merges, and crash recovery that reconstructs byte-identical
+``Table`` state.
 """
 
+from .columnar import ColumnarFormatError, SegmentCursor, encode_segment
 from .compaction import (
     CompactionStats,
     DEFAULT_TIER_FANOUT,
     compact_table,
+    migrate_formats,
     trim_series,
 )
 from .engine import CRASH_WINDOWS, StorageEngine
@@ -18,10 +22,16 @@ from .segments import (
     CorruptSegmentError,
     MANIFEST_NAME,
     Manifest,
+    SEGMENT_FORMAT,
+    SUPPORTED_SEGMENT_FORMATS,
     SegmentMeta,
     TableManifest,
+    forced_segment_format,
     load_manifest,
     read_segment,
+    sanitize_table_component,
+    scan_segment,
+    segment_file_name,
     store_manifest,
     write_segment,
 )
@@ -35,12 +45,16 @@ from .wal import (
 )
 
 __all__ = [
-    "CompactionStats", "DEFAULT_TIER_FANOUT", "compact_table", "trim_series",
+    "ColumnarFormatError", "SegmentCursor", "encode_segment",
+    "CompactionStats", "DEFAULT_TIER_FANOUT", "compact_table",
+    "migrate_formats", "trim_series",
     "CRASH_WINDOWS", "StorageEngine",
     "RecoveredState", "recover",
-    "CorruptSegmentError", "MANIFEST_NAME", "Manifest", "SegmentMeta",
-    "TableManifest", "load_manifest", "read_segment", "store_manifest",
-    "write_segment",
+    "CorruptSegmentError", "MANIFEST_NAME", "Manifest", "SEGMENT_FORMAT",
+    "SUPPORTED_SEGMENT_FORMATS", "SegmentMeta", "TableManifest",
+    "forced_segment_format", "load_manifest", "read_segment",
+    "sanitize_table_component", "scan_segment", "segment_file_name",
+    "store_manifest", "write_segment",
     "CorruptWalError", "DEFAULT_SEGMENT_BYTES", "NoopCrashHook", "WalReplay",
     "WalWriter", "read_wal",
 ]

@@ -1,0 +1,322 @@
+"""Binary columnar segment bodies (segment format v2).
+
+The v1 segment codec is JSON-lines: one line per series with the full
+change-point arrays spelled out in text.  Parsing it dominates cold
+reads and the text encoding bloats disk.  Format v2 keeps the same
+*logical* content -- the exact state of every flushed series, sorted by
+series key -- but lays it out columnar and binary:
+
+``file := MAGIC | header_len(u32le) | header_json | body``
+
+* **Header** -- one JSON object (parsed with the C decoder in a single
+  call) holding the segment identity, two dictionaries, and per-series
+  descriptors.  ``strings`` dictionary-encodes every measure name,
+  dimension name and dimension value in the segment; ``values``
+  dictionary-encodes non-numeric / low-cardinality observation values
+  (JSON preserves their concrete types: ``1``, ``1.0``, ``true`` and
+  ``"1"`` stay distinct).
+* **Body** -- per series, the time and value columns split into *chunks*
+  of at most ``chunk_points`` rows.  Time columns are delta-encoded
+  against the first timestamp at the narrowest integer width that
+  round-trips exactly (raw float64 otherwise); value columns are raw
+  float64 / int64 when a chunk is type-homogeneous and high-cardinality,
+  dictionary indices at the narrowest unsigned width otherwise (see
+  :mod:`repro.timeseries.compression` for the column primitives).
+* **Zone maps** -- every chunk descriptor carries ``[tmin, tmax]``, so a
+  time-range scan touches only the chunk byte ranges that can overlap
+  the query window; with an mmap-backed buffer the skipped chunks are
+  never read off disk at all.  This is the predicate pushdown that lifts
+  cold full-archive sweeps (and the serving front end's read ceiling).
+
+Encoding is deterministic: dictionaries are populated in first-visit
+order over the (already canonically sorted) series items, so identical
+logical content always produces identical bytes -- the property the
+crash matrix's byte-identity gate and segment checksums rely on.
+
+This module deliberately knows nothing about files, manifests or
+checksums; :mod:`repro.storage.segments` owns naming, atomic publish and
+validation, and dispatches between the v1 and v2 codecs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..timeseries.compression import (
+    ChangePointSeries,
+    int_column_fits,
+    pack_float_column,
+    pack_index_column,
+    pack_int_column,
+    pack_time_column,
+    unpack_time_column,
+    unpack_value_column,
+)
+from ..timeseries.record import SeriesKey, Value
+
+#: v2 segment file magic (8 bytes, includes the format version).
+MAGIC = b"SPSEG2\r\n"
+
+#: Rows per column chunk: the zone-map granularity.  Small enough that a
+#: narrow time window decodes only a sliver of a long series, large
+#: enough that numpy's per-call overhead amortizes.
+DEFAULT_CHUNK_POINTS = 512
+
+#: Chunks whose value column has at most this many distinct values are
+#: dictionary-encoded regardless of type (1-2 bytes per row beats 8).
+_DICT_MAX_DISTINCT = 64
+
+
+class ColumnarFormatError(ValueError):
+    """The buffer is not a well-formed v2 columnar segment."""
+
+
+def _value_key(value: Value) -> Tuple[str, str]:
+    """Hashable dictionary key distinguishing type and NaN.
+
+    ``repr`` of a float is its shortest exact round-trip, so distinct
+    float values map to distinct keys while every NaN collapses to one
+    dictionary slot (matching ``values_equal`` semantics).
+    """
+    return (type(value).__name__, repr(value))
+
+
+class _Dictionary:
+    """Insertion-ordered value -> index mapping with O(1) lookup."""
+
+    def __init__(self, key=None):
+        self._key = key
+        self._index: Dict[object, int] = {}
+        self.items: List[object] = []
+
+    def index_of(self, value):
+        key = self._key(value) if self._key else value
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self.items)
+            self._index[key] = idx
+            self.items.append(value)
+        return idx
+
+
+def _encode_value_chunk(chunk: Sequence[Value],
+                        dictionary: _Dictionary) -> bytes:
+    """Pick the cheapest exact encoding for one value chunk."""
+    distinct = {_value_key(v) for v in chunk}
+    if len(distinct) > _DICT_MAX_DISTINCT:
+        if all(type(v) is float for v in chunk):
+            return pack_float_column(chunk)
+        if all(type(v) is int for v in chunk) and int_column_fits(chunk):
+            return pack_int_column(chunk)
+    return pack_index_column([dictionary.index_of(v) for v in chunk])
+
+
+def encode_segment(table: str, segment_id: int, level: int,
+                   items: Sequence[Tuple[SeriesKey, ChangePointSeries]],
+                   chunk_points: int = DEFAULT_CHUNK_POINTS) -> bytes:
+    """Serialize sorted series items into one v2 segment byte string."""
+    strings = _Dictionary()
+    values = _Dictionary(key=_value_key)
+    body = bytearray()
+    descriptors = []
+    for key, series in items:
+        times, vals = series.times, series.values
+        chunks = []
+        for lo in range(0, len(times), chunk_points):
+            hi = min(lo + chunk_points, len(times))
+            t_blob = pack_time_column(times[lo:hi])
+            v_blob = _encode_value_chunk(vals[lo:hi], values)
+            t_off = len(body)
+            body.extend(t_blob)
+            v_off = len(body)
+            body.extend(v_blob)
+            chunks.append([hi - lo, times[lo], times[hi - 1],
+                           t_off, len(t_blob), v_off, len(v_blob)])
+        dims = []
+        for name, value in key.dimensions:
+            dims.append(strings.index_of(name))
+            dims.append(strings.index_of(value))
+        descriptors.append({
+            "m": strings.index_of(key.measure_name),
+            "d": dims,
+            "ou": series.observed_until,
+            "oc": series.observation_count,
+            "n": len(times),
+            "ch": chunks,
+        })
+    header = {
+        "format": 2,
+        "table": table,
+        "id": segment_id,
+        "level": level,
+        "series": len(items),
+        "strings": strings.items,
+        "values": values.items,
+        "desc": descriptors,
+    }
+    # compact separators keep the header small; sorted keys make the
+    # bytes canonical (dictionaries are already insertion-ordered lists)
+    header_raw = json.dumps(header, separators=(",", ":"),
+                            sort_keys=True).encode("utf-8")
+    return b"".join((MAGIC, len(header_raw).to_bytes(4, "little"),
+                     header_raw, bytes(body)))
+
+
+class SegmentCursor:
+    """Decoder over one v2 segment buffer (bytes or an mmap).
+
+    The constructor parses only the header; column bytes are touched
+    lazily per chunk, so zone-map-guided scans over an mmap-backed
+    buffer never fault in the skipped pages.
+    """
+
+    def __init__(self, buffer):
+        view = memoryview(buffer)
+        self._view = view
+        parsed = False
+        try:
+            if bytes(view[:len(MAGIC)]) != MAGIC:
+                raise ColumnarFormatError(
+                    "bad magic: not a v2 columnar segment")
+            header_len = int.from_bytes(view[len(MAGIC):len(MAGIC) + 4],
+                                        "little")
+            header_end = len(MAGIC) + 4 + header_len
+            if header_end > len(view):
+                raise ColumnarFormatError("truncated segment header")
+            self.header = json.loads(bytes(
+                view[len(MAGIC) + 4:header_end]).decode("utf-8"))
+            self._body = view[header_end:]
+            self._strings = self.header["strings"]
+            self._values = self.header["values"]
+            self._desc = self.header["desc"]
+            if self.header.get("format") != 2 or \
+                    len(self._desc) != self.header.get("series"):
+                raise ColumnarFormatError(
+                    "segment header is internally inconsistent")
+            parsed = True
+        except ColumnarFormatError:
+            raise
+        except (ValueError, KeyError, IndexError, TypeError,
+                UnicodeDecodeError) as exc:
+            raise ColumnarFormatError(
+                f"undecodable v2 segment: {exc}") from None
+        finally:
+            if not parsed:
+                self.release()
+
+    def release(self) -> None:
+        """Drop the buffer views so an underlying mmap can close.
+
+        Idempotent and safe on a half-constructed cursor (a failed parse
+        releases its views before the exception propagates).
+        """
+        body = getattr(self, "_body", None)
+        if body is not None:
+            body.release()
+        self._view.release()
+
+    def __enter__(self) -> "SegmentCursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _key_of(self, desc: dict) -> SeriesKey:
+        strings = self._strings
+        dims = desc["d"]
+        pairs = tuple((strings[dims[i]], strings[dims[i + 1]])
+                      for i in range(0, len(dims), 2))
+        return SeriesKey(strings[desc["m"]], pairs)
+
+    def _chunk_columns(self, chunk: Sequence) -> Tuple[List[float], list]:
+        n, _, _, t_off, t_len, v_off, v_len = chunk
+        times = unpack_time_column(bytes(self._body[t_off:t_off + t_len]))
+        is_index, raw = unpack_value_column(
+            bytes(self._body[v_off:v_off + v_len]))
+        if is_index:
+            dictionary = self._values
+            vals = [dictionary[i] for i in raw]
+        else:
+            vals = raw
+        if len(times) != n or len(vals) != n:
+            raise ColumnarFormatError(
+                f"chunk decodes to {len(times)}/{len(vals)} rows, "
+                f"descriptor says {n}")
+        return times, vals
+
+    # -- full decode (recovery / compaction) -------------------------------
+
+    def items(self) -> List[Tuple[SeriesKey, ChangePointSeries]]:
+        """Decode every series -- the v1-equivalent full read."""
+        try:
+            out = []
+            for desc in self._desc:
+                times: List[float] = []
+                vals: list = []
+                for chunk in desc["ch"]:
+                    t, v = self._chunk_columns(chunk)
+                    times.extend(t)
+                    vals.extend(v)
+                if len(times) != desc["n"]:
+                    raise ColumnarFormatError(
+                        f"series decodes to {len(times)} rows, "
+                        f"descriptor says {desc['n']}")
+                out.append((self._key_of(desc), ChangePointSeries(
+                    times=times, values=vals,
+                    observed_until=float(desc["ou"]),
+                    observation_count=int(desc["oc"]))))
+            return out
+        except ColumnarFormatError:
+            raise
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            raise ColumnarFormatError(
+                f"undecodable v2 segment body: {exc}") from None
+
+    # -- predicate-pushdown scan -------------------------------------------
+
+    def scan(self, start: float = float("-inf"),
+             end: float = float("inf"),
+             ) -> List[Tuple[SeriesKey, List[Tuple[float, Value]]]]:
+        """Change points inside ``[start, end]``, per series.
+
+        Only chunks whose zone map ``[tmin, tmax]`` overlaps the window
+        are decoded; boundary chunks are trimmed row-wise after decode.
+        Series with no overlapping chunks are omitted entirely.
+        """
+        try:
+            out = []
+            for desc in self._desc:
+                rows: List[Tuple[float, Value]] = []
+                for chunk in desc["ch"]:
+                    tmin, tmax = chunk[1], chunk[2]
+                    if tmax < start or tmin > end:
+                        continue  # zone map excludes the whole chunk
+                    times, vals = self._chunk_columns(chunk)
+                    if tmin >= start and tmax <= end:
+                        rows.extend(zip(times, vals))
+                    else:
+                        rows.extend((t, v) for t, v in zip(times, vals)
+                                    if start <= t <= end)
+                if rows:
+                    out.append((self._key_of(desc), rows))
+            return out
+        except ColumnarFormatError:
+            raise
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            raise ColumnarFormatError(
+                f"undecodable v2 segment body: {exc}") from None
+
+    def time_bounds(self) -> Optional[Tuple[float, float]]:
+        """Segment-wide [min, max] timestamp from the zone maps alone."""
+        tmin, tmax = math.inf, -math.inf
+        for desc in self._desc:
+            for chunk in desc["ch"]:
+                tmin = min(tmin, chunk[1])
+                tmax = max(tmax, chunk[2])
+        if tmin > tmax:
+            return None
+        return tmin, tmax

@@ -5,8 +5,9 @@ The engine owns a data directory laid out as::
     data_dir/
       MANIFEST              # atomically-published root of trust
       wal-00000001.log      # segmented write-ahead log (group commits)
-      seg-00000001-sps-L0.jsonl   # immutable sorted segment files
-      ...
+      seg-00000001-sps-L0.seg     # immutable sorted segment files
+      seg-00000002-sps-L0.jsonl   # (legacy v1 bodies, until compaction
+      ...                         #  migrates them to columnar v2)
 
 and attaches to a *live* store (the archive's in-memory tables are the
 memtable -- there is no second copy of the data).  The write protocol:
@@ -42,6 +43,7 @@ from .recovery import RecoveredState, recover
 from .segments import (
     Manifest,
     TableManifest,
+    is_segment_file_name,
     store_manifest,
     write_segment,
 )
@@ -338,8 +340,9 @@ class StorageEngine:
     def _collect_garbage(self, manifest: Manifest) -> None:
         live = set(manifest.live_files())
         for entry in sorted(os.listdir(self.data_dir)):
-            if entry.startswith("seg-") and entry.endswith(".jsonl") \
-                    and entry not in live:
+            # both body formats (.jsonl v1, .seg v2): a mixed-format
+            # directory mid-migration sheds superseded files of either
+            if is_segment_file_name(entry) and entry not in live:
                 os.unlink(self.data_dir / entry)
             elif entry.startswith("wal-") and entry.endswith(".log") and \
                     entry != wal_file_name(self._writer.number):
@@ -436,6 +439,10 @@ class StorageEngine:
             "live_segment_bytes": live_bytes,
             "compaction_merges": self.compaction_stats.merges,
             "compaction_points_dropped": self.compaction_stats.points_dropped,
+            "segments_migrated": self.compaction_stats.segments_migrated,
+            "segment_formats": {
+                str(fmt): count for fmt, count
+                in sorted(self._manifest.format_census().items())},
             "write_amplification": (
                 self.segment_bytes_written / live_bytes if live_bytes else 0.0),
         }

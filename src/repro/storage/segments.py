@@ -1,17 +1,33 @@
 """Immutable sorted segment files and the versioned MANIFEST.
 
-A *segment* is a checkpoint's flush of change-point series: one
-JSON-lines file per (table, checkpoint) holding the full state of every
-series touched since the previous checkpoint, sorted by series key.
-Segments are immutable once published; newer segments shadow older ones
-series-by-series (newest wins), which is what lets compaction merge them
-without replaying the log.
+A *segment* is a checkpoint's flush of change-point series: one file per
+(table, checkpoint) holding the full state of every series touched since
+the previous checkpoint, sorted by series key.  Segments are immutable
+once published; newer segments shadow older ones series-by-series
+(newest wins), which is what lets compaction merge them without
+replaying the log.
+
+Two segment body formats exist behind one read API:
+
+* **v1** -- JSON-lines (``.jsonl``): a JSON header line followed by one
+  JSON object per series.  Still fully readable; no longer written.
+* **v2** -- binary columnar (``.seg``): dictionary-encoded dimensions
+  and values, delta-packed timestamps, per-chunk zone maps for
+  time-range predicate pushdown, optionally mmap-backed so scans decode
+  only the blocks overlapping the query window (see
+  :mod:`repro.storage.columnar`).
+
+``SEGMENT_FORMAT`` names the *write* format; readers accept every format
+in ``SUPPORTED_SEGMENT_FORMATS`` and compaction migrates old segments
+forward in place, so a data directory may legally hold a mix while an
+upgrade is in flight.
 
 The ``MANIFEST`` names the live segment set (per table, with retention
 configuration and ingestion counters) plus the log horizon
 (``last_applied_seq``): everything a cold start needs before replaying
-the WAL tail.  It is published via temp file + ``os.replace`` -- readers
-see either the old or the new version, never a torn one -- and each
+the WAL tail.  It is published via temp file + ``os.replace`` followed
+by a *directory fsync* -- readers see either the old or the new version,
+never a torn one, and the publish itself survives power loss -- and each
 segment carries its SHA-256 in the manifest so recovery detects bit rot
 or half-written leftovers from a crashed checkpoint (which are simply
 not referenced and therefore invisible).
@@ -21,23 +37,94 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .._util import atomic_open
+from .._util import atomic_open, fsync_directory
 from ..timeseries.compression import ChangePointSeries
-from ..timeseries.record import SeriesKey
+from ..timeseries.record import SeriesKey, Value
+from .columnar import ColumnarFormatError, SegmentCursor, encode_segment
 from .wal import NoopCrashHook
 
 MANIFEST_NAME = "MANIFEST"
 MANIFEST_FORMAT = 1
-SEGMENT_FORMAT = 1
+
+#: The format new segments are written in.
+SEGMENT_FORMAT = 2
+#: Every format the reader (and therefore recovery) accepts.
+SUPPORTED_SEGMENT_FORMATS = (1, 2)
+
+#: body-format -> file extension (v1 kept its historical name)
+_SEGMENT_EXTENSIONS = {1: "jsonl", 2: "seg"}
+SEGMENT_EXTENSIONS = tuple(_SEGMENT_EXTENSIONS.values())
+
+#: Characters embedded verbatim in segment file names; everything else
+#: is percent-escaped.  Deliberately excludes ``-`` (the file-name field
+#: separator), ``/`` and ``%`` (the escape char itself).
+_SAFE_TABLE_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.")
+
+#: Module default write format; tests and the mixed-format durability
+#: harness override it via :func:`forced_segment_format`.
+_write_format = [SEGMENT_FORMAT]
 
 
-def segment_file_name(segment_id: int, table: str, level: int) -> str:
-    return f"seg-{segment_id:08d}-{table}-L{level}.jsonl"
+@contextmanager
+def forced_segment_format(fmt: int) -> Iterator[None]:
+    """Temporarily force the default segment write format.
+
+    Exists for the upgrade-path tests and benchmarks: a directory
+    seeded under ``forced_segment_format(1)`` behaves exactly like one
+    written by a pre-columnar build, so mixed-format recovery and the
+    in-place migration can be exercised without checked-in fixtures.
+    """
+    if fmt not in SUPPORTED_SEGMENT_FORMATS:
+        raise ValueError(f"unsupported segment format {fmt!r}")
+    _write_format.append(fmt)
+    try:
+        yield
+    finally:
+        _write_format.pop()
+
+
+def current_write_format() -> int:
+    """The segment format new segment files are being written in."""
+    return _write_format[-1]
+
+
+def sanitize_table_component(table: str) -> str:
+    """Escape a table name for embedding in a segment file name.
+
+    Table names are user-supplied and may contain path separators or the
+    codec's own field separator (a table literally named ``a-L1`` must
+    not produce a name that reads as table ``a`` at level 1).  Characters
+    outside ``[A-Za-z0-9_.]`` are percent-escaped; the mapping is
+    injective, so two distinct tables can never collide on disk.
+    """
+    if all(c in _SAFE_TABLE_CHARS for c in table):
+        return table
+    return "".join(c if c in _SAFE_TABLE_CHARS
+                   else "".join(f"%{b:02x}" for b in c.encode("utf-8"))
+                   for c in table)
+
+
+def segment_file_name(segment_id: int, table: str, level: int,
+                      fmt: Optional[int] = None) -> str:
+    if fmt is None:
+        fmt = _write_format[-1]
+    ext = _SEGMENT_EXTENSIONS[fmt]
+    return (f"seg-{segment_id:08d}-{sanitize_table_component(table)}"
+            f"-L{level}.{ext}")
+
+
+def is_segment_file_name(name: str) -> bool:
+    """True for any (live or orphaned) segment file of either format."""
+    return name.startswith("seg-") and \
+        name.rsplit(".", 1)[-1] in SEGMENT_EXTENSIONS
 
 
 @dataclass(frozen=True)
@@ -51,16 +138,21 @@ class SegmentMeta:
     series: int
     bytes: int
     sha256: str
+    #: body format of the file; manifests written before the columnar
+    #: codec lack the key and deserialize as v1
+    format: int = SEGMENT_FORMAT
 
     def as_dict(self) -> dict:
         return {"file": self.file, "id": self.segment_id, "table": self.table,
                 "level": self.level, "series": self.series,
-                "bytes": self.bytes, "sha256": self.sha256}
+                "bytes": self.bytes, "sha256": self.sha256,
+                "format": self.format}
 
     @classmethod
     def from_dict(cls, raw: dict) -> "SegmentMeta":
         return cls(raw["file"], raw["id"], raw["table"], raw["level"],
-                   raw["series"], raw["bytes"], raw["sha256"])
+                   raw["series"], raw["bytes"], raw["sha256"],
+                   raw.get("format", 1))
 
 
 class CorruptSegmentError(ValueError):
@@ -69,33 +161,45 @@ class CorruptSegmentError(ValueError):
 
 def write_segment(directory: Path, segment_id: int, table: str, level: int,
                   items: Sequence[Tuple[SeriesKey, ChangePointSeries]],
-                  ) -> SegmentMeta:
-    """Publish one segment file; ``items`` must be sorted by series key."""
+                  fmt: Optional[int] = None) -> SegmentMeta:
+    """Publish one segment file; ``items`` must be sorted by series key.
+
+    ``fmt`` selects the body codec (default: the current write format,
+    normally ``SEGMENT_FORMAT``).  Either way the file is published
+    atomically with a directory fsync, and the returned meta carries the
+    SHA-256 over the exact bytes on disk.
+    """
     directory = Path(directory)
-    name = segment_file_name(segment_id, table, level)
-    header = {"format": SEGMENT_FORMAT, "table": table, "level": level,
-              "id": segment_id, "series": len(items)}
-    lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
-    for key, series in items:
-        lines.append(json.dumps({
-            "measure": key.measure_name,
-            "dims": dict(key.dimensions),
-            "times": series.times,
-            "values": series.values,
-            "observed_until": series.observed_until,
-            "observations": series.observation_count,
-        }, sort_keys=True, separators=(",", ":")))
-    content = "\n".join(lines) + "\n"
-    with atomic_open(directory / name) as fh:
-        fh.write(content)
-    raw = content.encode("utf-8")
+    if fmt is None:
+        fmt = _write_format[-1]
+    name = segment_file_name(segment_id, table, level, fmt)
+    if fmt == 1:
+        header = {"format": 1, "table": table, "level": level,
+                  "id": segment_id, "series": len(items)}
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        for key, series in items:
+            lines.append(json.dumps({
+                "measure": key.measure_name,
+                "dims": dict(key.dimensions),
+                "times": series.times,
+                "values": series.values,
+                "observed_until": series.observed_until,
+                "observations": series.observation_count,
+            }, sort_keys=True, separators=(",", ":")))
+        raw = ("\n".join(lines) + "\n").encode("utf-8")
+    elif fmt == 2:
+        raw = encode_segment(table, segment_id, level, items)
+    else:
+        raise ValueError(f"unsupported segment format {fmt!r}")
+    with atomic_open(directory / name, binary=True,
+                     sync_directory=True) as fh:
+        fh.write(raw)
     return SegmentMeta(name, segment_id, table, level, len(items),
-                       len(raw), hashlib.sha256(raw).hexdigest())
+                       len(raw), hashlib.sha256(raw).hexdigest(), fmt)
 
 
-def read_segment(directory: Path, meta: SegmentMeta, verify: bool = True,
-                 ) -> List[Tuple[SeriesKey, ChangePointSeries]]:
-    """Load a segment's series, validating checksum and header."""
+def _segment_bytes(directory: Path, meta: SegmentMeta,
+                   verify: bool) -> bytes:
     path = Path(directory) / meta.file
     try:
         raw = path.read_bytes()
@@ -105,24 +209,122 @@ def read_segment(directory: Path, meta: SegmentMeta, verify: bool = True,
     if verify and hashlib.sha256(raw).hexdigest() != meta.sha256:
         raise CorruptSegmentError(
             f"segment {meta.file} fails its manifest checksum")
-    lines = raw.decode("utf-8").splitlines()
-    header = json.loads(lines[0])
-    if header.get("format") != SEGMENT_FORMAT or \
+    return raw
+
+
+def _check_header(meta: SegmentMeta, header: dict) -> None:
+    if header.get("format") != meta.format or \
             header.get("table") != meta.table or \
             header.get("id") != meta.segment_id:
         raise CorruptSegmentError(
             f"segment {meta.file} header does not match its manifest entry")
-    items: List[Tuple[SeriesKey, ChangePointSeries]] = []
-    for raw_line in lines[1:]:
-        line = json.loads(raw_line)
-        key = SeriesKey(line["measure"], tuple(sorted(line["dims"].items())))
-        items.append((key, ChangePointSeries(
-            times=[float(t) for t in line["times"]],
-            values=line["values"],
-            observed_until=float(line["observed_until"]),
-            observation_count=int(line["observations"]),
-        )))
-    return items
+
+
+def _decode_v1(meta: SegmentMeta,
+               raw: bytes) -> List[Tuple[SeriesKey, ChangePointSeries]]:
+    try:
+        lines = raw.decode("utf-8").splitlines()
+        header = json.loads(lines[0])
+        _check_header(meta, header)
+        items: List[Tuple[SeriesKey, ChangePointSeries]] = []
+        for raw_line in lines[1:]:
+            line = json.loads(raw_line)
+            key = SeriesKey(line["measure"],
+                            tuple(sorted(line["dims"].items())))
+            items.append((key, ChangePointSeries(
+                times=[float(t) for t in line["times"]],
+                values=line["values"],
+                observed_until=float(line["observed_until"]),
+                observation_count=int(line["observations"]),
+            )))
+        return items
+    except CorruptSegmentError:
+        raise
+    except (IndexError, KeyError, TypeError, ValueError,
+            UnicodeDecodeError) as exc:
+        # json.JSONDecodeError is a ValueError; an empty or truncated
+        # file must surface as segment corruption, never as a raw
+        # decoder exception recovery's corruption path cannot route
+        raise CorruptSegmentError(
+            f"segment {meta.file} body is undecodable: {exc}") from None
+
+
+def read_segment(directory: Path, meta: SegmentMeta, verify: bool = True,
+                 ) -> List[Tuple[SeriesKey, ChangePointSeries]]:
+    """Load a segment's series, validating checksum and header.
+
+    Dispatches on the manifest's recorded body format; every decode
+    failure -- wrong magic, truncated body, malformed JSON, bad column
+    bytes -- raises :class:`CorruptSegmentError` so recovery handles all
+    corruption uniformly.
+    """
+    if meta.format not in SUPPORTED_SEGMENT_FORMATS:
+        raise CorruptSegmentError(
+            f"segment {meta.file} has unsupported format {meta.format!r}")
+    raw = _segment_bytes(directory, meta, verify)
+    if meta.format == 1:
+        return _decode_v1(meta, raw)
+    try:
+        cursor = SegmentCursor(raw)
+        _check_header(meta, cursor.header)
+        return cursor.items()
+    except CorruptSegmentError:
+        raise
+    except ColumnarFormatError as exc:
+        raise CorruptSegmentError(
+            f"segment {meta.file} body is undecodable: {exc}") from None
+
+
+def scan_segment(directory: Path, meta: SegmentMeta,
+                 start: float = float("-inf"), end: float = float("inf"),
+                 verify: bool = False, use_mmap: bool = True,
+                 ) -> List[Tuple[SeriesKey, List[Tuple[float, Value]]]]:
+    """Change points inside ``[start, end]``, per series.
+
+    The time-range read path.  For v2 segments the chunk zone maps prune
+    the decode to the blocks overlapping the window, and with
+    ``use_mmap`` (the default) the skipped blocks are never paged in --
+    which is why ``verify`` defaults off here: checksumming would force
+    a full read.  v1 segments have no zone maps; they are fully parsed
+    and filtered per series (bisect on the sorted times).
+    """
+    if meta.format not in SUPPORTED_SEGMENT_FORMATS:
+        raise CorruptSegmentError(
+            f"segment {meta.file} has unsupported format {meta.format!r}")
+    if meta.format == 1:
+        out = []
+        for key, series in read_segment(directory, meta, verify=verify):
+            rows = series.change_points(start, end)
+            if rows:
+                out.append((key, rows))
+        return out
+    path = Path(directory) / meta.file
+    try:
+        with path.open("rb") as fh:
+            if verify or not use_mmap:
+                raw = fh.read()
+                if verify and \
+                        hashlib.sha256(raw).hexdigest() != meta.sha256:
+                    raise CorruptSegmentError(
+                        f"segment {meta.file} fails its manifest checksum")
+                cursor = SegmentCursor(raw)
+                _check_header(meta, cursor.header)
+                return cursor.scan(start, end)
+            with mmap.mmap(fh.fileno(), 0,
+                           access=mmap.ACCESS_READ) as buffer:
+                # the cursor's memoryviews must be released before the
+                # mmap closes, even when header validation raises
+                with SegmentCursor(buffer) as cursor:
+                    _check_header(meta, cursor.header)
+                    return cursor.scan(start, end)
+    except OSError as exc:
+        raise CorruptSegmentError(
+            f"manifest references missing segment {meta.file}: {exc}") from None
+    except CorruptSegmentError:
+        raise
+    except ColumnarFormatError as exc:
+        raise CorruptSegmentError(
+            f"segment {meta.file} body is undecodable: {exc}") from None
 
 
 @dataclass
@@ -198,6 +400,14 @@ class Manifest:
         return sum(meta.bytes for name in sorted(self.tables)
                    for meta in self.tables[name].segments)
 
+    def format_census(self) -> Dict[int, int]:
+        """Live segment count per body format (migration progress)."""
+        census: Dict[int, int] = {}
+        for name in sorted(self.tables):
+            for meta in self.tables[name].segments:
+                census[meta.format] = census.get(meta.format, 0) + 1
+        return census
+
 
 def load_manifest(directory: Path) -> Optional[Manifest]:
     """The published manifest, or None for a fresh data directory."""
@@ -211,11 +421,16 @@ def store_manifest(directory: Path, manifest: Manifest,
                    crash_hook: Optional[NoopCrashHook] = None) -> None:
     """Atomically publish a new manifest version.
 
+    The temp file is fsynced, renamed over ``MANIFEST``, and then the
+    *directory* is fsynced: without that last step the rename lives only
+    in the in-memory directory cache and a power loss just after publish
+    could resurrect the previous manifest version.
+
     Crash windows: ``checkpoint.manifest`` fires before the ``os.replace``
     (the new version is invisible; recovery uses the previous one) and
-    ``checkpoint.publish`` fires just after (the new version is live but
-    WAL/segment garbage collection has not run; recovery tolerates the
-    stale files).
+    ``checkpoint.publish`` fires once the rename is durable (the new
+    version is live but WAL/segment garbage collection has not run;
+    recovery tolerates the stale files).
     """
     hook = crash_hook or NoopCrashHook()
     directory = Path(directory)
@@ -228,4 +443,5 @@ def store_manifest(directory: Path, manifest: Manifest,
         os.fsync(fh.fileno())
     hook.before("checkpoint.manifest")
     os.replace(tmp, path)
+    fsync_directory(directory)
     hook.before("checkpoint.publish")

@@ -5,7 +5,7 @@ queries, resampling, aggregation, and retention sweeps.
 """
 
 from .cache import CacheStats, QueryCache
-from .compression import ChangePointSeries
+from .compression import ChangePointSeries, values_equal
 from .query import QuerySpec, group_aggregate, resample_matrix, run_query, update_intervals
 from .record import DimensionKey, Record, SeriesKey, Value, dimension_key
 from .persistence import (
@@ -20,7 +20,7 @@ from .table import Table, TableStats
 
 __all__ = [
     "CacheStats", "QueryCache",
-    "ChangePointSeries",
+    "ChangePointSeries", "values_equal",
     "QuerySpec", "group_aggregate", "resample_matrix", "run_query", "update_intervals",
     "DimensionKey", "Record", "SeriesKey", "Value", "dimension_key",
     "RetentionPolicy", "TimeSeriesStore",

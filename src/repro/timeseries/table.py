@@ -183,8 +183,12 @@ class Table:
                 series.observed_until = time
                 series.observation_count += 1
                 values = series.values
-                if values and values[-1] == value:
-                    continue
+                # inlined values_equal (type-and-NaN-aware dedup)
+                if values:
+                    last = values[-1]
+                    if type(last) is type(value) and (
+                            last == value or (last != last and value != value)):
+                        continue
                 series.times.append(time)
                 values.append(value)
                 changed += 1

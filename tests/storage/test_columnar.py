@@ -1,0 +1,210 @@
+"""v2 binary columnar segments: round trips, zone maps, column packing."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage import (
+    ColumnarFormatError,
+    CorruptSegmentError,
+    SegmentCursor,
+    encode_segment,
+    read_segment,
+    scan_segment,
+    write_segment,
+)
+from repro.timeseries.compression import (
+    ChangePointSeries,
+    pack_index_column,
+    pack_time_column,
+    unpack_time_column,
+    unpack_value_column,
+)
+from repro.timeseries.record import SeriesKey
+
+
+def build_items(points=40, series_count=3):
+    """Mixed-type series: floats, ints, bools, strings and NaN."""
+    items = []
+    for s in range(series_count):
+        key = SeriesKey("m", (("az", f"az-{s}"), ("it", f"t{s}.large")))
+        times, values = [], []
+        for i in range(points):
+            times.append(float(s * 10000 + i * 30))
+            cycle = (i + s) % 5
+            values.append([1.25 + i, i, bool(i % 2), f"bucket-{i % 7}",
+                           float("nan")][cycle])
+        items.append((key, ChangePointSeries(
+            times=times, values=values, observed_until=times[-1] + 30.0,
+            observation_count=points * 2)))
+    items.sort(key=lambda kv: (kv[0].measure_name, kv[0].dimensions))
+    return items
+
+
+def norm(pairs):
+    """repr-normalize so NaN compares equal and 1 / 1.0 / True do not."""
+    return [(key, [(t, type(v).__name__, repr(v))
+                   for t, v in zip(s.times, s.values)],
+             s.observed_until, s.observation_count) for key, s in pairs]
+
+
+class TestEncodeDecode:
+    def test_round_trip_preserves_types_and_nan(self):
+        items = build_items()
+        cursor = SegmentCursor(encode_segment("t", 3, 1, items))
+        assert norm(cursor.items()) == norm(items)
+
+    def test_encoding_is_deterministic(self):
+        items = build_items()
+        assert encode_segment("t", 3, 1, items) == \
+            encode_segment("t", 3, 1, items)
+
+    def test_chunking_does_not_change_content(self):
+        items = build_items(points=100)
+        small = SegmentCursor(encode_segment("t", 1, 0, items,
+                                             chunk_points=7))
+        big = SegmentCursor(encode_segment("t", 1, 0, items,
+                                           chunk_points=10000))
+        assert norm(small.items()) == norm(big.items())
+
+    def test_empty_segment_round_trips(self):
+        cursor = SegmentCursor(encode_segment("t", 1, 0, []))
+        assert cursor.items() == []
+        assert cursor.time_bounds() is None
+
+    def test_time_bounds_come_from_zone_maps(self):
+        items = build_items(points=10)
+        cursor = SegmentCursor(encode_segment("t", 1, 0, items))
+        t_all = [t for _, s in items for t in s.times]
+        assert cursor.time_bounds() == (min(t_all), max(t_all))
+
+
+class TestZoneMapScan:
+    @pytest.mark.parametrize("chunk_points", [4, 16, 512])
+    def test_scan_matches_naive_filter(self, chunk_points):
+        items = build_items(points=60)
+        cursor = SegmentCursor(encode_segment("t", 1, 0, items,
+                                              chunk_points=chunk_points))
+        for window in [(-1.0, 1e9), (100.0, 900.0), (10030.0, 10030.0),
+                       (5e8, 6e8), (-50.0, -1.0)]:
+            start, end = window
+            want = []
+            for key, series in items:
+                rows = [(t, v) for t, v in zip(series.times, series.values)
+                        if start <= t <= end]
+                if rows:
+                    want.append((key, rows))
+
+            def rows_norm(result):
+                return [(k, [(t, type(v).__name__, repr(v)) for t, v in r])
+                        for k, r in result]
+
+            assert rows_norm(cursor.scan(start, end)) == rows_norm(want)
+
+    def test_out_of_range_chunks_are_never_decoded(self, monkeypatch):
+        items = build_items(points=64)
+        cursor = SegmentCursor(encode_segment("t", 1, 0, items,
+                                              chunk_points=8))
+        decoded = []
+        original = SegmentCursor._chunk_columns
+
+        def counting(self, chunk):
+            decoded.append(chunk)
+            return original(self, chunk)
+
+        monkeypatch.setattr(SegmentCursor, "_chunk_columns", counting)
+        cursor.scan(0.0, 120.0)  # first series only, first chunk or two
+        total_chunks = sum(len(d["ch"]) for d in cursor.header["desc"])
+        assert 0 < len(decoded) < total_chunks
+
+
+class TestCorruption:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ColumnarFormatError, match="magic"):
+            SegmentCursor(b"NOTASEGMENT....")
+
+    def test_truncated_header_rejected(self):
+        raw = encode_segment("t", 1, 0, build_items())
+        with pytest.raises(ColumnarFormatError):
+            SegmentCursor(raw[:10])
+
+    def test_truncated_body_rejected(self):
+        raw = encode_segment("t", 1, 0, build_items(points=200))
+        with pytest.raises(ColumnarFormatError):
+            SegmentCursor(raw[: len(raw) // 2]).items()
+
+    def test_truncated_file_surfaces_as_corrupt_segment(self, tmp_path):
+        meta = write_segment(tmp_path, 1, "t", 0, build_items(points=200))
+        path = tmp_path / meta.file
+        path.write_bytes(path.read_bytes()[: meta.bytes // 2])
+        with pytest.raises(CorruptSegmentError):
+            read_segment(tmp_path, meta, verify=False)
+        with pytest.raises(CorruptSegmentError):
+            scan_segment(tmp_path, meta)
+
+
+class TestFileScan:
+    @pytest.mark.parametrize("use_mmap", [True, False])
+    def test_scan_segment_windows(self, tmp_path, use_mmap):
+        items = build_items(points=50)
+        meta = write_segment(tmp_path, 1, "t", 0, items)
+        got = scan_segment(tmp_path, meta, 0.0, 600.0, use_mmap=use_mmap)
+        want = [(key, series.change_points(0.0, 600.0))
+                for key, series in items
+                if series.change_points(0.0, 600.0)]
+        assert [(k, [(t, repr(v)) for t, v in r]) for k, r in got] == \
+            [(k, [(t, repr(v)) for t, v in r]) for k, r in want]
+
+    def test_scan_segment_verify_checks_checksum(self, tmp_path):
+        meta = write_segment(tmp_path, 1, "t", 0, build_items())
+        path = tmp_path / meta.file
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptSegmentError, match="checksum"):
+            scan_segment(tmp_path, meta, verify=True)
+
+
+class TestColumnPrimitives:
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6), min_size=0,
+                    max_size=50))
+    def test_regular_cadence_times_round_trip(self, deltas):
+        times, t = [], 1.7e9
+        for d in deltas:
+            t += d
+            times.append(float(t))
+        assert unpack_time_column(pack_time_column(times)) == times
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e12,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_arbitrary_float_times_round_trip(self, times):
+        times = sorted(times)
+        assert unpack_time_column(pack_time_column(times)) == times
+
+    def test_fractional_times_fall_back_to_raw_floats(self):
+        times = [0.1, 0.30000000000000004, 1e17 + 0.5]
+        blob = pack_time_column(times)
+        assert blob[:1] == b"F"
+        assert unpack_time_column(blob) == times
+
+    def test_integral_deltas_pack_narrow(self):
+        blob = pack_time_column([1000.0, 1300.0, 1600.0])
+        assert blob[:1] == b"2"  # int16 deltas: 1 + 8 + 2 * 2 bytes
+        assert len(blob) == 13
+
+    @given(st.lists(st.integers(min_value=0, max_value=70000), min_size=0,
+                    max_size=50))
+    def test_index_columns_round_trip_at_narrowest_width(self, indices):
+        blob = pack_index_column(indices)
+        is_indices, got = unpack_value_column(blob)
+        assert is_indices and got == indices
+        top = max(indices, default=0)
+        assert blob[:1] == (b"u" if top < 256 else
+                            b"v" if top < 65536 else b"w")
+
+    def test_unknown_tags_rejected(self):
+        with pytest.raises(ValueError, match="tag"):
+            unpack_time_column(b"zjunk")
+        with pytest.raises(ValueError, match="tag"):
+            unpack_value_column(b"zjunk")

@@ -1,6 +1,7 @@
 """Segment files and the MANIFEST: round trips, validation, atomicity."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -11,11 +12,16 @@ from repro.storage import (
     Manifest,
     SegmentMeta,
     TableManifest,
+    forced_segment_format,
     load_manifest,
     read_segment,
+    sanitize_table_component,
+    scan_segment,
+    segment_file_name,
     store_manifest,
     write_segment,
 )
+from repro.storage import segments as segments_module
 from repro.timeseries import Record, Table
 from repro.timeseries.record import SeriesKey
 
@@ -34,7 +40,7 @@ class TestSegmentFiles:
         items = build_items()
         meta = write_segment(tmp_path, 1, "t", 0, items)
         assert meta.series == len(items)
-        assert meta.file == "seg-00000001-t-L0.jsonl"
+        assert meta.file == "seg-00000001-t-L0.seg"
         loaded = read_segment(tmp_path, meta)
         assert [key for key, _ in loaded] == [key for key, _ in items]
         for (_, got), (_, want) in zip(loaded, items):
@@ -75,7 +81,106 @@ class TestSegmentFiles:
     def test_no_temp_files_left_behind(self, tmp_path):
         write_segment(tmp_path, 1, "t", 0, build_items())
         assert [p.name for p in tmp_path.iterdir()] == \
-            ["seg-00000001-t-L0.jsonl"]
+            ["seg-00000001-t-L0.seg"]
+
+    @pytest.mark.parametrize("verify", [True, False])
+    def test_empty_file_is_corrupt_not_index_error(self, tmp_path, verify):
+        # regression: an empty v1 body used to escape as raw IndexError
+        # when checksum verification was skipped
+        with forced_segment_format(1):
+            meta = write_segment(tmp_path, 1, "t", 0, build_items())
+        (tmp_path / meta.file).write_bytes(b"")
+        with pytest.raises(CorruptSegmentError):
+            read_segment(tmp_path, meta, verify=verify)
+
+    @pytest.mark.parametrize("fmt", [1, 2])
+    def test_truncated_file_is_corrupt_without_verify(self, tmp_path, fmt):
+        with forced_segment_format(fmt):
+            meta = write_segment(tmp_path, 1, "t", 0, build_items())
+        path = tmp_path / meta.file
+        path.write_bytes(path.read_bytes()[:meta.bytes // 2])
+        with pytest.raises(CorruptSegmentError):
+            read_segment(tmp_path, meta, verify=False)
+
+    def test_garbage_bytes_are_corrupt_without_verify(self, tmp_path):
+        meta = write_segment(tmp_path, 1, "t", 0, build_items())
+        (tmp_path / meta.file).write_bytes(b"\xff" * 64)
+        with pytest.raises(CorruptSegmentError):
+            read_segment(tmp_path, meta, verify=False)
+
+
+class TestLegacyFormat:
+    def test_v1_write_read_round_trip(self, tmp_path):
+        items = build_items()
+        with forced_segment_format(1):
+            meta = write_segment(tmp_path, 1, "t", 0, items)
+        assert meta.format == 1
+        assert meta.file == "seg-00000001-t-L0.jsonl"
+        loaded = read_segment(tmp_path, meta)
+        assert [key for key, _ in loaded] == [key for key, _ in items]
+
+    def test_v1_and_v2_agree_on_content_and_scans(self, tmp_path):
+        items = build_items()
+        meta2 = write_segment(tmp_path, 1, "t", 0, items)
+        with forced_segment_format(1):
+            meta1 = write_segment(tmp_path, 2, "t", 0, items)
+
+        def norm(pairs):
+            return [(k, s.times, s.values, s.observed_until,
+                     s.observation_count) for k, s in pairs]
+
+        assert norm(read_segment(tmp_path, meta2)) == \
+            norm(read_segment(tmp_path, meta1))
+        for window in [(float("-inf"), float("inf")), (10.0, 20.0),
+                       (35.0, 99.0)]:
+            assert scan_segment(tmp_path, meta1, *window) == \
+                scan_segment(tmp_path, meta2, *window)
+
+    def test_manifest_without_format_key_deserializes_as_v1(self, tmp_path):
+        with forced_segment_format(1):
+            meta = write_segment(tmp_path, 1, "t", 0, build_items())
+        raw = meta.as_dict()
+        del raw["format"]  # manifests from pre-columnar builds
+        assert SegmentMeta.from_dict(raw).format == 1
+        assert read_segment(tmp_path, SegmentMeta.from_dict(raw))
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        meta = write_segment(tmp_path, 1, "t", 0, build_items())
+        raw = meta.as_dict()
+        raw["format"] = 99
+        with pytest.raises(CorruptSegmentError, match="format"):
+            read_segment(tmp_path, SegmentMeta.from_dict(raw))
+
+
+class TestTableNameSanitization:
+    def test_plain_names_embed_verbatim(self):
+        assert sanitize_table_component("spot_prices.v2") == "spot_prices.v2"
+
+    def test_level_marker_lookalike_cannot_collide(self):
+        # regression: a table literally named "a-L1" used to produce
+        # "seg-XXXXXXXX-a-L1-L0.seg", ambiguous with table "a" names
+        name = segment_file_name(1, "a-L1", 0)
+        assert name == f"seg-00000001-{sanitize_table_component('a-L1')}-L0.seg"
+        assert "-" not in sanitize_table_component("a-L1")
+
+    def test_path_separators_never_reach_the_file_name(self):
+        for table in ["../escape", "a/b", "a\\b", "nul\x00byte", "sps 3"]:
+            component = sanitize_table_component(table)
+            assert "/" not in component and "\\" not in component
+            assert "\x00" not in component and " " not in component
+
+    def test_sanitization_is_injective(self):
+        tables = ["a-L1", "a%2dL1", "a/b", "a%2fb", "t", "t.", "ü", "%fc"]
+        components = {sanitize_table_component(t) for t in tables}
+        assert len(components) == len(tables)
+
+    def test_write_read_round_trip_with_hostile_name(self, tmp_path):
+        items = build_items()
+        meta = write_segment(tmp_path, 1, "a-L1/..", 0, items)
+        assert (tmp_path / meta.file).is_file()
+        assert Path(meta.file).name == meta.file  # no directory traversal
+        loaded = read_segment(tmp_path, meta)
+        assert [key for key, _ in loaded] == [key for key, _ in items]
 
 
 def build_manifest(tmp_path):
@@ -94,7 +199,7 @@ class TestManifest:
         store_manifest(tmp_path, manifest)
         loaded = load_manifest(tmp_path)
         assert loaded.as_dict() == manifest.as_dict()
-        assert loaded.live_files() == ["seg-00000001-sps-L0.jsonl"]
+        assert loaded.live_files() == ["seg-00000001-sps-L0.seg"]
         assert loaded.live_bytes() == manifest.tables["sps"].segments[0].bytes
 
     def test_fresh_directory_has_no_manifest(self, tmp_path):
@@ -127,3 +232,18 @@ class TestManifest:
         with pytest.raises(SimulatedCrash):
             store_manifest(tmp_path, new, hook)
         assert load_manifest(tmp_path).version == 4
+
+    def test_directory_fsynced_before_publish_window(self, tmp_path,
+                                                     monkeypatch):
+        # regression: the rename used to be published without fsyncing
+        # the directory, so a power loss inside the checkpoint.publish
+        # window could resurrect the previous manifest version
+        synced = []
+        monkeypatch.setattr(segments_module, "fsync_directory",
+                            lambda d: synced.append(Path(d)))
+        hook = CrashInjector([CrashPoint("checkpoint.publish", hit=0)])
+        with pytest.raises(SimulatedCrash):
+            store_manifest(tmp_path, build_manifest(tmp_path), hook)
+        # by the time the publish window fires, the rename is durable
+        assert synced == [tmp_path]
+        assert load_manifest(tmp_path).version == 3

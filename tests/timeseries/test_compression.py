@@ -1,9 +1,11 @@
 """Tests for change-point (dedup) compression."""
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.timeseries import ChangePointSeries
+from repro.timeseries import ChangePointSeries, values_equal
 
 
 class TestAppend:
@@ -26,6 +28,57 @@ class TestAppend:
         series.append(10, 1)
         series.append(10, 2)  # same instant, new value
         assert series.value_at(10) == 2
+
+
+class TestValuesEqual:
+    def test_nan_equals_nan(self):
+        assert values_equal(float("nan"), float("nan"))
+
+    def test_nan_not_equal_to_number(self):
+        assert not values_equal(float("nan"), 1.0)
+        assert not values_equal(1.0, float("nan"))
+
+    def test_cross_type_numeric_equality_rejected(self):
+        # bool is a subclass of int and True == 1 == 1.0 in Python; the
+        # archive must keep the concrete types distinct
+        assert not values_equal(True, 1)
+        assert not values_equal(1, 1.0)
+        assert not values_equal(False, 0)
+        assert not values_equal("1", 1)
+
+    def test_same_type_equality(self):
+        assert values_equal(1, 1)
+        assert values_equal(1.5, 1.5)
+        assert values_equal("a", "a")
+        assert values_equal(True, True)
+        assert not values_equal(1, 2)
+
+
+class TestTypedDedup:
+    def test_nan_rounds_dedup_to_one_change_point(self):
+        # regression: NaN != NaN made every NaN observation a change point
+        series = ChangePointSeries()
+        for t in range(5):
+            series.append(float(t), float("nan"))
+        assert len(series) == 1
+        assert series.observation_count == 5
+        assert math.isnan(series.values[0])
+
+    def test_bool_and_int_do_not_collapse(self):
+        # regression: True == 1 used to swallow the type flip entirely
+        series = ChangePointSeries()
+        assert series.append(0.0, 1)
+        assert series.append(1.0, True)
+        assert series.append(2.0, 1.0)
+        assert series.values == [1, True, 1.0]
+        assert [type(v) for v in series.values] == [int, bool, float]
+
+    def test_nan_to_number_transitions_recorded(self):
+        series = ChangePointSeries()
+        series.append(0.0, float("nan"))
+        series.append(1.0, 2.5)
+        series.append(2.0, float("nan"))
+        assert len(series) == 3
 
 
 class TestValueAt:
@@ -93,3 +146,22 @@ class TestPropertyBased:
             series.append(float(t), v)
         stored = series.values
         assert all(a != b for a, b in zip(stored, stored[1:]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                    max_size=60),
+           st.floats(min_value=-10, max_value=70, allow_nan=False),
+           st.floats(min_value=-10, max_value=70, allow_nan=False))
+    def test_change_points_bisect_matches_naive_scan(self, values, a, b):
+        """The bisect-based range query agrees with a linear scan for any
+        window, including empty, inverted and out-of-range ones."""
+        series = ChangePointSeries()
+        for t, v in enumerate(values):
+            series.append(float(t), v)
+        start, end = min(a, b), max(a, b)
+        naive = [(t, v) for t, v in zip(series.times, series.values)
+                 if start <= t <= end]
+        assert series.change_points(start, end) == naive
+        if start < end:
+            assert series.change_points(end, start) == []
+        assert series.change_points() == \
+            list(zip(series.times, series.values))
