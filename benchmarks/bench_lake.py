@@ -1,0 +1,104 @@
+"""Tiered-lake benchmark: round diffing, cold scans, federated history.
+
+The lake subsystem (``repro.lake``) archives every raw merged round in a
+date-partitioned cold tier and ingests only changed rows into the hot
+engine; history queries federate across the retention boundary.  This
+bench answers whether that tiering pays: how many ingest bytes round
+diffing avoids on a steady-state workload, how fast the compacted cold
+tier scans, and what federation costs over a hot-only archive.
+
+Acceptance: round diffing must avoid >= 5x the hot ingest rows on the
+~2%-churn steady-state workload, the compacted cold tier must scan a
+full window at >= 1M rows/s, federated full-range queries must return
+byte-identical rows to an un-evicted hot-only twin within 2x of its
+latency, and a seeded crash in every lake publish window must recover
+byte-identically.  The report merges into the ``lake`` section of
+``BENCH_storage.json``, preserving the storage bench's own sections.
+
+Run standalone (CI smoke) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_lake.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_lake.py -q
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.devtools.lakebench import run_lake_bench, summary_lines
+
+#: Ingest rows avoided by round diffing (ratio of merged to ingested).
+MIN_INGEST_REDUCTION = 5.0
+#: Cold-tier windowed scan floor.
+MIN_COLD_SCAN_ROWS_PER_SECOND = 1_000_000
+#: Federated history latency ceiling (ratio to the hot-only twin).
+MAX_FEDERATED_LATENCY_RATIO = 2.0
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+
+
+def run_and_report(write_report: bool = True) -> dict:
+    report = run_lake_bench()
+    print("\nLake bench: round diffing, cold scans, federated history")
+    for line in summary_lines(report):
+        print(f"  {line}")
+    if write_report:
+        # merge, don't overwrite: the storage bench owns the other sections
+        merged = {}
+        if REPORT_PATH.exists():
+            merged = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+        merged["lake"] = report
+        REPORT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True)
+                               + "\n", encoding="utf-8")
+        print(f"  report merged into {REPORT_PATH}")
+    return report
+
+
+def test_lake_gates():
+    report = run_and_report()
+    ratio = report["ingest"]["reduction_ratio"]
+    assert ratio >= MIN_INGEST_REDUCTION, \
+        f"round diffing only avoids {ratio:.1f}x ingest " \
+        f"(gate {MIN_INGEST_REDUCTION:.1f}x)"
+    rate = report["cold_scan"]["rows_per_second"]
+    assert rate >= MIN_COLD_SCAN_ROWS_PER_SECOND, \
+        f"cold scan at {rate:,.0f} rows/s " \
+        f"(gate {MIN_COLD_SCAN_ROWS_PER_SECOND:,})"
+    fed = report["federated"]
+    assert fed["byte_identical"], \
+        "federated history diverges from the un-evicted reference"
+    assert fed["boundary"] is not None, \
+        "retention never advanced the hot/cold boundary"
+    assert fed["latency_ratio"] <= MAX_FEDERATED_LATENCY_RATIO, \
+        f"federated queries at {fed['latency_ratio']:.2f}x hot-only " \
+        f"latency (ceiling {MAX_FEDERATED_LATENCY_RATIO:.1f}x)"
+    assert report["determinism"]["identical"], \
+        "lake crash recovery diverged from the uninterrupted reference"
+
+
+def _gates_pass(result: dict) -> bool:
+    fed = result["federated"]
+    return (result["ingest"]["reduction_ratio"] >= MIN_INGEST_REDUCTION
+            and (result["cold_scan"]["rows_per_second"]
+                 >= MIN_COLD_SCAN_ROWS_PER_SECOND)
+            and fed["byte_identical"]
+            and fed["boundary"] is not None
+            and fed["latency_ratio"] <= MAX_FEDERATED_LATENCY_RATIO
+            and result["determinism"]["identical"])
+
+
+if __name__ == "__main__":
+    result = run_and_report()
+    if not _gates_pass(result):
+        fed = result["federated"]
+        print(f"FAIL: reduction={result['ingest']['reduction_ratio']:.1f}x "
+              f"(gate {MIN_INGEST_REDUCTION:.1f}x) "
+              f"cold_scan={result['cold_scan']['rows_per_second']:,.0f}/s "
+              f"(gate {MIN_COLD_SCAN_ROWS_PER_SECOND:,}) "
+              f"federated_identical={fed['byte_identical']} "
+              f"latency_ratio={fed['latency_ratio']:.2f}x "
+              f"(ceiling {MAX_FEDERATED_LATENCY_RATIO:.1f}x) "
+              f"determinism={result['determinism']['identical']}",
+              file=sys.stderr)
+        sys.exit(1)
+    sys.exit(0)

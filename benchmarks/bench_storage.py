@@ -40,7 +40,13 @@ def run_and_report(write_report: bool = True) -> dict:
     for line in summary_lines(report):
         print(f"  {line}")
     if write_report:
-        REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True)
+        # merge, don't overwrite: foreign sections (e.g. the lake bench's
+        # "lake" key) survive a storage-only rerun
+        merged = {}
+        if REPORT_PATH.exists():
+            merged = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+        merged.update(report)
+        REPORT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True)
                                + "\n", encoding="utf-8")
         print(f"  report written to {REPORT_PATH}")
     return report

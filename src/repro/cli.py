@@ -15,12 +15,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from . import ServiceConfig, SimulatedCloud, SpotLakeService
 from .cloudsim import CHAOS_PROFILES
 from .core import plan_for_catalog
 from .experiments import ExperimentRunner, sample_cases, table3
+from .lake import LAKE_DIR_NAME, LAKE_MANIFEST_NAME, SpotDataLake
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -35,6 +37,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
+    if args.lake and not args.data_dir:
+        print("--lake requires --data-dir", file=sys.stderr)
+        return 2
     config = ServiceConfig(seed=args.seed,
                            instance_types=args.types or None,
                            chaos_profile=args.chaos_profile,
@@ -42,7 +47,12 @@ def _cmd_collect(args: argparse.Namespace) -> int:
                            data_dir=args.data_dir,
                            checkpoint_every=args.checkpoint_every,
                            workers=args.workers,
-                           plan_cache=args.plan_cache)
+                           plan_cache=args.plan_cache,
+                           lake=args.lake,
+                           lake_full_refresh_every=args.lake_full_refresh,
+                           retention_max_age=(
+                               args.retention_hours * 3600.0
+                               if args.retention_hours else None))
     service = SpotLakeService(config)
     if args.workers is not None:
         print(f"parallel collection engine: {args.workers} worker(s)")
@@ -77,7 +87,9 @@ def _cmd_collect(args: argparse.Namespace) -> int:
                      f"breaker_trips={merged.breaker_trips}")
         print(line)
         service.cloud.clock.advance_minutes(args.interval_minutes)
-    for table, stats in service.archive.stats().items():
+    # per-table ingest stats (the archive's stats() adds a "lake" summary
+    # key in lake mode; the store's view is tables only)
+    for table, stats in service.archive.store.stats().items():
         print(f"{table}: {stats['records_written']} written -> "
               f"{stats['change_points_stored']} stored "
               f"(dedup {stats['dedup_ratio']:.3f})")
@@ -100,6 +112,18 @@ def _cmd_collect(args: argparse.Namespace) -> int:
               f"wal {stats['wal_bytes_written']}B, "
               f"segments {stats['live_segment_bytes']}B live "
               f"(amplification {stats['write_amplification']:.2f}x)")
+    if service.archive.lake is not None:
+        census = service.archive.lake.census()
+        archive = service.archive
+        avoided = archive.rows_merged - archive.rows_ingested
+        ratio = (archive.rows_merged / archive.rows_ingested
+                 if archive.rows_ingested else 0.0)
+        print(f"lake: {census['partitions']} partition(s) over "
+              f"{census['days']} day(s), {census['rounds']} round(s), "
+              f"{census['bytes']}B cold")
+        print(f"lake diff: {archive.rows_merged} rows merged, "
+              f"{archive.rows_ingested} ingested hot "
+              f"({avoided} avoided, {ratio:.1f}x reduction)")
     if args.output:
         from .timeseries import dump_store
         written = dump_store(service.archive.store, args.output)
@@ -134,6 +158,18 @@ def _cmd_recover(args: argparse.Namespace) -> int:
               f"{stats.change_points_stored} change points, "
               f"{stats.records_written} records written "
               f"(retention {retention})")
+    lake_root = Path(args.data_dir) / LAKE_DIR_NAME
+    if (lake_root / LAKE_MANIFEST_NAME).exists():
+        lake = SpotDataLake(lake_root)
+        ahead = lake.trim_to(state.last_commit_time)
+        census = lake.census()
+        span = ("empty" if census["start"] is None else
+                f"t={census['start']:.0f}..{census['end']:.0f}")
+        print(f"lake: {census['partitions']} partition(s) over "
+              f"{census['days']} day(s), {census['rounds']} committed "
+              f"round(s), {census['bytes']} bytes, {span}"
+              + (f" ({ahead} uncommitted round(s) pending trim)"
+                 if ahead else ""))
     if args.output:
         from .timeseries import dump_store
         written = dump_store(state.store, args.output)
@@ -141,6 +177,34 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     if state.data_loss:
         print("note: an in-flight (uncommitted) round was discarded; "
               "every committed round is intact")
+    return 0
+
+
+def _cmd_lake(args: argparse.Namespace) -> int:
+    root = Path(args.data_dir) / LAKE_DIR_NAME
+    if not (root / LAKE_MANIFEST_NAME).exists():
+        print(f"no lake manifest under {root}", file=sys.stderr)
+        return 1
+    lake = SpotDataLake(root)
+    if args.action == "stats":
+        census = lake.census()
+        span = ("empty" if census["start"] is None else
+                f"t={census['start']:.0f}..{census['end']:.0f}")
+        print(f"lake at {root}: {census['partitions']} partition(s), "
+              f"{census['rounds']} round(s) over {census['days']} day(s), "
+              f"{census['rows']} rows, {census['bytes']} bytes, {span}")
+        for day in lake.days():
+            parts = [p for p in lake.partitions if p.day == day]
+            kinds = sorted({p.kind for p in parts})
+            print(f"  {day}: {len(parts)} partition(s) "
+                  f"[{'+'.join(kinds)}], "
+                  f"{sum(len(p.rounds) for p in parts)} round(s), "
+                  f"{sum(p.bytes for p in parts)} bytes")
+        return 0
+    summary = lake.compact(include_active=args.include_active)
+    print(f"compacted {summary['days_compacted']} day(s): "
+          f"{summary['partitions_merged']} round file(s) folded, "
+          f"{summary['bytes_before']} -> {summary['bytes_after']} bytes")
     return 0
 
 
@@ -349,6 +413,16 @@ def build_parser() -> argparse.ArgumentParser:
                          action=argparse.BooleanOptionalAction,
                          help="reuse solved query packings across rounds "
                               "and restarts (default on)")
+    collect.add_argument("--lake", action="store_true",
+                         help="tiered-lake mode: archive every merged "
+                              "round cold and ingest only changed rows "
+                              "(requires --data-dir)")
+    collect.add_argument("--lake-full-refresh", type=int, default=0,
+                         help="emit all rows (not just changes) every Nth "
+                              "round (default 0 = never)")
+    collect.add_argument("--retention-hours", type=float, default=None,
+                         help="evict hot change points older than this; "
+                              "with --lake they stay queryable cold")
     collect.set_defaults(func=_cmd_collect)
 
     recover_cmd = sub.add_parser(
@@ -360,6 +434,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write a snapshot of the recovered "
                                   "archive to this directory")
     recover_cmd.set_defaults(func=_cmd_recover)
+
+    lake_cmd = sub.add_parser(
+        "lake", help="inspect or compact a cold lake tier")
+    lake_cmd.add_argument("action", choices=("stats", "compact"),
+                          help="stats: census + per-day partition listing; "
+                               "compact: fold finished days' round files "
+                               "into deduped day files")
+    lake_cmd.add_argument("--data-dir", required=True,
+                          help="storage directory written by "
+                               "'collect --data-dir --lake'")
+    lake_cmd.add_argument("--include-active", action="store_true",
+                          help="also compact the newest (still collecting) "
+                               "day")
+    lake_cmd.set_defaults(func=_cmd_lake)
 
     query = sub.add_parser("query", help="query the latest archived values")
     query.add_argument("--type", required=True)

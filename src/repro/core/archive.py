@@ -25,6 +25,25 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..lake import (
+    ADVISOR_TABLE,
+    DIM_REGION,
+    DIM_TYPE,
+    DIM_ZONE,
+    FederatedHistory,
+    IF_SCORE_MEASURE,
+    INTERRUPTION_RATIO_MEASURE,
+    LAKE_DIR_NAME,
+    MERGED_TABLES,
+    PRICE_MEASURE,
+    PRICE_TABLE,
+    RoundDiffer,
+    RoundMerger,
+    SAVINGS_MEASURE,
+    SPS_MEASURE,
+    SPS_TABLE,
+    SpotDataLake,
+)
 from ..storage import StorageEngine
 from ..timeseries import (
     QueryCache,
@@ -40,22 +59,13 @@ from ..timeseries import (
 )
 from ..timeseries.cache import DEFAULT_MAX_ENTRIES
 
-SPS_TABLE = "sps"
-ADVISOR_TABLE = "advisor"
-PRICE_TABLE = "price"
+# The merged-record schema constants (SPS_TABLE, SPS_MEASURE, DIM_TYPE,
+# ...) are defined once in repro.lake.schema and re-exported here, so the
+# rest of the codebase keeps importing them from the archive facade.
+
 #: Explicit collection holes (graceful degradation): created lazily so
 #: fault-free archives keep their original three-table shape.
 GAPS_TABLE = "gaps"
-
-SPS_MEASURE = "sps"
-IF_SCORE_MEASURE = "if_score"
-INTERRUPTION_RATIO_MEASURE = "interruption_ratio"
-SAVINGS_MEASURE = "savings"
-PRICE_MEASURE = "spot_price"
-
-DIM_TYPE = "InstanceType"
-DIM_REGION = "Region"
-DIM_ZONE = "AvailabilityZone"
 
 GAP_MEASURE = "gap"
 DIM_SOURCE = "Source"
@@ -71,7 +81,9 @@ class SpotLakeArchive:
                  cache_entries: int = DEFAULT_MAX_ENTRIES,
                  data_dir: Optional[Union[str, Path]] = None,
                  checkpoint_every: int = 4,
-                 crash_hook=None):
+                 crash_hook=None,
+                 lake: bool = False,
+                 lake_full_refresh_every: int = 0):
         #: durable storage engine, or None for a purely in-memory archive
         self.engine: Optional[StorageEngine] = None
         self.checkpoint_every = checkpoint_every
@@ -86,6 +98,32 @@ class SpotLakeArchive:
             self._ensure_table(name, retention)
         if self.engine is not None:
             self.engine.attach(self.store)
+        #: tiered-lake mode: collectors feed a round merger; commits land
+        #: the raw round in the cold tier and only changed rows in the hot
+        #: engine; history queries federate across the eviction boundary
+        self.lake: Optional[SpotDataLake] = None
+        self._merger: Optional[RoundMerger] = None
+        self._differ: Optional[RoundDiffer] = None
+        self._federated: Optional[FederatedHistory] = None
+        #: lifetime ingest-avoidance counters (lake mode): rows the merger
+        #: captured vs rows the diff actually wrote to the hot engine
+        self.rows_merged = 0
+        self.rows_ingested = 0
+        if lake:
+            if data_dir is None:
+                raise ValueError("lake mode requires a data_dir")
+            self.lake = SpotDataLake(Path(data_dir) / LAKE_DIR_NAME,
+                                     crash_hook=crash_hook)
+            # rounds land in the lake before the hot WAL's group commit:
+            # drop any round the crashed run archived but never committed
+            # (it is re-collected deterministically)
+            self.lake.trim_to(self.engine.last_commit_time)
+            self._merger = RoundMerger()
+            self._differ = RoundDiffer(
+                full_refresh_every=lake_full_refresh_every)
+            self._differ.seed(self.lake.latest_values(),
+                              rounds=self.lake.round_count)
+            self._federated = FederatedHistory(self.lake)
         #: generation-stamped read caches, one per table (lazily created;
         #: creation is guarded so concurrent serving workers agree on one
         #: cache instance per table)
@@ -132,12 +170,18 @@ class SpotLakeArchive:
         return dropped
 
     def commit_round(self, time: float) -> Dict[str, int]:
-        """End-of-round hook: retention sweep, then durable group commit.
+        """End-of-round hook: land the round, sweep retention, group-commit.
 
         The collection round is the crash-atomicity unit; every
         ``checkpoint_every`` committed rounds the log is folded into
-        segments.  Without a storage engine only the sweep runs.
+        segments.  Without a storage engine only the sweep runs.  In lake
+        mode the buffered merged round first lands raw in the cold tier,
+        then only its changed rows are ingested into the hot engine --
+        strictly before the WAL's group commit, so recovery can trim the
+        lake to ``last_commit_time`` and re-collect the tail.
         """
+        if self._merger is not None:
+            self._commit_lake_round(time)
         dropped = self.apply_retention(time)
         if self.engine is not None:
             self.engine.commit_round(time)
@@ -146,12 +190,31 @@ class SpotLakeArchive:
                 self.engine.checkpoint(time)
         return dropped
 
+    def _commit_lake_round(self, time: float) -> None:
+        """Archive the merged round cold, ingest its diff hot."""
+        merged = self._merger.take_round(time)
+        if merged.row_count == 0:
+            return
+        self.lake.append_round(merged)
+        diff = self._differ.diff(merged)
+        self.rows_merged += diff.rows_seen
+        self.rows_ingested += diff.rows_changed
+        # same fixed table order as RecordBatch.flush
+        if diff.sps:
+            self.put_sps_batch(diff.sps)
+        if diff.advisor:
+            self.put_advisor_batch(diff.advisor)
+        if diff.price:
+            self.put_price_batch(diff.price)
+
     def checkpoint(self, time: float) -> None:
         """Force a checkpoint now (used at shutdown)."""
         if self.engine is not None:
             self.engine.checkpoint(time)
 
     def close(self) -> None:
+        if self.lake is not None:
+            self.lake.close()
         if self.engine is not None:
             self.engine.close()
 
@@ -214,9 +277,18 @@ class SpotLakeArchive:
         return self.store.table(GAPS_TABLE)
 
     # -- writes (used by collectors) ------------------------------------------
+    # In lake mode the pointwise puts (and RecordBatch.flush) hand rows
+    # to the round merger instead of the hot engine; commit_round lands
+    # the merged round cold and ingests only the diff.  The put_*_batch
+    # writers below always write hot: they are the diff's landing path
+    # (and bulk_backfill's, which bypasses the merge stage by design --
+    # backfilled history predates the lake).
 
     def put_sps(self, instance_type: str, region: str, zone: str,
                 score: int, time: float) -> None:
+        if self._merger is not None:
+            self._merger.add_sps(instance_type, region, zone, score, time)
+            return
         self._write(SPS_TABLE, Record.make(
             {DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone},
             SPS_MEASURE, int(score), time))
@@ -224,6 +296,11 @@ class SpotLakeArchive:
     def put_advisor(self, instance_type: str, region: str,
                     interruption_ratio: float, if_score: float,
                     savings_percent: int, time: float) -> None:
+        if self._merger is not None:
+            self._merger.add_advisor(instance_type, region,
+                                     interruption_ratio, if_score,
+                                     savings_percent, time)
+            return
         dims = {DIM_TYPE: instance_type, DIM_REGION: region}
         self._write(ADVISOR_TABLE, Record.make(
             dims, INTERRUPTION_RATIO_MEASURE, float(interruption_ratio), time))
@@ -234,6 +311,9 @@ class SpotLakeArchive:
 
     def put_price(self, instance_type: str, region: str, zone: str,
                   price: float, time: float) -> None:
+        if self._merger is not None:
+            self._merger.add_price(instance_type, region, zone, price, time)
+            return
         self._write(PRICE_TABLE, Record.make(
             {DIM_TYPE: instance_type, DIM_REGION: region, DIM_ZONE: zone},
             PRICE_MEASURE, float(price), time))
@@ -377,12 +457,38 @@ class SpotLakeArchive:
         """Change-point history of matching series in [start, end].
 
         Served through the table's generation-stamped read cache when
-        caching is enabled; treat the returned list as immutable.
+        caching is enabled; treat the returned list as immutable.  In
+        lake mode the query federates across the retention boundary:
+        rows the hot engine evicted are reconstructed from the cold
+        tier, rows after the boundary come from the hot path unchanged.
+        Cache coherence holds because an eviction that changes the hot
+        table's contents bumps its generation (invalidating derived
+        caches), while a boundary advance that evicts nothing leaves
+        federated results bitwise unchanged (the cold reconstruction
+        emits the identical rows the hot side stops serving).
         """
+        hot = self._hot_history
+        if self._federated is not None and table_name in MERGED_TABLES:
+            boundary = self.evicted_through(table_name)
+            return self._federated.query(
+                measure, filters, start, end, boundary,
+                hot_scan=lambda: hot(table_name, measure, filters,
+                                     start, end))
+        return hot(table_name, measure, filters, start, end)
+
+    def _hot_history(self, table_name: str, measure: str,
+                     filters: Dict[str, str], start: float,
+                     end: float) -> List[Record]:
         cache = self.query_cache(table_name)
         if cache is not None:
             return cache.scan(measure, filters, start, end)
         return self.store.table(table_name).scan(measure, filters, start, end)
+
+    def evicted_through(self, table_name: str) -> Optional[float]:
+        """The table's hot/cold boundary, or None when nothing is evicted."""
+        if self.engine is None:
+            return None
+        return self.engine.evicted_through(table_name)
 
     # -- analysis-facing bulk reads ------------------------------------------------
 
@@ -426,7 +532,16 @@ class SpotLakeArchive:
         raise ValueError(f"unknown dataset {dataset!r}")
 
     def stats(self) -> Dict[str, dict]:
-        return self.store.stats()
+        out = self.store.stats()
+        if self.lake is not None:
+            out["lake"] = {
+                **self.lake.census(),
+                "differ": self._differ.stats(),
+                "federated": self._federated.stats(),
+                "rows_merged": self.rows_merged,
+                "rows_ingested": self.rows_ingested,
+            }
+        return out
 
 
 class RecordBatch:
@@ -482,8 +597,23 @@ class RecordBatch:
 
         Tables flush in a fixed order (sps, advisor, price) so the WAL
         sequence is independent of buffering order; returns the number of
-        archive records written.
+        archive records written.  In lake mode the rows go to the round
+        merger instead (the count then reflects rows captured for the
+        merge; the diff decides at commit what the hot engine stores).
         """
+        merger = self.archive._merger
+        if merger is not None:
+            captured = len(self)
+            if self._sps:
+                merger.add_sps_rows(self._sps)
+                self._sps = []
+            if self._advisor:
+                merger.add_advisor_rows(self._advisor)
+                self._advisor = []
+            if self._price:
+                merger.add_price_rows(self._price)
+                self._price = []
+            return captured
         written = 0
         if self._sps:
             written += self.archive.put_sps_batch(self._sps)

@@ -38,7 +38,13 @@ from .resilience import CallOutcome, ResilientExecutor
 
 @dataclass
 class CollectionReport:
-    """What one collection round actually did."""
+    """What one collection round actually did.
+
+    In tiered-lake mode ``records_written`` counts the records captured
+    into the round merger (the collector's whole output); how many of
+    them the diff actually ingests into the hot engine is decided at the
+    round commit and reported by the archive's lake stats.
+    """
 
     queries_issued: int = 0
     queries_failed: int = 0

@@ -112,7 +112,14 @@ class ParallelCollectionEngine:
     # -- round execution -----------------------------------------------------
 
     def run_sps_round(self, collector: SpsCollector) -> CollectionReport:
-        """One collection round; drop-in for ``SpsCollector.collect``."""
+        """One collection round; drop-in for ``SpsCollector.collect``.
+
+        The archive's record batch is the row sink either way: in tiered-
+        lake mode its flush captures the rows into the round merger (the
+        commit lands them cold and ingests only the diff); otherwise it
+        writes the hot engine directly.  Materialization stays on the
+        workers in both modes.
+        """
         admitted, report = self._admit(collector)
         batch = collector.archive.record_batch()
         batch.add_sps_rows(self._materialize(admitted))

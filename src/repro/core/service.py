@@ -28,6 +28,7 @@ from ..cloudsim import (
     resolve_profile,
 )
 from ..scoring import interruption_free_score
+from ..timeseries import RetentionPolicy
 from .archive import SpotLakeArchive
 from .collectors import (
     AdvisorCollector,
@@ -80,6 +81,18 @@ class ServiceConfig:
     data_dir: Optional[str] = None
     #: checkpoint cadence in committed collection rounds (0 = never).
     checkpoint_every: int = 4
+    #: tiered-lake mode: land every merged round in the date-partitioned
+    #: cold tier and ingest only changed rows into the hot engine;
+    #: history queries federate across the retention boundary.  Requires
+    #: ``data_dir``.
+    lake: bool = False
+    #: emit every row (not just changes) each Nth round (0 = never).
+    lake_full_refresh_every: int = 0
+    #: hot-tier retention: evict change points older than this many
+    #: sim-seconds at each round commit (None = keep all).  With the
+    #: lake enabled, evicted history remains queryable from the cold
+    #: tier through the same ``history`` routes.
+    retention_max_age: Optional[float] = None
     #: storage crash-hook (doublerun --durability installs a CrashInjector).
     storage_crash_hook: Optional[object] = None
     #: SPS materialization worker threads (None = legacy serial collector;
@@ -103,12 +116,19 @@ class SpotLakeService:
                  cloud: Optional[SimulatedCloud] = None):
         self.config = config or ServiceConfig()
         self.cloud = cloud or SimulatedCloud(seed=self.config.seed)
+        retention = None
+        if self.config.retention_max_age is not None:
+            retention = RetentionPolicy(
+                max_age_seconds=self.config.retention_max_age)
         self.archive = SpotLakeArchive(
+            retention=retention,
             cache=self.config.serving_cache,
             cache_entries=self.config.cache_entries,
             data_dir=self.config.data_dir,
             checkpoint_every=self.config.checkpoint_every,
-            crash_hook=self.config.storage_crash_hook)
+            crash_hook=self.config.storage_crash_hook,
+            lake=self.config.lake,
+            lake_full_refresh_every=self.config.lake_full_refresh_every)
 
         profile = resolve_profile(self.config.chaos_profile)
         if profile.total_rate > 0.0:
@@ -325,6 +345,11 @@ class SpotLakeService:
         """
         cloud = self.cloud
         archive = self.archive
+        if archive.lake is not None:
+            raise RuntimeError(
+                "bulk_backfill bypasses the round-merge stage and is not "
+                "supported in lake mode; collect through collect_once / "
+                "run_collection instead")
         pool_list = list(pools) if pools is not None else self._selected_pools()
         pair_seen = set()
         pairs: List[Tuple[str, str]] = []

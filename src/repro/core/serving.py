@@ -85,6 +85,29 @@ class BadRequest(ValueError):
     """Raised by handlers on invalid query parameters."""
 
 
+class NotFound(LookupError):
+    """Raised by handlers when the addressed resource does not exist."""
+
+
+#: Parameters every paginated history route accepts.
+_HISTORY_COMMON_PARAMS = ("start", "end", "limit", "next_token")
+
+
+def _validate_params(params: Dict[str, str], allowed) -> None:
+    """Reject parameters no branch of the handler would read.
+
+    A misspelled dimension filter (``instancetype=...``) would otherwise
+    silently match *everything* -- the most dangerous possible default
+    for a dataset API -- so unknown names are 400s, listed explicitly.
+    """
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise BadRequest(
+            "unknown parameter(s): " + ", ".join(repr(p) for p in unknown)
+            + "; expected any of: " + ", ".join(repr(p) for p in
+                                                sorted(allowed)))
+
+
 def _require(params: Dict[str, str], key: str) -> str:
     value = params.get(key)
     if not value:
@@ -187,7 +210,13 @@ class LambdaHandlers:
 
     def _history_payload(self, table: str, measure: str,
                          params: Dict[str, str],
-                         dims: List[str]) -> dict:
+                         dims: List[str],
+                         extra_params: Tuple[str, ...] = ()) -> dict:
+        dim_params = [param for dim, param in
+                      ((DIM_TYPE, "instance_type"), (DIM_REGION, "region"),
+                       (DIM_ZONE, "zone")) if dim in dims]
+        _validate_params(params, (*_HISTORY_COMMON_PARAMS, *dim_params,
+                                  *extra_params))
         start, end = _time_range(params)
         limit = _parse_limit(params)
         token = params.get("next_token")
@@ -224,7 +253,8 @@ class LambdaHandlers:
                            SAVINGS_MEASURE):
             raise BadRequest(f"unknown advisor measure {measure!r}")
         return self._history_payload(ADVISOR_TABLE, measure, params,
-                                     [DIM_TYPE, DIM_REGION])
+                                     [DIM_TYPE, DIM_REGION],
+                                     extra_params=("measure",))
 
     def price_history(self, params: Dict[str, str]) -> dict:
         """GET /price/history -- spot price change points."""
@@ -255,6 +285,54 @@ class LambdaHandlers:
         """GET /stats -- archive ingestion statistics."""
         return self.archive.stats()
 
+    # -- cold-tier round browsing ---------------------------------------------
+
+    def rounds(self, date: str, params: Dict[str, str]) -> dict:
+        """GET /rounds/<YYYY-MM-DD> -- archived rounds of one lake day.
+
+        Without ``at``: the day's archived round commit times.  With
+        ``at=<time>``: additionally the wide merged per-pool rows of that
+        round (the paper's merged record shape), paged by ``limit`` and
+        ``offset``.  404 when the service runs without a cold lake tier.
+        """
+        lake = self.archive.lake
+        if lake is None:
+            raise NotFound("this deployment has no cold lake tier")
+        _validate_params(params, ("at", "limit", "offset"))
+        parts = date.split("-")
+        if len(parts) != 3 or [len(p) for p in parts] != [4, 2, 2] or \
+                not all(p.isdigit() for p in parts):
+            raise BadRequest(f"invalid date {date!r}; expected YYYY-MM-DD")
+        times = lake.rounds_on(date)
+        payload: dict = {"date": date, "rounds": times, "count": len(times)}
+        raw_at = params.get("at")
+        if raw_at:
+            at = _finite(raw_at, "at")
+            if at not in times:
+                raise NotFound(f"no archived round at t={raw_at} on {date}")
+            rows = lake.round_snapshot(at)
+            limit = _parse_limit(params)
+            offset = 0
+            raw_offset = params.get("offset")
+            if raw_offset is not None:
+                try:
+                    offset = int(raw_offset)
+                except ValueError as exc:
+                    raise BadRequest(
+                        f"invalid 'offset': {raw_offset!r}") from exc
+                if offset < 0:
+                    raise BadRequest("'offset' must be >= 0")
+            page = rows[offset:offset + limit] if limit is not None \
+                else rows[offset:]
+            payload["round"] = {
+                "time": at,
+                "total": len(rows),
+                "count": len(page),
+                "offset": offset,
+                "rows": page,
+            }
+        return payload
+
 
 class ApiGateway:
     """Routes paths to Lambda handlers, mapping errors to status codes.
@@ -284,7 +362,7 @@ class ApiGateway:
         return payload
 
     def routes(self) -> List[str]:
-        return sorted(self._routes)
+        return sorted([*self._routes, "/rounds/<date>"])
 
     def get(self, path: str, params: Optional[Dict[str, str]] = None,
             tenant: Optional[str] = None) -> Response:
@@ -304,14 +382,27 @@ class ApiGateway:
         route = "<unknown>"
         try:
             handler = self._routes.get(path)
+            operand: Optional[str] = None
+            if handler is None and isinstance(path, str) and \
+                    path.startswith("/rounds/"):
+                # the one parameterized route; the shared "<date>" label
+                # keeps per-day paths from exploding /metrics cardinality
+                route = "/rounds/<date>"
+                operand = path[len("/rounds/"):]
+                handler = self.handlers.rounds
             if handler is None:
                 response = Response(404, {"error": f"no route {path!r}"})
             else:
-                route = path
+                if operand is None:
+                    route = path
                 try:
-                    response = Response(200, handler(params or {}))
+                    body = (handler(params or {}) if operand is None
+                            else handler(operand, params or {}))
+                    response = Response(200, body)
                 except BadRequest as exc:
                     response = Response(400, {"error": str(exc)})
+                except NotFound as exc:
+                    response = Response(404, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 -- the 500 envelope
             response = Response(500, {
                 "error": "internal server error",

@@ -257,6 +257,7 @@ def durability_run(seed: int = 0,
                    chaos_profile: str = "none",
                    chaos_seed: Optional[int] = None,
                    legacy_format_rounds: int = 0,
+                   lake: bool = False,
                    cloud_factory=None) -> DurabilityResult:
     """Kill the service at every storage crash window; verify recovery.
 
@@ -274,12 +275,20 @@ def durability_run(seed: int = 0,
     matrix also covers crashing *mid-migration*: later checkpoints rewrite
     those segments to the columnar format, and a kill in any window must
     leave a mixed v1/v2 directory that still recovers byte-identically.
+
+    ``lake`` runs the matrix in tiered-lake mode: the window list extends
+    to the lake's publish protocol (``lake.segment`` / ``lake.manifest``
+    / ``lake.publish``), and each recovery additionally trims the cold
+    tier to the hot store's ``last_commit_time`` and byte-compares the
+    lake digest (a ``"lake"`` pseudo-table) against the reference at the
+    recovered round count -- the lake-ahead-of-WAL protocol's invariant.
     """
     from ..cloudsim.faults import (
         CrashInjector,
         SimulatedCrash,
         seeded_crash_point,
     )
+    from ..lake import LAKE_CRASH_WINDOWS, LAKE_DIR_NAME, SpotDataLake
     from ..storage import CRASH_WINDOWS, forced_segment_format, recover
 
     def build(data_dir: Path, hook=None) -> SpotLakeService:
@@ -290,7 +299,8 @@ def durability_run(seed: int = 0,
             chaos_seed=chaos_seed,
             data_dir=str(data_dir),
             checkpoint_every=checkpoint_every,
-            storage_crash_hook=hook),
+            storage_crash_hook=hook,
+            lake=lake),
             cloud=cloud_factory() if cloud_factory is not None else None)
 
     def run_round(service: SpotLakeService, index: int) -> None:
@@ -305,9 +315,14 @@ def durability_run(seed: int = 0,
         # -- reference: uninterrupted, digested at every round boundary ----
         reference = build(base / "reference")
         ref: Dict[int, Dict[str, str]] = {0: {}}
+        ref_lake: Dict[int, str] = {}
+        if lake:
+            ref_lake[0] = reference.archive.lake.digest()
         for committed in range(1, rounds + 1):
             run_round(reference, committed - 1)
             ref[committed] = _store_digests(reference.archive.store)
+            if lake:
+                ref_lake[committed] = reference.archive.lake.digest()
             reference.cloud.clock.advance_minutes(interval_minutes)
         reference.archive.close()
 
@@ -320,9 +335,14 @@ def durability_run(seed: int = 0,
             "checkpoint.publish": checkpoints,
             "checkpoint.gc": checkpoints,
         }
+        windows = list(CRASH_WINDOWS)
+        if lake:
+            # the lake publish protocol runs once per (non-empty) round
+            windows.extend(LAKE_CRASH_WINDOWS)
+            expected_hits.update({w: rounds for w in LAKE_CRASH_WINDOWS})
 
         cases: List[CrashCaseResult] = []
-        for window in CRASH_WINDOWS:
+        for window in windows:
             max_hits = expected_hits[window]
             if max_hits == 0:
                 continue  # cadence too short to ever reach this window
@@ -345,6 +365,12 @@ def durability_run(seed: int = 0,
             mismatched = sorted(
                 set(got) ^ set(want)
                 | {t for t in set(got) & set(want) if got[t] != want[t]})
+            if lake:
+                recovered_lake = SpotDataLake(crash_dir / LAKE_DIR_NAME)
+                recovered_lake.trim_to(state.last_commit_time)
+                if recovered_lake.digest() != \
+                        ref_lake.get(state.rounds_committed):
+                    mismatched.append("lake")
             cases.append(CrashCaseResult(
                 window=window, hit=point.hit, crashed=crashed,
                 rounds_recovered=state.rounds_committed,
@@ -380,6 +406,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
                         help="durability mode only: flush the first half of "
                              "each run's rounds as legacy v1 segments so "
                              "crashes land mid columnar migration")
+    parser.add_argument("--lake", action="store_true",
+                        help="durability mode only: run in tiered-lake mode "
+                             "and extend the crash matrix to the lake "
+                             "publish windows")
     parser.add_argument("--workers-sweep", default=None, metavar="N,N,...",
                         help="worker-sweep mode: byte-compare the serial "
                              "collector against each listed --workers count "
@@ -392,13 +422,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
                               chaos_seed=args.chaos_seed)
         print(result.summary())
         return 0 if result.identical else 1
+    if args.lake and not args.durability:
+        parser.error("--lake requires --durability")
     if args.durability:
         legacy_rounds = max(1, args.rounds // 2) if args.mixed_format else 0
         result = durability_run(seed=args.seed, rounds=args.rounds,
                                 checkpoint_every=args.checkpoint_every,
                                 chaos_profile=args.chaos_profile,
                                 chaos_seed=args.chaos_seed,
-                                legacy_format_rounds=legacy_rounds)
+                                legacy_format_rounds=legacy_rounds,
+                                lake=args.lake)
         for case in result.cases:
             print(case.summary())
         print(result.summary())

@@ -1,0 +1,50 @@
+"""Tiered lake: round merge + diff ingest, cold tier, federated reads.
+
+The package reproduces SpotLake's archival pipeline (paper Section 4):
+each collection round's three per-source outputs are merged into one
+wide per-pool record (:mod:`merge`), landed raw in a date-partitioned
+immutable cold tier (:mod:`store`), then diffed against the previous
+round so only changed rows reach the hot engine (:mod:`diff`); history
+queries federate across the hot/cold boundary (:mod:`federated`).
+"""
+
+from .diff import RoundDiff, RoundDiffer
+from .federated import FederatedHistory, FederatedPlan
+from .merge import MergedRound, RoundMerger
+from .schema import (
+    ADVISOR_TABLE,
+    AdvisorRow,
+    DIM_REGION,
+    DIM_TYPE,
+    DIM_ZONE,
+    IF_SCORE_MEASURE,
+    INTERRUPTION_RATIO_MEASURE,
+    MERGED_TABLES,
+    PRICE_MEASURE,
+    PRICE_TABLE,
+    PriceRow,
+    SAVINGS_MEASURE,
+    SPS_MEASURE,
+    SPS_TABLE,
+    SpsRow,
+)
+from .store import (
+    LAKE_CRASH_WINDOWS,
+    LAKE_DIR_NAME,
+    LAKE_FORMAT,
+    LAKE_MANIFEST_NAME,
+    LakeFormatError,
+    LakePartition,
+    SpotDataLake,
+    lake_day,
+)
+
+__all__ = [
+    "ADVISOR_TABLE", "AdvisorRow", "DIM_REGION", "DIM_TYPE", "DIM_ZONE",
+    "FederatedHistory", "FederatedPlan", "IF_SCORE_MEASURE",
+    "INTERRUPTION_RATIO_MEASURE", "LAKE_CRASH_WINDOWS", "LAKE_DIR_NAME",
+    "LAKE_FORMAT", "LAKE_MANIFEST_NAME", "LakeFormatError", "LakePartition",
+    "MERGED_TABLES", "MergedRound", "PRICE_MEASURE", "PRICE_TABLE",
+    "PriceRow", "RoundDiff", "RoundDiffer", "RoundMerger", "SAVINGS_MEASURE",
+    "SPS_MEASURE", "SPS_TABLE", "SpotDataLake", "SpsRow", "lake_day",
+]

@@ -1,0 +1,43 @@
+"""The merged wide-record schema shared by the archive and the lake.
+
+SpotLake's production merge stage joins the three per-source collection
+outputs into one wide row per pool -- (instance_type, region, zone) ->
+sps, interruption_ratio, if_score, savings, spot_price -- before diffing
+and upload (``merge_data.py`` in the real pipeline).  This module is the
+single definition of that schema: the hot tables' names, measure names
+and dimension names, plus the per-source row tuples the collectors
+produce.  ``core.archive`` re-exports every constant, so the rest of the
+codebase keeps importing them from the archive facade.
+
+Measure names are globally unique across the three tables, which is what
+lets the cold tier store a whole round in one columnar segment and route
+any history query by (measure, filters) alone.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+SPS_TABLE = "sps"
+ADVISOR_TABLE = "advisor"
+PRICE_TABLE = "price"
+
+SPS_MEASURE = "sps"
+IF_SCORE_MEASURE = "if_score"
+INTERRUPTION_RATIO_MEASURE = "interruption_ratio"
+SAVINGS_MEASURE = "savings"
+PRICE_MEASURE = "spot_price"
+
+DIM_TYPE = "InstanceType"
+DIM_REGION = "Region"
+DIM_ZONE = "AvailabilityZone"
+
+#: The three tables the merged round fans out to (gap records are not
+#: part of the merge: holes are archived directly at collection time).
+MERGED_TABLES = (SPS_TABLE, ADVISOR_TABLE, PRICE_TABLE)
+
+#: Per-source row tuples, exactly as the collectors and the archive's
+#: batch writers exchange them.
+SpsRow = Tuple[str, str, str, int, float]            # type, region, zone, score, t
+PriceRow = Tuple[str, str, str, float, float]        # type, region, zone, price, t
+AdvisorRow = Tuple[str, str, float, float, int, float]  # type, region, ratio, if, sav, t

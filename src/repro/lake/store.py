@@ -1,0 +1,651 @@
+"""Date-partitioned cold tier: immutable round files + a lake manifest.
+
+Every committed collection round lands as one immutable columnar file
+
+    data_dir/lake/YYYY/MM/DD/round-<t>.seg        (level 0, raw round)
+
+reusing the v2 segment codec (:mod:`repro.storage.columnar`): zone maps
+and mmap-backed predicate-pushdown scans come for free.  ``repro lake
+compact`` folds a finished day's round files into one
+
+    data_dir/lake/YYYY/MM/DD/day-<t>.seg          (level 1, deduped day)
+
+keeping, per series, the day's first row plus every value change -- a
+windowed history scan then decodes only actual change points, while the
+manifest's per-partition round-time list keeps ``/rounds/<date>``
+serving raw round snapshots via carry-forward.
+
+Publish protocol (crash windows mirror the storage engine's checkpoint):
+
+1. ``lake.segment``  -- before the partition file is written: a crash
+   here leaves no trace.
+2. ``lake.manifest`` -- partition durable, manifest not yet replaced: a
+   crash leaves an orphan file the next publish garbage-collects (or the
+   re-collected round atomically overwrites).
+3. ``lake.publish``  -- manifest live, orphans not yet collected.
+
+The manifest (``LAKE_MANIFEST``) is the root of trust: only partitions
+it lists exist.  Because rounds are appended to the lake *before* the
+hot engine's group commit, recovery truncates the lake to the hot
+store's ``last_commit_time`` (:meth:`SpotDataLake.trim_to`) -- a lake
+round the WAL never committed is re-collected deterministically, byte-
+identical file included.
+
+Timestamps are simulation time; partition dates derive from them via
+``datetime.fromtimestamp(t, tz=timezone.utc)`` (never the host clock),
+so the layout itself is byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import threading
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .._util import atomic_open
+from ..storage.columnar import SegmentCursor, encode_segment
+from ..timeseries.compression import ChangePointSeries, values_equal
+from ..timeseries.record import Record, SeriesKey, Value
+from ..storage.wal import NoopCrashHook
+from .merge import MergedRound
+from .schema import (
+    DIM_REGION,
+    DIM_TYPE,
+    DIM_ZONE,
+    IF_SCORE_MEASURE,
+    INTERRUPTION_RATIO_MEASURE,
+    PRICE_MEASURE,
+    SAVINGS_MEASURE,
+    SPS_MEASURE,
+)
+
+#: Lake crash windows, in the order one round commit reaches them
+#: (armed by ``doublerun --durability --lake``).
+LAKE_CRASH_WINDOWS = ("lake.segment", "lake.manifest", "lake.publish")
+
+LAKE_DIR_NAME = "lake"
+LAKE_MANIFEST_NAME = "LAKE_MANIFEST"
+LAKE_FORMAT = 1
+
+#: Segment-codec table label of every lake partition.
+LAKE_TABLE = "lake"
+
+
+def lake_day(time: float) -> str:
+    """``YYYY/MM/DD`` partition directory of a simulation timestamp."""
+    stamp = datetime.fromtimestamp(float(time), tz=timezone.utc)
+    return f"{stamp.year:04d}/{stamp.month:02d}/{stamp.day:02d}"
+
+
+def _stamp_text(time: float) -> str:
+    """Filename-stable rendering of a round timestamp."""
+    time = float(time)
+    return str(int(time)) if time.is_integer() else repr(time)
+
+
+@dataclass(frozen=True)
+class LakePartition:
+    """One immutable lake file, as recorded in the manifest."""
+
+    kind: str                  # "round" (level 0) or "day" (level 1)
+    path: str                  # posix path relative to the lake root
+    start: float               # min row timestamp in the file
+    end: float                 # max row timestamp in the file
+    rounds: Tuple[float, ...]  # commit times of the rounds it covers
+    rows: int                  # points stored in the file
+    bytes: int                 # file size
+    sha256: str                # digest of the exact file bytes
+
+    @property
+    def day(self) -> str:
+        """The ``YYYY/MM/DD`` directory this partition lives under."""
+        return self.path.rsplit("/", 1)[0]
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind, "path": self.path,
+            "start": self.start, "end": self.end,
+            "rounds": list(self.rounds), "rows": self.rows,
+            "bytes": self.bytes, "sha256": self.sha256,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "LakePartition":
+        return cls(kind=str(raw["kind"]), path=str(raw["path"]),
+                   start=float(raw["start"]), end=float(raw["end"]),
+                   rounds=tuple(float(t) for t in raw["rounds"]),
+                   rows=int(raw["rows"]), bytes=int(raw["bytes"]),
+                   sha256=str(raw["sha256"]))
+
+
+class LakeFormatError(ValueError):
+    """The lake manifest is not a well-formed format-1 document."""
+
+
+class SpotDataLake:
+    """The cold tier under one ``data_dir/lake`` root."""
+
+    def __init__(self, root: Union[str, Path], crash_hook=None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.crash_hook = crash_hook or NoopCrashHook()
+        self._lock = threading.Lock()
+        #: manifest version as last read from / written to disk
+        self._version = 0
+        self._partitions: Tuple[LakePartition, ...] = ()
+        #: open mmap-backed cursors, one per live partition file, keyed
+        #: by (path, sha256) so a re-collected overwrite never serves
+        #: stale bytes; guarded by its own lock because compaction reads
+        #: partitions while holding the manifest lock
+        self._cursors: Dict[Tuple[str, str],
+                            Tuple[object, mmap.mmap, SegmentCursor]] = {}
+        self._cursor_lock = threading.Lock()
+        self._load_manifest()
+
+    # -- manifest ------------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self.root / LAKE_MANIFEST_NAME
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path()
+        if not path.exists():
+            return
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+            if raw.get("format") != LAKE_FORMAT:
+                raise LakeFormatError(
+                    f"unsupported lake manifest format {raw.get('format')!r}")
+            self._version = int(raw["version"])
+            self._partitions = tuple(LakePartition.from_dict(p)
+                                     for p in raw["partitions"])
+        except LakeFormatError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            raise LakeFormatError(f"undecodable lake manifest: {exc}") \
+                from None
+
+    def _write_manifest(self, partitions: Sequence[LakePartition],
+                        version: int) -> None:
+        payload = {
+            "format": LAKE_FORMAT,
+            "version": version,
+            "partitions": [p.as_dict() for p in partitions],
+        }
+        with atomic_open(self._manifest_path(),
+                         sync_directory=True) as fh:
+            json.dump(payload, fh, sort_keys=True,
+                      separators=(",", ":"))
+            fh.write("\n")
+
+    def _publish(self, partitions: Sequence[LakePartition],
+                 crash_hooks: bool) -> None:
+        """Write + publish a new manifest, then collect orphan files."""
+        if crash_hooks:
+            self.crash_hook.before("lake.manifest")
+        version = self._version + 1
+        self._write_manifest(partitions, version)
+        self._version = version
+        self._partitions = tuple(partitions)
+        if crash_hooks:
+            self.crash_hook.before("lake.publish")
+        self._invalidate_cursors()
+        self._collect_orphans()
+
+    def _collect_orphans(self) -> None:
+        """Delete ``.seg`` files the live manifest does not reference."""
+        live = {p.path for p in self._partitions}
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames.sort()
+            rel_dir = Path(dirpath).relative_to(self.root).as_posix()
+            for name in sorted(filenames):
+                if not name.endswith(".seg"):
+                    continue
+                rel = name if rel_dir == "." else f"{rel_dir}/{name}"
+                if rel not in live:
+                    os.unlink(Path(dirpath) / name)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def partitions(self) -> Tuple[LakePartition, ...]:
+        with self._lock:
+            return self._partitions
+
+    @property
+    def round_count(self) -> int:
+        """Committed rounds the lake holds (survives trims/compaction)."""
+        return sum(len(p.rounds) for p in self.partitions)
+
+    def round_times(self) -> List[float]:
+        """Every archived round commit time, ascending."""
+        times = [t for p in self.partitions for t in p.rounds]
+        times.sort()
+        return times
+
+    def days(self) -> List[str]:
+        """Distinct ``YYYY/MM/DD`` partition days, ascending."""
+        seen: Dict[str, None] = {}
+        for part in self.partitions:
+            seen.setdefault(part.day, None)
+        return sorted(seen)
+
+    def census(self) -> dict:
+        """Partition count / bytes / time span (the stats payload)."""
+        parts = self.partitions
+        return {
+            "partitions": len(parts),
+            "rounds": sum(len(p.rounds) for p in parts),
+            "days": len({p.day for p in parts}),
+            "bytes": sum(p.bytes for p in parts),
+            "rows": sum(p.rows for p in parts),
+            "start": min((p.start for p in parts), default=None),
+            "end": max((p.end for p in parts), default=None),
+        }
+
+    def digest(self) -> str:
+        """Deterministic identity of the lake's logical content.
+
+        Hashes the manifest's partition list (each entry pins its file's
+        sha256), *not* the manifest version: a recovered-and-trimmed lake
+        digests equal to a reference that never crashed.
+        """
+        payload = {"format": LAKE_FORMAT,
+                   "partitions": [p.as_dict() for p in self.partitions]}
+        raw = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+    # -- recovery ------------------------------------------------------------
+
+    def trim_to(self, last_commit_time: Optional[float]) -> int:
+        """Drop (in memory) rounds newer than the hot store's last commit.
+
+        Rounds land in the lake *before* the hot WAL's group commit, so
+        a crash between the two leaves the lake one round ahead; the
+        trimmed round is re-collected deterministically and its file
+        atomically overwritten.  The on-disk manifest is left alone --
+        the next publish persists the trimmed view and collects the
+        orphan file.  Returns the number of rounds dropped.
+        """
+        cutoff = float("-inf") if last_commit_time is None \
+            else float(last_commit_time)
+        with self._lock:
+            before = sum(len(p.rounds) for p in self._partitions)
+            kept = tuple(p for p in self._partitions
+                         if p.rounds and p.rounds[-1] <= cutoff)
+            self._partitions = kept
+            self._invalidate_cursors()
+            return before - sum(len(p.rounds) for p in kept)
+
+    # -- writes --------------------------------------------------------------
+
+    def append_round(self, merged: MergedRound) -> LakePartition:
+        """Land one merged round as an immutable date-partitioned file."""
+        if merged.row_count == 0:
+            raise ValueError("refusing to archive an empty round")
+        items = merged.items()
+        rows = sum(len(series.times) for _, series in items)
+        start = min(series.times[0] for _, series in items)
+        end = max(series.times[-1] for _, series in items)
+        blob = encode_segment(LAKE_TABLE, int(merged.time), 0, items)
+        rel = f"{lake_day(merged.time)}/round-{_stamp_text(merged.time)}.seg"
+        with self._lock:
+            self.crash_hook.before("lake.segment")
+            target = self.root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            with atomic_open(target, binary=True,
+                             sync_directory=True) as fh:
+                fh.write(blob)
+            partition = LakePartition(
+                kind="round", path=rel, start=start, end=end,
+                rounds=(float(merged.time),), rows=rows, bytes=len(blob),
+                sha256=hashlib.sha256(blob).hexdigest())
+            self._publish([*self._partitions, partition], crash_hooks=True)
+        return partition
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, include_active: bool = False) -> dict:
+        """Fold each day's round files into one deduped day file.
+
+        Per series the day file keeps the first row plus every value
+        change, so windowed history scans decode only change points
+        while ``round_snapshot`` reconstructs any of the day's rounds by
+        carry-forward (exact as long as a series observed that day was
+        observed from its first round onward -- mid-day collection gaps
+        degrade snapshot reconstruction, never history queries).
+
+        The newest day keeps receiving rounds and is skipped unless
+        ``include_active``.  Returns a summary dict.
+        """
+        with self._lock:
+            groups: Dict[str, List[LakePartition]] = {}
+            for part in self._partitions:
+                if part.kind == "round":
+                    groups.setdefault(part.day, []).append(part)
+            if not include_active and self._partitions:
+                last_day = max(p.day for p in self._partitions)
+                groups.pop(last_day, None)
+            merged_days = {day: parts for day, parts in groups.items()
+                           if len(parts) >= 1}
+            if not merged_days:
+                return {"days_compacted": 0, "partitions_merged": 0,
+                        "bytes_before": 0, "bytes_after": 0}
+
+            replacements: Dict[str, LakePartition] = {}
+            bytes_before = 0
+            for day in sorted(merged_days):
+                parts = sorted(merged_days[day], key=lambda p: p.start)
+                bytes_before += sum(p.bytes for p in parts)
+                replacements[day] = self._compact_day(day, parts)
+
+            out: List[LakePartition] = []
+            emitted: Dict[str, bool] = {}
+            for part in self._partitions:
+                if part.kind == "round" and part.day in replacements:
+                    if not emitted.get(part.day):
+                        emitted[part.day] = True
+                        out.append(replacements[part.day])
+                    continue
+                out.append(part)
+            self._publish(out, crash_hooks=False)
+            return {
+                "days_compacted": len(replacements),
+                "partitions_merged": sum(len(p) for p in merged_days.values()),
+                "bytes_before": bytes_before,
+                "bytes_after": sum(p.bytes for p in replacements.values()),
+            }
+
+    def _compact_day(self, day: str,
+                     parts: Sequence[LakePartition]) -> LakePartition:
+        """Merge one day's round files into a single level-1 partition."""
+        merged: Dict[SeriesKey, ChangePointSeries] = {}
+        for part in parts:
+            for key, series in self._partition_items(part):
+                into = merged.get(key)
+                if into is None:
+                    merged[key] = ChangePointSeries(
+                        times=list(series.times), values=list(series.values),
+                        observed_until=series.observed_until,
+                        observation_count=series.observation_count)
+                    continue
+                for t, v in zip(series.times, series.values):
+                    if not values_equal(into.values[-1], v):
+                        into.times.append(t)
+                        into.values.append(v)
+                into.observed_until = max(into.observed_until,
+                                          series.observed_until)
+                into.observation_count += series.observation_count
+        items = [(key, merged[key]) for key in
+                 sorted(merged, key=lambda k: (k.measure_name, k.dimensions))]
+        rounds = tuple(sorted(t for p in parts for t in p.rounds))
+        rows = sum(len(series.times) for _, series in items)
+        blob = encode_segment(LAKE_TABLE, int(rounds[0]), 1, items)
+        rel = f"{day}/day-{_stamp_text(rounds[0])}.seg"
+        target = self.root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with atomic_open(target, binary=True, sync_directory=True) as fh:
+            fh.write(blob)
+        return LakePartition(
+            kind="day", path=rel,
+            start=min(p.start for p in parts),
+            end=max(p.end for p in parts),
+            rounds=rounds, rows=rows, bytes=len(blob),
+            sha256=hashlib.sha256(blob).hexdigest())
+
+    # -- reads ---------------------------------------------------------------
+
+    def _cursor(self, part: LakePartition) -> SegmentCursor:
+        """The partition's open mmap-backed cursor (opened once, cached).
+
+        Cursor reads are stateless over an immutable buffer, so one
+        cached cursor serves concurrent scans; entries are dropped (and
+        their mmaps closed) whenever a publish or trim removes the
+        partition from the live set.
+        """
+        key = (part.path, part.sha256)
+        with self._cursor_lock:
+            entry = self._cursors.get(key)
+            if entry is None:
+                fh = open(self.root / part.path, "rb")
+                try:
+                    buffer = mmap.mmap(fh.fileno(), 0,
+                                       access=mmap.ACCESS_READ)
+                except OSError:
+                    fh.close()
+                    raise
+                entry = (fh, buffer, SegmentCursor(buffer, memoize=True))
+                self._cursors[key] = entry
+            return entry[2]
+
+    def _invalidate_cursors(self) -> None:
+        """Close cursors for files the live partition set no longer holds."""
+        live = {(p.path, p.sha256) for p in self._partitions}
+        with self._cursor_lock:
+            stale = [k for k in self._cursors if k not in live]
+            for key in stale:
+                fh, buffer, cursor = self._cursors.pop(key)
+                cursor.release()
+                buffer.close()
+                fh.close()
+
+    def close(self) -> None:
+        """Release every cached cursor (mmaps and file handles)."""
+        with self._cursor_lock:
+            for fh, buffer, cursor in self._cursors.values():
+                cursor.release()
+                buffer.close()
+                fh.close()
+            self._cursors.clear()
+
+    def _partition_scan(self, part: LakePartition, start: float, end: float,
+                        match: Optional[Callable[[SeriesKey], bool]],
+                        ) -> List[Tuple[SeriesKey,
+                                        List[Tuple[float, Value]]]]:
+        """Zone-map-pruned scan of one partition file via its cursor."""
+        return self._cursor(part).scan(start, end, match=match)
+
+    def _partition_items(self, part: LakePartition,
+                         ) -> List[Tuple[SeriesKey, ChangePointSeries]]:
+        return self._cursor(part).items()
+
+    def scan(self, start: float = float("-inf"), end: float = float("inf"),
+             measure: Optional[str] = None,
+             filters: Optional[Dict[str, str]] = None,
+             ) -> List[Tuple[SeriesKey, List[Tuple[float, Value]]]]:
+        """Raw windowed read across partitions, merged per series.
+
+        Rows are whatever the partitions store -- every observation for
+        round files, deduped change rows for compacted day files; use
+        :meth:`change_points` for hot-store-equivalent history.  Series
+        appear in canonical (measure, dimensions) order.
+        """
+        match = self._matcher(measure, filters)
+        per_key: Dict[SeriesKey, List[Tuple[float, Value]]] = {}
+        for part in self.partitions:
+            if part.end < start or part.start > end:
+                continue
+            for key, rows in self._partition_scan(part, start, end, match):
+                per_key.setdefault(key, []).extend(rows)
+        out = []
+        for key in sorted(per_key, key=lambda k: (k.measure_name,
+                                                  k.dimensions)):
+            rows = per_key[key]
+            rows.sort(key=lambda r: r[0])
+            out.append((key, rows))
+        return out
+
+    @staticmethod
+    def _matcher(measure: Optional[str],
+                 filters: Optional[Dict[str, str]],
+                 ) -> Optional[Callable[[SeriesKey], bool]]:
+        if measure is None and not filters:
+            return None
+        wanted = dict(filters or {})
+        if not wanted:
+            return lambda key: key.measure_name == measure
+
+        def match(key: SeriesKey) -> bool:
+            if measure is not None and key.measure_name != measure:
+                return False
+            return key.matches(wanted)
+
+        return match
+
+    def change_points(self, measure: str, filters: Dict[str, str],
+                      start: float, end: float) -> List[Record]:
+        """Hot-store-equivalent change-point history from cold files.
+
+        Reconstructs exactly what an un-evicted hot table's ``scan``
+        would return for ``[start, end]``: per series, rows where the
+        value differs from the previous observation -- including a
+        *baseline* walk into earlier partitions so a value that changed
+        before the window doesn't re-emit at the window edge.  Output
+        is sorted by (time, measure, dimensions), the hot scan's exact
+        tie order, which keeps pagination cursors stable across the
+        hot/cold boundary.
+        """
+        parts = self.partitions
+        match = self._matcher(measure, filters)
+        per_key: Dict[SeriesKey, List[Tuple[float, Value]]] = {}
+        contributors = 0
+        for part in parts:
+            if part.end < start or part.start > end:
+                continue
+            contributors += 1
+            for key, rows in self._partition_scan(part, start, end, match):
+                per_key.setdefault(key, []).extend(rows)
+        if not per_key:
+            return []
+
+        # baseline: the last value strictly before the window, per key;
+        # walk earlier partitions newest-first and stop once resolved
+        baseline: Dict[SeriesKey, Value] = {}
+        unresolved = dict.fromkeys(per_key)
+        if start != float("-inf"):
+            for part in reversed(parts):
+                if not unresolved:
+                    break
+                if part.start >= start:
+                    continue
+                found = self._partition_scan(
+                    part, float("-inf"), start,
+                    match=lambda key: key in unresolved)
+                for key, rows in found:
+                    rows = [r for r in rows if r[0] < start]
+                    if rows and key not in baseline:
+                        baseline[key] = max(rows, key=lambda r: r[0])[1]
+                        unresolved.pop(key, None)
+
+        out: List[Record] = []
+        for key in sorted(per_key, key=lambda k: (k.measure_name,
+                                                  k.dimensions)):
+            rows = per_key[key]
+            if contributors > 1:
+                # a single partition's rows are already time-sorted
+                rows.sort(key=lambda r: r[0])
+            has_prev = key in baseline
+            prev = baseline.get(key)
+            for t, v in rows:
+                if not has_prev or not values_equal(prev, v):
+                    out.append(Record(key.dimensions, key.measure_name, v, t))
+                prev, has_prev = v, True
+        # the hot table emits rows in canonical (measure, dims) series
+        # order then stable-sorts by time; appending in that same series
+        # order makes a stable time-only sort reproduce the hot total
+        # order exactly (and cheaply -- float keys, no tuple compares)
+        out.sort(key=lambda r: r.time)
+        return out
+
+    def latest_values(self) -> List[Tuple[SeriesKey, Value]]:
+        """Each archived series' newest value (differ restart seeding)."""
+        latest: Dict[SeriesKey, Tuple[float, Value]] = {}
+        for part in self.partitions:
+            for key, rows in self._partition_scan(
+                    part, float("-inf"), float("inf"), None):
+                t, v = rows[-1]
+                current = latest.get(key)
+                if current is None or t >= current[0]:
+                    latest[key] = (t, v)
+        return [(key, latest[key][1]) for key in
+                sorted(latest, key=lambda k: (k.measure_name, k.dimensions))]
+
+    # -- round snapshots (the /rounds/<date> payload) ------------------------
+
+    def rounds_on(self, day: str) -> List[float]:
+        """Round commit times under one ``YYYY-MM-DD`` (or ``Y/M/D``) day."""
+        wanted = day.replace("-", "/")
+        times = [t for p in self.partitions if p.day == wanted
+                 for t in p.rounds]
+        times.sort()
+        return times
+
+    def round_snapshot(self, time: float) -> List[dict]:
+        """The wide per-pool merged record of one archived round.
+
+        Joins the round's values back into the paper's merged shape:
+        one row per (instance_type, region, zone) carrying sps and
+        spot_price, with the pair-level advisor measures broadcast onto
+        every zone row (pairs with no zone-level data emit a zone-less
+        row).  For compacted days the values are reconstructed by
+        carry-forward from the day file's change rows.
+        """
+        time = float(time)
+        owner = None
+        for part in self.partitions:
+            if time in part.rounds:
+                owner = part
+                break
+        if owner is None:
+            raise KeyError(f"no archived round at t={time!r}")
+        resolved: Dict[SeriesKey, Value] = {}
+        for key, rows in self._partition_scan(owner, float("-inf"),
+                                              time, None):
+            resolved[key] = rows[-1][1]
+
+        pools: Dict[Tuple[str, str, str], Dict[str, Value]] = {}
+        pairs: Dict[Tuple[str, str], Dict[str, Value]] = {}
+        for key, value in resolved.items():
+            dims = key.dimension_dict
+            measure = key.measure_name
+            if measure in (SPS_MEASURE, PRICE_MEASURE):
+                coords = (dims[DIM_TYPE], dims[DIM_REGION], dims[DIM_ZONE])
+                pools.setdefault(coords, {})[measure] = value
+            else:
+                pairs.setdefault((dims[DIM_TYPE], dims[DIM_REGION]),
+                                 {})[measure] = value
+
+        rows = []
+        paired_seen: Dict[Tuple[str, str], bool] = {}
+        for itype, region, zone in sorted(pools):
+            measures = pools[(itype, region, zone)]
+            advisor = pairs.get((itype, region), {})
+            paired_seen[(itype, region)] = True
+            rows.append({
+                "instance_type": itype, "region": region, "zone": zone,
+                "sps": measures.get(SPS_MEASURE),
+                "spot_price": measures.get(PRICE_MEASURE),
+                "interruption_ratio": advisor.get(INTERRUPTION_RATIO_MEASURE),
+                "if_score": advisor.get(IF_SCORE_MEASURE),
+                "savings": advisor.get(SAVINGS_MEASURE),
+            })
+        for itype, region in sorted(pairs):
+            if paired_seen.get((itype, region)):
+                continue
+            advisor = pairs[(itype, region)]
+            rows.append({
+                "instance_type": itype, "region": region, "zone": None,
+                "sps": None, "spot_price": None,
+                "interruption_ratio": advisor.get(INTERRUPTION_RATIO_MEASURE),
+                "if_score": advisor.get(IF_SCORE_MEASURE),
+                "savings": advisor.get(SAVINGS_MEASURE),
+            })
+        rows.sort(key=lambda r: (r["instance_type"], r["region"],
+                                 r["zone"] or ""))
+        return rows

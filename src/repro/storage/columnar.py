@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..timeseries.compression import (
     ChangePointSeries,
@@ -172,9 +172,17 @@ class SegmentCursor:
     buffer never fault in the skipped pages.
     """
 
-    def __init__(self, buffer):
+    def __init__(self, buffer, memoize: bool = False):
         view = memoryview(buffer)
         self._view = view
+        #: memoized decode state, opt-in for long-lived cursors (the
+        #: lake keeps one cursor per partition and serves many scans
+        #: from it): series keys and chunk columns are decoded once and
+        #: reused.  One-shot cursors leave it off -- the bookkeeping is
+        #: pure overhead when nothing is ever re-read.
+        self._memoize = memoize
+        self._keys: Optional[List[SeriesKey]] = None
+        self._chunk_cache: Dict[int, Tuple[List[float], list]] = {}
         parsed = False
         try:
             if bytes(view[:len(MAGIC)]) != MAGIC:
@@ -216,6 +224,8 @@ class SegmentCursor:
         if body is not None:
             body.release()
         self._view.release()
+        self._keys = None
+        self._chunk_cache.clear()
 
     def __enter__(self) -> "SegmentCursor":
         return self
@@ -232,8 +242,18 @@ class SegmentCursor:
                       for i in range(0, len(dims), 2))
         return SeriesKey(strings[desc["m"]], pairs)
 
+    def keys(self) -> Optional[List[SeriesKey]]:
+        """Every series key in descriptor order, or None un-memoized."""
+        if self._memoize and self._keys is None:
+            self._keys = [self._key_of(desc) for desc in self._desc]
+        return self._keys
+
     def _chunk_columns(self, chunk: Sequence) -> Tuple[List[float], list]:
         n, _, _, t_off, t_len, v_off, v_len = chunk
+        if self._memoize:
+            cached = self._chunk_cache.get(t_off)
+            if cached is not None:
+                return cached
         times = unpack_time_column(bytes(self._body[t_off:t_off + t_len]))
         is_index, raw = unpack_value_column(
             bytes(self._body[v_off:v_off + v_len]))
@@ -246,6 +266,8 @@ class SegmentCursor:
             raise ColumnarFormatError(
                 f"chunk decodes to {len(times)}/{len(vals)} rows, "
                 f"descriptor says {n}")
+        if self._memoize:
+            self._chunk_cache[t_off] = (times, vals)
         return times, vals
 
     # -- full decode (recovery / compaction) -------------------------------
@@ -254,7 +276,8 @@ class SegmentCursor:
         """Decode every series -- the v1-equivalent full read."""
         try:
             out = []
-            for desc in self._desc:
+            keys = self.keys()
+            for index, desc in enumerate(self._desc):
                 times: List[float] = []
                 vals: list = []
                 for chunk in desc["ch"]:
@@ -265,7 +288,8 @@ class SegmentCursor:
                     raise ColumnarFormatError(
                         f"series decodes to {len(times)} rows, "
                         f"descriptor says {desc['n']}")
-                out.append((self._key_of(desc), ChangePointSeries(
+                key = keys[index] if keys is not None else self._key_of(desc)
+                out.append((key, ChangePointSeries(
                     times=times, values=vals,
                     observed_until=float(desc["ou"]),
                     observation_count=int(desc["oc"]))))
@@ -280,16 +304,26 @@ class SegmentCursor:
 
     def scan(self, start: float = float("-inf"),
              end: float = float("inf"),
+             match: Optional[Callable[[SeriesKey], bool]] = None,
              ) -> List[Tuple[SeriesKey, List[Tuple[float, Value]]]]:
         """Change points inside ``[start, end]``, per series.
 
         Only chunks whose zone map ``[tmin, tmax]`` overlaps the window
         are decoded; boundary chunks are trimmed row-wise after decode.
-        Series with no overlapping chunks are omitted entirely.
+        Series with no overlapping chunks are omitted entirely.  An
+        optional ``match`` predicate on the series key skips whole
+        series before any chunk is touched (the lake's key pushdown).
         """
         try:
             out = []
-            for desc in self._desc:
+            keys = self.keys()
+            for index, desc in enumerate(self._desc):
+                key = keys[index] if keys is not None else None
+                if match is not None:
+                    if key is None:
+                        key = self._key_of(desc)
+                    if not match(key):
+                        continue
                 rows: List[Tuple[float, Value]] = []
                 for chunk in desc["ch"]:
                     tmin, tmax = chunk[1], chunk[2]
@@ -302,7 +336,9 @@ class SegmentCursor:
                         rows.extend((t, v) for t, v in zip(times, vals)
                                     if start <= t <= end)
                 if rows:
-                    out.append((self._key_of(desc), rows))
+                    if key is None:
+                        key = self._key_of(desc)
+                    out.append((key, rows))
             return out
         except ColumnarFormatError:
             raise

@@ -31,6 +31,7 @@ the last committed round (see ``recovery.py``).
 
 from __future__ import annotations
 
+import json
 import os
 from math import isfinite
 from pathlib import Path
@@ -425,10 +426,53 @@ class StorageEngine:
     def manifest(self) -> Manifest:
         return self._manifest
 
+    def evicted_through(self, table_name: str) -> Optional[float]:
+        """The table's retention watermark: rows at or before it are gone.
+
+        Combines the durable manifest watermark with evictions WAL-logged
+        since the last checkpoint; None when the table was never swept.
+        This is the hot/cold split point federated history queries use.
+        """
+        entry = self._manifest.tables.get(table_name)
+        durable = entry.evicted_through if entry else None
+        pending = self._pending_evictions.get(table_name)
+        if durable is None:
+            return pending
+        if pending is None:
+            return durable
+        return max(durable, pending)
+
+    def lake_census(self) -> Optional[dict]:
+        """Cold-tier census read straight off the lake manifest, or None.
+
+        The storage layer sits below the lake package, so the manifest
+        JSON (format 1: ``{"format", "version", "partitions"}``) is
+        parsed directly rather than through :class:`SpotDataLake`.
+        """
+        path = self.data_dir / "lake" / "LAKE_MANIFEST"
+        if not path.exists():
+            return None
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+            parts = raw["partitions"]
+            return {
+                "format": raw["format"],
+                "manifest_version": raw["version"],
+                "partitions": len(parts),
+                "rounds": sum(len(p["rounds"]) for p in parts),
+                "days": len({p["path"].rsplit("/", 1)[0] for p in parts}),
+                "bytes": sum(p["bytes"] for p in parts),
+                "rows": sum(p["rows"] for p in parts),
+                "start": min((p["start"] for p in parts), default=None),
+                "end": max((p["end"] for p in parts), default=None),
+            }
+        except (ValueError, KeyError, TypeError):
+            return {"error": "undecodable lake manifest"}
+
     def stats(self) -> dict:
         """Durability counters (the ``repro recover`` / bench payload)."""
         live_bytes = self._manifest.live_bytes()
-        return {
+        out = {
             "rounds_committed": self.rounds_committed,
             "last_seq": self._writer.next_seq - 1,
             "checkpoints": self.checkpoints,
@@ -446,3 +490,7 @@ class StorageEngine:
             "write_amplification": (
                 self.segment_bytes_written / live_bytes if live_bytes else 0.0),
         }
+        lake = self.lake_census()
+        if lake is not None:
+            out["lake"] = lake
+        return out

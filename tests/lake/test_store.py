@@ -1,0 +1,181 @@
+"""Units for the date-partitioned cold lake store."""
+
+import json
+
+import pytest
+
+from repro.lake import (
+    LAKE_FORMAT,
+    LAKE_MANIFEST_NAME,
+    LakeFormatError,
+    RoundMerger,
+    SPS_MEASURE,
+    SpotDataLake,
+    lake_day,
+)
+
+T0 = 1640995200.0  # 2022-01-01 00:00:00 UTC
+DAY = 86400.0
+
+
+def _merged(time, score=3, price=1.5, itype="a.large"):
+    merger = RoundMerger()
+    merger.add_sps(itype, "r1", "r1a", score, time)
+    merger.add_price(itype, "r1", "r1a", price, time)
+    return merger.take_round(time)
+
+
+def _fill(lake, times, scores=None):
+    for index, t in enumerate(times):
+        score = scores[index] if scores is not None else 3
+        lake.append_round(_merged(t, score=score))
+
+
+def test_lake_day_is_utc():
+    assert lake_day(T0) == "2022/01/01"
+    assert lake_day(T0 + DAY) == "2022/01/02"
+    assert lake_day(T0 - 1.0) == "2021/12/31"
+
+
+def test_append_publishes_versioned_manifest(tmp_path):
+    lake = SpotDataLake(tmp_path)
+    lake.append_round(_merged(T0))
+    lake.append_round(_merged(T0 + 600, score=2))
+    manifest = json.loads((tmp_path / LAKE_MANIFEST_NAME).read_text())
+    assert manifest["format"] == LAKE_FORMAT
+    assert manifest["version"] == 2
+    assert [p["kind"] for p in manifest["partitions"]] == ["round", "round"]
+    assert lake.round_times() == [T0, T0 + 600]
+    assert (tmp_path / "2022" / "01" / "01").is_dir()
+
+
+def test_empty_round_refused(tmp_path):
+    lake = SpotDataLake(tmp_path)
+    with pytest.raises(ValueError):
+        lake.append_round(RoundMerger().take_round(T0))
+
+
+def test_reload_is_digest_stable(tmp_path):
+    lake = SpotDataLake(tmp_path)
+    _fill(lake, [T0, T0 + 600, T0 + DAY])
+    reloaded = SpotDataLake(tmp_path)
+    assert reloaded.digest() == lake.digest()
+    assert reloaded.round_times() == lake.round_times()
+    assert reloaded.census() == lake.census()
+
+
+def test_unsupported_manifest_format_raises(tmp_path):
+    (tmp_path / LAKE_MANIFEST_NAME).write_text(
+        '{"format": 99, "version": 1, "partitions": []}\n')
+    with pytest.raises(LakeFormatError):
+        SpotDataLake(tmp_path)
+
+
+def test_undecodable_manifest_raises(tmp_path):
+    (tmp_path / LAKE_MANIFEST_NAME).write_text('{"format": 1}\n')
+    with pytest.raises(LakeFormatError):
+        SpotDataLake(tmp_path)
+
+
+def test_trim_to_drops_uncommitted_tail(tmp_path):
+    lake = SpotDataLake(tmp_path)
+    _fill(lake, [T0, T0 + 600, T0 + 1200])
+    # the hot WAL only committed through the second round
+    assert lake.trim_to(T0 + 600) == 1
+    assert lake.round_times() == [T0, T0 + 600]
+    # a fresh directory (no commits at all) trims everything
+    assert SpotDataLake(tmp_path).trim_to(None) == 3
+
+
+def test_trimmed_round_file_collected_on_next_publish(tmp_path):
+    lake = SpotDataLake(tmp_path)
+    _fill(lake, [T0, T0 + 600])
+    lake.trim_to(T0)
+    seg_files = lambda: sorted(p.name for p in tmp_path.rglob("*.seg"))
+    assert len(seg_files()) == 2  # trim is in-memory; GC waits for publish
+    lake.append_round(_merged(T0 + 600, score=1))
+    assert len(seg_files()) == 2  # re-collected round replaced the orphan
+    assert SpotDataLake(tmp_path).round_times() == [T0, T0 + 600]
+
+
+def test_scan_windows_and_filters(tmp_path):
+    lake = SpotDataLake(tmp_path)
+    _fill(lake, [T0, T0 + 600, T0 + 1200], scores=[1, 2, 3])
+    full = lake.scan()
+    assert {key.measure_name for key, _ in full} == {SPS_MEASURE,
+                                                     "spot_price"}
+    sps = lake.scan(measure=SPS_MEASURE)
+    ((key, rows),) = sps
+    assert [v for _, v in rows] == [1, 2, 3]
+    windowed = lake.scan(start=T0 + 600, end=T0 + 600, measure=SPS_MEASURE)
+    assert [v for _, v in windowed[0][1]] == [2]
+    assert lake.scan(filters={"InstanceType": "other.large"}) == []
+
+
+def test_compact_preserves_change_points(tmp_path):
+    lake = SpotDataLake(tmp_path)
+    times = [T0 + 600 * i for i in range(6)] + \
+        [T0 + DAY + 600 * i for i in range(6)]
+    scores = [1, 1, 2, 2, 3, 3, 3, 4, 4, 5, 5, 5]
+    _fill(lake, times, scores=scores)
+    reference = lake.change_points(SPS_MEASURE, {}, T0, times[-1])
+
+    summary = lake.compact()  # newest day stays active
+    assert summary["days_compacted"] == 1
+    assert [p.kind for p in lake.partitions].count("day") == 1
+    assert lake.change_points(SPS_MEASURE, {}, T0, times[-1]) == reference
+
+    summary = lake.compact(include_active=True)
+    assert summary["days_compacted"] == 1
+    assert all(p.kind == "day" for p in lake.partitions)
+    assert lake.change_points(SPS_MEASURE, {}, T0, times[-1]) == reference
+    # round accounting survives compaction, and reload agrees
+    assert lake.round_times() == times
+    assert SpotDataLake(tmp_path).digest() == lake.digest()
+
+
+def test_change_points_baseline_suppresses_window_edge_reemit(tmp_path):
+    lake = SpotDataLake(tmp_path)
+    _fill(lake, [T0, T0 + 600, T0 + 1200], scores=[1, 1, 1])
+    # value unchanged since T0: a window starting later must emit nothing
+    assert lake.change_points(SPS_MEASURE, {}, T0 + 600, T0 + 1200) == []
+    changed = SpotDataLake(tmp_path / "changed")
+    _fill(changed, [T0, T0 + 600, T0 + 1200], scores=[1, 2, 2])
+    rows = changed.change_points(SPS_MEASURE, {}, T0 + 600, T0 + 1200)
+    assert [(r.time, r.value) for r in rows] == [(T0 + 600, 2)]
+
+
+def test_latest_values_and_census(tmp_path):
+    lake = SpotDataLake(tmp_path)
+    _fill(lake, [T0, T0 + 600], scores=[1, 4])
+    latest = dict(lake.latest_values())
+    sps_latest = [v for key, v in latest.items()
+                  if key.measure_name == SPS_MEASURE]
+    assert sps_latest == [4]
+    census = lake.census()
+    assert census["rounds"] == 2
+    assert census["partitions"] == 2
+    assert census["days"] == 1
+    assert census["start"] == T0 and census["end"] == T0 + 600
+
+
+def test_rounds_on_and_round_snapshot(tmp_path):
+    lake = SpotDataLake(tmp_path)
+    merger = RoundMerger()
+    merger.add_sps("a.large", "r1", "r1a", 3, T0)
+    merger.add_price("a.large", "r1", "r1a", 1.5, T0)
+    merger.add_advisor("a.large", "r1", 0.05, 2.0, 60, T0)
+    merger.add_advisor("b.large", "r1", 0.10, 1.0, 50, T0)  # pair, no zone
+    lake.append_round(merger.take_round(T0))
+    assert lake.rounds_on("2022-01-01") == [T0]
+    assert lake.rounds_on("2022/01/01") == [T0]
+    assert lake.rounds_on("2022-01-02") == []
+
+    rows = lake.round_snapshot(T0)
+    assert [r["instance_type"] for r in rows] == ["a.large", "b.large"]
+    wide = rows[0]
+    assert wide["sps"] == 3 and wide["spot_price"] == 1.5
+    assert wide["if_score"] == 2.0 and wide["savings"] == 60
+    assert rows[1]["zone"] is None and rows[1]["sps"] is None
+    with pytest.raises(KeyError):
+        lake.round_snapshot(T0 + 1.0)
