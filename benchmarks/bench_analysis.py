@@ -1,0 +1,119 @@
+"""Vectorized-analytics benchmark: columnar pushdown, rollups, identity.
+
+The analytics engine (``repro.timeseries.vector`` executed by
+``repro.core.analytics``) replaces row-at-a-time aggregation with a
+columnar fast path over both tiers: zone-map-pruned column scans on the
+cold lake, packed per-series array views on the hot tables, and
+generation-stamped per-day rollup partials for repeated day-aligned
+queries.  This bench answers whether the pushdown pays -- and, just as
+important, proves it is *safe*: every speedup gate travels with a
+numeric-identity check against the row-at-a-time reference oracle.
+
+Acceptance: cold bucketed aggregation >= 5x the row path with identical
+numbers, hot heatmap construction >= 3x with byte-identical figures,
+rollup-warm repeats >= 10x their cold run with partial reuse after an
+append, and /analytics responses byte-identical across 1/2/4 frontend
+workers.  The report is written to ``BENCH_analysis.json``.
+
+Run standalone (CI smoke) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_analysis.py -q
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.devtools.analysisbench import run_analysis_bench, summary_lines
+
+#: Cold-tier bucketed group-by aggregation vs the row-at-a-time path.
+MIN_COLD_SPEEDUP = 5.0
+#: Hot-tier Figure-3 heatmap construction vs the pre-engine loop.
+MIN_HEATMAP_SPEEDUP = 3.0
+#: Rollup-warm repeat of a day-aligned query vs its cold first run.
+MIN_ROLLUP_WARM_SPEEDUP = 10.0
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_analysis.json"
+
+
+def run_and_report(write_report: bool = True) -> dict:
+    report = run_analysis_bench()
+    print("\nAnalysis bench: columnar pushdown, rollups, worker identity")
+    for line in summary_lines(report):
+        print(f"  {line}")
+    if write_report:
+        REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True)
+                               + "\n", encoding="utf-8")
+        print(f"  report written to {REPORT_PATH}")
+    return report
+
+
+def test_analysis_gates():
+    report = run_and_report()
+    cold = report["cold_aggregation"]
+    assert cold["identical"], \
+        f"cold aggregation diverges from the reference " \
+        f"(max_rel_err={cold['max_rel_err']:.2e})"
+    assert cold["speedup"] >= MIN_COLD_SPEEDUP, \
+        f"cold aggregation only {cold['speedup']:.1f}x the row path " \
+        f"(gate {MIN_COLD_SPEEDUP:.1f}x)"
+    assert cold["narrow_pruned"] > 0, \
+        "zone maps pruned nothing on the narrow-window probe"
+    assert cold["narrow_identical"], \
+        "zone-map-pruned narrow window diverges from the reference"
+
+    heat = report["hot_heatmap"]
+    assert heat["byte_identical"], \
+        "vectorized heatmap is not byte-identical to the row loop"
+    assert heat["speedup"] >= MIN_HEATMAP_SPEEDUP, \
+        f"heatmap construction only {heat['speedup']:.1f}x " \
+        f"(gate {MIN_HEATMAP_SPEEDUP:.1f}x)"
+
+    roll = report["rollup"]
+    assert roll["identical"], "rollup-served result diverges from direct"
+    assert roll["speedup"] >= MIN_ROLLUP_WARM_SPEEDUP, \
+        f"rollup-warm repeats only {roll['speedup']:.1f}x the cold run " \
+        f"(gate {MIN_ROLLUP_WARM_SPEEDUP:.1f}x)"
+    assert roll["partial_reuse_ratio"] > 0.5, \
+        f"append invalidated {1 - roll['partial_reuse_ratio']:.0%} of " \
+        f"day partials; expected frontier-bounded reuse"
+
+    ident = report["worker_identity"]
+    assert ident["byte_identical"], \
+        f"/analytics responses diverge across workers {ident['workers']}"
+
+
+def _gates_pass(result: dict) -> bool:
+    cold = result["cold_aggregation"]
+    heat = result["hot_heatmap"]
+    roll = result["rollup"]
+    return (cold["identical"] and cold["speedup"] >= MIN_COLD_SPEEDUP
+            and cold["narrow_pruned"] > 0 and cold["narrow_identical"]
+            and heat["byte_identical"]
+            and heat["speedup"] >= MIN_HEATMAP_SPEEDUP
+            and roll["identical"]
+            and roll["speedup"] >= MIN_ROLLUP_WARM_SPEEDUP
+            and roll["partial_reuse_ratio"] > 0.5
+            and result["worker_identity"]["byte_identical"])
+
+
+if __name__ == "__main__":
+    result = run_and_report()
+    if not _gates_pass(result):
+        cold = result["cold_aggregation"]
+        heat = result["hot_heatmap"]
+        roll = result["rollup"]
+        print(f"FAIL: cold={cold['speedup']:.1f}x "
+              f"(gate {MIN_COLD_SPEEDUP:.1f}x, "
+              f"identical={cold['identical']}) "
+              f"heatmap={heat['speedup']:.1f}x "
+              f"(gate {MIN_HEATMAP_SPEEDUP:.1f}x, "
+              f"identical={heat['byte_identical']}) "
+              f"rollup={roll['speedup']:.1f}x "
+              f"(gate {MIN_ROLLUP_WARM_SPEEDUP:.1f}x, "
+              f"reuse={roll['partial_reuse_ratio']:.2f}) "
+              f"workers={result['worker_identity']['byte_identical']}",
+              file=sys.stderr)
+        sys.exit(1)
+    sys.exit(0)

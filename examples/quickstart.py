@@ -43,6 +43,8 @@ def main() -> None:
 
     print("\narchive statistics (note the change-point dedup):")
     for table, stats in service.archive.stats().items():
+        if "records_written" not in stats:
+            continue  # engine sections (e.g. "analytics"), not tables
         print(f"  {table}: {stats['records_written']} written, "
               f"{stats['change_points_stored']} stored, "
               f"{stats['series']} series")

@@ -3,6 +3,7 @@
 from .capacity import CapacitySweep, capacity_sweep, drops_by_category, representative_type
 from .composite import CompositeObservation, CompositeStudy, composite_query_study
 from .correlation import CorrelationStudy, PAIR_NAMES, correlation_study, pearson
+from .engine import DATASET_MEASURES, AnalyticsEngine
 from .distributions import (
     ValueDistribution,
     contradiction_summary,
@@ -26,6 +27,7 @@ __all__ = [
     "CapacitySweep", "capacity_sweep", "drops_by_category", "representative_type",
     "CompositeObservation", "CompositeStudy", "composite_query_study",
     "CorrelationStudy", "PAIR_NAMES", "correlation_study", "pearson",
+    "DATASET_MEASURES", "AnalyticsEngine",
     "ValueDistribution", "contradiction_summary",
     "score_difference_histogram", "value_distribution",
     "Heatmap", "spatial_heatmap", "spatial_vs_temporal_variation", "temporal_heatmap",

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.archive import DIM_REGION, DIM_TYPE, SpotLakeArchive
+from .engine import AnalyticsEngine
 
 PAIR_NAMES = ("sps_if", "if_price", "sps_price")
 
@@ -80,9 +81,10 @@ def correlation_study(archive: SpotLakeArchive,
     alignment on the advisor's coarser granularity.
     """
     times = list(sample_times)
-    sps_keys, sps = archive.sps_matrix(times)
-    if_keys, ifs = archive.if_score_matrix(times)
-    price_keys, price = archive.price_matrix(times)
+    engine = AnalyticsEngine(archive)
+    sps_keys, sps = engine.matrix("sps", times)
+    if_keys, ifs = engine.matrix("if_score", times)
+    price_keys, price = engine.matrix("price", times)
 
     def first_row_per_pair(keys) -> Dict[Tuple[str, str], int]:
         rows: Dict[Tuple[str, str], int] = {}

@@ -10,13 +10,13 @@ vendor datasets contradict each other.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..core.archive import DIM_REGION, DIM_TYPE, SpotLakeArchive
+from .engine import AnalyticsEngine
 from .scores import IF_SCORE_VALUES, SPS_VALUES
 
 
@@ -33,8 +33,9 @@ class ValueDistribution:
 def value_distribution(archive: SpotLakeArchive,
                        sample_times: Sequence[float]) -> ValueDistribution:
     """Table 2: marginal score-value distribution over the window."""
-    _, sps = archive.sps_matrix(sample_times)
-    _, ifs = archive.if_score_matrix(sample_times)
+    engine = AnalyticsEngine(archive)
+    _, sps = engine.matrix("sps", sample_times)
+    _, ifs = engine.matrix("if_score", sample_times)
     sps_flat = sps[~np.isnan(sps)]
     if_flat = ifs[~np.isnan(ifs)]
 
@@ -62,32 +63,36 @@ def score_difference_histogram(archive: SpotLakeArchive,
     same instant.  Differences are binned on the advisor's 0.5 step; the
     possible values are 0.0, 0.5, 1.0, 1.5, 2.0 (2.0 = full contradiction).
     """
-    sps_keys, sps = archive.sps_matrix(sample_times)
-    if_keys, ifs = archive.if_score_matrix(sample_times)
+    engine = AnalyticsEngine(archive)
+    sps_keys, sps = engine.matrix("sps", sample_times)
+    if_keys, ifs = engine.matrix("if_score", sample_times)
     if_row: Dict[Tuple[str, str], int] = {}
     for row, key in enumerate(if_keys):
         dims = key.dimension_dict
         if_row[(dims[DIM_TYPE], dims[DIM_REGION])] = row
 
-    counter: Counter = Counter()
-    total = 0
-    for row, key in enumerate(sps_keys):
-        dims = key.dimension_dict
-        pair = (dims[DIM_TYPE], dims[DIM_REGION])
-        mate = if_row.get(pair)
-        if mate is None:
-            continue
-        for col in range(len(sample_times)):
-            a, b = sps[row, col], ifs[mate, col]
-            if np.isnan(a) or np.isnan(b):
-                continue
-            diff = round(abs(a - b) * 2.0) / 2.0
-            counter[diff] += 1
-            total += 1
+    # pair every SPS row with its region-scoped advisor mate, then bin
+    # all matched samples in one vectorized pass; np.round performs the
+    # same round-half-to-even Python's round() did, so the bins (and the
+    # percentages, integer counts over an integer total) are unchanged
+    matched = [(row, mate) for row, key in enumerate(sps_keys)
+               for mate in (if_row.get((key.dimension_dict[DIM_TYPE],
+                                        key.dimension_dict[DIM_REGION])),)
+               if mate is not None]
+    if not matched:
+        return {}
+    sps_rows = np.asarray([m[0] for m in matched], dtype=np.int64)
+    if_rows = np.asarray([m[1] for m in matched], dtype=np.int64)
+    a = sps[sps_rows]
+    b = ifs[if_rows]
+    good = ~(np.isnan(a) | np.isnan(b))
+    total = int(good.sum())
     if total == 0:
         return {}
-    return {diff: 100.0 * count / total
-            for diff, count in sorted(counter.items())}
+    diffs = np.round(np.abs(a[good] - b[good]) * 2.0) / 2.0
+    values, counts = np.unique(diffs, return_counts=True)
+    return {float(diff): 100.0 * int(count) / total
+            for diff, count in zip(values, counts)}
 
 
 def contradiction_summary(histogram: Dict[float, float]) -> Dict[str, float]:

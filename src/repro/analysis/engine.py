@@ -1,0 +1,108 @@
+"""Vectorized analysis engine: one front door for the paper's figures.
+
+:class:`AnalyticsEngine` is the facade the analysis modules (and the
+``repro analyze`` CLI) use to read the archive.  It exposes two read
+shapes:
+
+* **declarative aggregation** -- build an
+  :class:`~repro.timeseries.vector.AggSpec` with :meth:`spec` (dataset
+  names instead of table/measure constants) and execute it with
+  :meth:`aggregate`, which routes through the archive's
+  :class:`~repro.core.analytics.AnalyticsRuntime` (columnar cold scans,
+  packed hot arrays, generation-stamped rollups, exact cross-tier
+  partial merges);
+* **aligned resampled matrices** -- :meth:`matrix` returns the
+  step-function sample matrix of one dataset (one row per series, one
+  column per sample instant), vectorized at the query layer.
+
+The figure modules in this package consume both; their outputs are
+regression-pinned against the original row-at-a-time implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.archive import (
+    ADVISOR_TABLE,
+    IF_SCORE_MEASURE,
+    INTERRUPTION_RATIO_MEASURE,
+    PRICE_MEASURE,
+    PRICE_TABLE,
+    SAVINGS_MEASURE,
+    SPS_MEASURE,
+    SPS_TABLE,
+    SpotLakeArchive,
+)
+from ..timeseries import AggResult, AggSpec, SeriesKey
+
+#: dataset name -> (table, measure); the names the analysis modules and
+#: the CLI speak, mapped onto the storage schema
+DATASET_MEASURES: Dict[str, Tuple[str, str]] = {
+    "sps": (SPS_TABLE, SPS_MEASURE),
+    "if_score": (ADVISOR_TABLE, IF_SCORE_MEASURE),
+    "interruption_ratio": (ADVISOR_TABLE, INTERRUPTION_RATIO_MEASURE),
+    "savings": (ADVISOR_TABLE, SAVINGS_MEASURE),
+    "price": (PRICE_TABLE, PRICE_MEASURE),
+}
+
+
+class AnalyticsEngine:
+    """Vectorized read facade over one :class:`SpotLakeArchive`."""
+
+    def __init__(self, archive: SpotLakeArchive):
+        self.archive = archive
+
+    # -- declarative aggregation --------------------------------------------
+
+    def spec(self, dataset: str, start: float, end: float,
+             bucket_seconds: Optional[float] = None,
+             group_by: Sequence[str] = (),
+             aggregates: Sequence[str] = ("mean", "count"),
+             filters: Optional[Dict[str, str]] = None) -> AggSpec:
+        """Build an :class:`AggSpec` from a dataset name."""
+        table, measure = self._resolve(dataset)
+        return AggSpec.make(table, measure, start, end,
+                            bucket_seconds=bucket_seconds,
+                            group_by=group_by, aggregates=aggregates,
+                            filters=filters)
+
+    def aggregate(self, spec: AggSpec) -> AggResult:
+        """Execute a spec through the archive's analytics runtime."""
+        return self.archive.analytics.run(spec)
+
+    # -- resampled matrices -------------------------------------------------
+
+    def matrix(self, dataset: str, sample_times: Sequence[float],
+               filters: Optional[Dict[str, str]] = None,
+               ) -> Tuple[List[SeriesKey], np.ndarray]:
+        """Aligned step-function samples of one dataset."""
+        if dataset == "sps":
+            return self.archive.sps_matrix(sample_times, filters)
+        if dataset == "if_score":
+            return self.archive.if_score_matrix(sample_times, filters)
+        if dataset == "savings":
+            return self.archive.savings_matrix(sample_times, filters)
+        if dataset == "price":
+            return self.archive.price_matrix(sample_times, filters)
+        raise ValueError(f"unknown dataset {dataset!r}")
+
+    def update_interval_samples(self, dataset: str) -> List[float]:
+        """Pooled elapsed-seconds-between-changes samples (Figure 10)."""
+        return self.archive.update_interval_samples(dataset)
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """The runtime's pushdown/rollup counters."""
+        return self.archive.analytics.stats()
+
+    def _resolve(self, dataset: str) -> Tuple[str, str]:
+        entry = DATASET_MEASURES.get(dataset)
+        if entry is None:
+            raise ValueError(
+                f"unknown dataset {dataset!r}; expected one of: "
+                + ", ".join(sorted(DATASET_MEASURES)))
+        return entry

@@ -18,6 +18,7 @@ import numpy as np
 from ..cloudsim import Catalog
 from ..core.archive import DIM_REGION, DIM_TYPE, SpotLakeArchive
 from ..timeseries import SeriesKey
+from .engine import AnalyticsEngine
 
 
 @dataclass
@@ -30,22 +31,26 @@ class Heatmap:
 
     def row_means(self) -> Dict[str, float]:
         """Mean over columns per row, ignoring NaN."""
-        out = {}
-        for i, label in enumerate(self.row_labels):
-            row = self.values[i]
-            if not np.all(np.isnan(row)):
-                out[label] = float(np.nanmean(row))
-        return out
+        if not self.row_labels:
+            return {}
+        live = ~np.all(np.isnan(self.values), axis=1)
+        means = np.full(len(self.row_labels), np.nan)
+        if live.any():
+            means[live] = np.nanmean(self.values[live], axis=1)
+        return {label: float(means[i])
+                for i, label in enumerate(self.row_labels) if live[i]}
 
     def overall_mean(self) -> float:
         return float(np.nanmean(self.values))
 
     def temporal_std(self) -> float:
         """Mean over rows of the std across columns (variation over time)."""
-        stds = [float(np.nanstd(self.values[i]))
-                for i in range(len(self.row_labels))
-                if not np.all(np.isnan(self.values[i]))]
-        return float(np.mean(stds)) if stds else float("nan")
+        if not self.row_labels:
+            return float("nan")
+        live = ~np.all(np.isnan(self.values), axis=1)
+        if not live.any():
+            return float("nan")
+        return float(np.mean(np.nanstd(self.values[live], axis=1)))
 
 
 def _class_of(catalog: Catalog, key: SeriesKey) -> Optional[str]:
@@ -63,27 +68,54 @@ def temporal_heatmap(archive: SpotLakeArchive, catalog: Catalog,
     ``day_times`` is one sequence of sample instants per day column (daily
     averages in the paper).  ``dataset`` is "sps" or "if_score".
     """
+    if dataset not in ("sps", "if_score"):
+        raise ValueError(f"unknown dataset {dataset!r}")
     classes = catalog.classes
     class_row = {c: i for i, c in enumerate(classes)}
     n_days = len(day_times)
     sums = np.zeros((len(classes), n_days))
     counts = np.zeros((len(classes), n_days))
-    for d, times in enumerate(day_times):
-        if dataset == "sps":
-            keys, matrix = archive.sps_matrix(times)
-        elif dataset == "if_score":
-            keys, matrix = archive.if_score_matrix(times)
-        else:
-            raise ValueError(f"unknown dataset {dataset!r}")
-        for row, key in enumerate(keys):
-            cls = _class_of(catalog, key)
-            if cls is None:
+    # one resample over the concatenated day instants: each sampled
+    # column depends only on its own instant, so slicing the flat matrix
+    # at the day offsets yields exactly the per-day matrices the old
+    # day-at-a-time loop fetched -- one series_arrays/searchsorted pass
+    # instead of one per day
+    flat_times = [t for times in day_times for t in times]
+    offsets = np.zeros(n_days + 1, dtype=np.int64)
+    np.cumsum([len(times) for times in day_times], out=offsets[1:])
+    keys, matrix = AnalyticsEngine(archive).matrix(dataset, flat_times)
+    cls_of = np.asarray([class_row.get(_class_of(catalog, key), -1)
+                         for key in keys], dtype=np.int64)
+    lengths = {len(times) for times in day_times}
+    per_day = lengths.pop() if len(lengths) == 1 else 0
+    if keys and 0 < per_day <= 8:
+        # equal-length short days: fold all (series, day) cells at once.
+        # Summing <= 8 addends is a strictly sequential left-to-right
+        # reduce in numpy (pairwise blocking starts above 8), and adding
+        # a 0.0 in place of a skipped NaN is an exact identity, so these
+        # cell sums are bit-equal to the per-slice vals[good].sum() --
+        # and np.add.at applies them in series order, the same order the
+        # explicit row loop added them
+        vals3 = matrix.reshape(len(keys), n_days, per_day)
+        good = ~np.isnan(vals3)
+        cell_sums = np.where(good, vals3, 0.0).sum(axis=2)
+        cell_counts = good.sum(axis=2)
+        rows, days = np.nonzero((cls_of[:, None] >= 0) & (cell_counts > 0))
+        np.add.at(sums, (cls_of[rows], days), cell_sums[rows, days])
+        np.add.at(counts, (cls_of[rows], days), cell_counts[rows, days])
+    else:
+        # ragged or long days: the original per-slice fold (pairwise
+        # summation over >8 addends skips NaN positions, so the zero
+        # substitution above would re-associate the additions)
+        for row in range(len(keys)):
+            if cls_of[row] < 0:
                 continue
-            vals = matrix[row]
-            good = ~np.isnan(vals)
-            if good.any():
-                sums[class_row[cls], d] += vals[good].sum()
-                counts[class_row[cls], d] += good.sum()
+            for d in range(n_days):
+                vals = matrix[row, offsets[d]:offsets[d + 1]]
+                good = ~np.isnan(vals)
+                if good.any():
+                    sums[cls_of[row], d] += vals[good].sum()
+                    counts[cls_of[row], d] += good.sum()
     with np.errstate(invalid="ignore"):
         values = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
     return Heatmap(list(classes), [f"day{i}" for i in range(n_days)], values)
@@ -94,18 +126,15 @@ def spatial_heatmap(archive: SpotLakeArchive, catalog: Catalog,
                     dataset: str = "sps") -> Heatmap:
     """Figure 4: mean score per (instance class, region); NaN where
     unsupported."""
+    if dataset not in ("sps", "if_score"):
+        raise ValueError(f"unknown dataset {dataset!r}")
     classes = catalog.classes
     regions = [r.code for r in catalog.regions]
     class_row = {c: i for i, c in enumerate(classes)}
     region_col = {r: j for j, r in enumerate(regions)}
     sums = np.zeros((len(classes), len(regions)))
     counts = np.zeros((len(classes), len(regions)))
-    if dataset == "sps":
-        keys, matrix = archive.sps_matrix(sample_times)
-    elif dataset == "if_score":
-        keys, matrix = archive.if_score_matrix(sample_times)
-    else:
-        raise ValueError(f"unknown dataset {dataset!r}")
+    keys, matrix = AnalyticsEngine(archive).matrix(dataset, sample_times)
     for row, key in enumerate(keys):
         cls = _class_of(catalog, key)
         region = key.dimension_dict.get(DIM_REGION)

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.archive import SpotLakeArchive
+from .engine import AnalyticsEngine
 
 DATASETS = ("sps", "if_score", "price")
 
@@ -52,7 +53,8 @@ def update_frequency_study(archive: SpotLakeArchive) -> UpdateFrequencyStudy:
     series that never changes contributes no samples (its interval is
     censored, as in the paper's measurement).
     """
+    engine = AnalyticsEngine(archive)
     return UpdateFrequencyStudy({
-        dataset: np.array(archive.update_interval_samples(dataset))
+        dataset: np.array(engine.update_interval_samples(dataset))
         for dataset in DATASETS
     })

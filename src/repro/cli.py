@@ -226,6 +226,74 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import DATASET_MEASURES, AnalyticsEngine
+    from .core.archive import DIM_REGION, DIM_TYPE, DIM_ZONE
+    from .devtools.servebench import build_backfilled_service
+    from .timeseries import AGGREGATES
+
+    aggregates = [a.strip() for a in args.agg.split(",") if a.strip()]
+    unknown = sorted(set(aggregates) - set(AGGREGATES))
+    if unknown:
+        print(f"unknown aggregate(s): {', '.join(unknown)} "
+              f"(known: {', '.join(AGGREGATES)})", file=sys.stderr)
+        return 2
+    dim_of = {"instance_type": DIM_TYPE, "region": DIM_REGION,
+              "zone": DIM_ZONE}
+    group_names = [g.strip() for g in args.group_by.split(",") if g.strip()]
+    bad = sorted(set(group_names) - set(dim_of))
+    if bad:
+        print(f"cannot group by: {', '.join(bad)} "
+              f"(known: {', '.join(sorted(dim_of))})", file=sys.stderr)
+        return 2
+
+    service = build_backfilled_service(seed=args.seed, days=args.days,
+                                       pool_types=args.pool_types)
+    engine = AnalyticsEngine(service.archive)
+    start = service.cloud.clock.start
+    end = service.cloud.clock.now()
+    bucket = args.bucket_days * 86400.0 if args.bucket_days else None
+    spec = engine.spec(args.dataset, start, end, bucket_seconds=bucket,
+                       group_by=[dim_of[g] for g in group_names],
+                       aggregates=aggregates)
+    if args.engine == "vector":
+        result = engine.aggregate(spec)
+        labels, edges, tables = result.group_labels, result.edges, \
+            result.tables
+    else:
+        from .devtools.analysisbench import reference_aggregate
+        reference = reference_aggregate(service.archive, spec)
+        labels, edges, tables = reference["labels"], reference["edges"], \
+            reference["tables"]
+
+    table, measure = DATASET_MEASURES[args.dataset]
+    print(f"{args.dataset} ({table}.{measure}), {args.days} day(s), "
+          f"{len(labels) or 1} group(s) x {len(edges) - 1} bucket(s), "
+          f"engine={args.engine}")
+    header = [*(group_names or ()), "bucket_start", *aggregates]
+    print("  " + "  ".join(f"{h:>14s}" for h in header))
+    printed = 0
+    for g, label in enumerate(labels or [()]):
+        for b in range(len(edges) - 1):
+            if printed >= args.limit:
+                break
+            cells = [f"{v:>14s}" for v in label]
+            cells.append(f"{float(edges[b]):>14.0f}")
+            for agg in aggregates:
+                value = float(tables[agg][g, b])
+                cells.append(f"{value:>14.4f}")
+            print("  " + "  ".join(cells))
+            printed += 1
+    if args.engine == "vector":
+        stats = engine.stats()
+        print(f"analytics: {stats['queries']} query(ies), "
+              f"{stats['chunks_pruned']} chunks pruned / "
+              f"{stats['chunks_decoded']} decoded, "
+              f"rollup days {stats['rollup_day_hits']} hit / "
+              f"{stats['rollup_day_recomputes']} recomputed")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     cloud = SimulatedCloud(seed=args.seed)
     submit = cloud.clock.start + args.day * 86400.0
@@ -454,6 +522,33 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--region", required=True)
     query.add_argument("--zone", default=None)
     query.set_defaults(func=_cmd_query)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="bucketed group-by aggregation over a backfilled archive")
+    analyze.add_argument("--dataset", default="sps",
+                         choices=("sps", "if_score", "interruption_ratio",
+                                  "savings", "price"))
+    analyze.add_argument("--days", type=int, default=14,
+                         help="backfilled archive window (days)")
+    analyze.add_argument("--pool-types", type=int, default=8,
+                         help="instance types in the backfill slice")
+    analyze.add_argument("--bucket-days", type=float, default=1.0,
+                         help="bucket width in days (0 = one bucket "
+                              "spanning the window)")
+    analyze.add_argument("--group-by", default="region",
+                         help="comma-separated dimensions: instance_type, "
+                              "region, zone ('' = one global group)")
+    analyze.add_argument("--agg", default="mean,count",
+                         help="comma-separated aggregates (e.g. "
+                              "mean,count,std,twa_mean)")
+    analyze.add_argument("--engine", choices=("vector", "rows"),
+                         default="vector",
+                         help="vector: columnar pushdown engine; rows: "
+                              "the row-at-a-time reference")
+    analyze.add_argument("--limit", type=int, default=20,
+                         help="max result rows printed")
+    analyze.set_defaults(func=_cmd_analyze)
 
     experiment = sub.add_parser("experiment",
                                 help="run the Table-3 availability experiment")

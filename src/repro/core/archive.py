@@ -58,6 +58,7 @@ from ..timeseries import (
     update_intervals,
 )
 from ..timeseries.cache import DEFAULT_MAX_ENTRIES
+from .analytics import AnalyticsRuntime
 
 # The merged-record schema constants (SPS_TABLE, SPS_MEASURE, DIM_TYPE,
 # ...) are defined once in repro.lake.schema and re-exported here, so the
@@ -131,6 +132,9 @@ class SpotLakeArchive:
         self._caches_lock = threading.Lock()
         self._cache_entries = cache_entries
         self.cache_enabled = cache
+        #: vectorized aggregation engine (lazily created under the same
+        #: guard as the query caches so serving workers share one)
+        self._analytics: Optional[AnalyticsRuntime] = None
         # SeriesKey caches for the batched write path: every collection
         # round touches the same (type, region, zone) coordinates, so the
         # keys (and their cached hashes) are built once and reused
@@ -231,6 +235,14 @@ class SpotLakeArchive:
                                    max_entries=self._cache_entries)
                 self._caches[table_name] = cache
             return cache
+
+    @property
+    def analytics(self) -> AnalyticsRuntime:
+        """The archive's vectorized aggregation runtime (shared)."""
+        with self._caches_lock:
+            if self._analytics is None:
+                self._analytics = AnalyticsRuntime(self)
+            return self._analytics
 
     def cache_stats(self) -> Dict[str, dict]:
         """Per-table cache counters plus an aggregate ``hit_rate``."""
@@ -533,6 +545,7 @@ class SpotLakeArchive:
 
     def stats(self) -> Dict[str, dict]:
         out = self.store.stats()
+        out["analytics"] = self.analytics.stats()
         if self.lake is not None:
             out["lake"] = {
                 **self.lake.census(),

@@ -30,6 +30,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..timeseries.vector import AGGREGATES, AggSpec
 from .archive import (
     ADVISOR_TABLE,
     DIM_REGION,
@@ -164,6 +165,46 @@ def decode_cursor(token: str) -> CursorPos:
             raise BadRequest(f"unsupported cursor version {payload['v']!r}")
         return (float(payload["t"]), str(payload["m"]),
                 tuple((str(k), str(v)) for k, v in payload["d"]))
+    except BadRequest:
+        raise
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError,
+            binascii.Error) as exc:
+        raise BadRequest(f"malformed 'next_token': {exc}") from exc
+
+
+#: dataset name -> (table, allowed measures (first is the default),
+#: dimension constants the dataset's series carry)
+_ANALYTICS_DATASETS: Dict[str, Tuple[str, Tuple[str, ...], Tuple[str, ...]]] = {
+    "sps": (SPS_TABLE, (SPS_MEASURE,), (DIM_TYPE, DIM_REGION, DIM_ZONE)),
+    "advisor": (ADVISOR_TABLE,
+                (IF_SCORE_MEASURE, INTERRUPTION_RATIO_MEASURE,
+                 SAVINGS_MEASURE),
+                (DIM_TYPE, DIM_REGION)),
+    "price": (PRICE_TABLE, (PRICE_MEASURE,),
+              (DIM_TYPE, DIM_REGION, DIM_ZONE)),
+}
+
+#: query-parameter name of each filterable/groupable dimension
+_DIM_PARAMS: Tuple[Tuple[str, str], ...] = (
+    (DIM_TYPE, "instance_type"), (DIM_REGION, "region"), (DIM_ZONE, "zone"))
+
+
+def _encode_agg_cursor(label: Tuple[str, ...], bucket_start: float) -> str:
+    """Pagination token for an /analytics row: (group label, bucket)."""
+    payload = {"v": _CURSOR_VERSION, "k": "analytics", "g": list(label),
+               "b": bucket_start}
+    raw = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return base64.urlsafe_b64encode(raw.encode("utf-8")).decode("ascii")
+
+
+def _decode_agg_cursor(token: str) -> Tuple[Tuple[str, ...], float]:
+    """Inverse of :func:`_encode_agg_cursor`; malformed tokens are 400s."""
+    try:
+        raw = base64.urlsafe_b64decode(token.encode("ascii"))
+        payload = json.loads(raw.decode("utf-8"))
+        if payload["v"] != _CURSOR_VERSION or payload["k"] != "analytics":
+            raise BadRequest("cursor is not an analytics cursor")
+        return (tuple(str(v) for v in payload["g"]), float(payload["b"]))
     except BadRequest:
         raise
     except (ValueError, KeyError, TypeError, UnicodeDecodeError,
@@ -333,6 +374,139 @@ class LambdaHandlers:
             }
         return payload
 
+    # -- analytics -----------------------------------------------------------
+
+    def _analytics_rows(self, spec: AggSpec, param_of: Dict[str, str],
+                        ) -> Tuple[List[dict],
+                                   List[Tuple[Tuple[str, ...], float]]]:
+        """Rendered aggregate rows + their cursor positions for one spec.
+
+        Rows are ordered by (group label, bucket start) and carry only
+        populated cells (observed rows, or step-function cover for
+        ``twa_mean``), so sparse group/bucket grids stay small.  The
+        rendering is memoized in the table's query cache under the same
+        generation-stamp rule as record scans; the engine result behind
+        it has its own memo, so only the first request per generation
+        touches the kernels.
+        """
+        def render() -> Tuple[List[dict],
+                              List[Tuple[Tuple[str, ...], float]]]:
+            result = self.archive.analytics.run(spec)
+            tables = result.tables
+            edges = result.edges
+            count = result.count
+            cover = result.cover
+            rows: List[dict] = []
+            positions: List[Tuple[Tuple[str, ...], float]] = []
+            for g, label in enumerate(result.group_labels):
+                group_dims = {param_of[dim]: label[i]
+                              for i, dim in enumerate(spec.group_by)}
+                for b in range(result.n_buckets):
+                    populated = count[g, b] > 0 or (
+                        cover is not None and cover[g, b] > 0)
+                    if not populated:
+                        continue
+                    row = dict(group_dims)
+                    row["bucket_start"] = float(edges[b])
+                    row["bucket_end"] = float(edges[b + 1])
+                    for agg in spec.aggregates:
+                        cell = tables[agg][g, b]
+                        # count-like aggregates are integer tables; keep
+                        # them integers in the JSON payload
+                        row[agg] = (int(cell)
+                                    if agg in ("count", "change_count")
+                                    else float(cell))
+                    rows.append(row)
+                    positions.append((label, float(edges[b])))
+            return rows, positions
+
+        cache = self.archive.query_cache(spec.table)
+        if cache is None:
+            return render()
+        return cache.derived(
+            "analytics", spec.measure, dict(spec.filters) or None,
+            (spec.start, spec.end, spec.bucket_seconds, spec.group_by,
+             spec.aggregates), render)
+
+    def analytics(self, params: Dict[str, str]) -> dict:
+        """GET /analytics -- bucketed group-by aggregates over both tiers."""
+        dataset = _require(params, "dataset")
+        entry = _ANALYTICS_DATASETS.get(dataset)
+        if entry is None:
+            raise BadRequest(
+                f"unknown dataset {dataset!r}; expected one of: "
+                + ", ".join(repr(d) for d in sorted(_ANALYTICS_DATASETS)))
+        table, measures, dims = entry
+        dim_param = {dim: param for dim, param in _DIM_PARAMS if dim in dims}
+        _validate_params(params, ("dataset", "measure", "bucket", "group_by",
+                                  "agg", *_HISTORY_COMMON_PARAMS,
+                                  *dim_param.values()))
+        measure = params.get("measure", measures[0])
+        if measure not in measures:
+            raise BadRequest(
+                f"unknown {dataset!r} measure {measure!r}; expected one "
+                "of: " + ", ".join(repr(m) for m in measures))
+        start, end = _time_range(params)
+        bucket: Optional[float] = None
+        raw_bucket = params.get("bucket")
+        if raw_bucket is not None:
+            bucket = _finite(raw_bucket, "bucket")
+            if bucket <= 0:
+                raise BadRequest("'bucket' must be a positive number "
+                                 "of seconds")
+        param_dim = {param: dim for dim, param in dim_param.items()}
+        group_by: List[str] = []
+        raw_group = params.get("group_by")
+        if raw_group:
+            for name in raw_group.split(","):
+                dim = param_dim.get(name.strip())
+                if dim is None:
+                    raise BadRequest(
+                        f"cannot group {dataset!r} by {name.strip()!r}; "
+                        "expected any of: "
+                        + ", ".join(repr(p) for p in sorted(param_dim)))
+                group_by.append(dim)
+        aggregates = ("mean", "count")
+        raw_agg = params.get("agg")
+        if raw_agg:
+            parsed = tuple(a.strip() for a in raw_agg.split(","))
+            unknown = [a for a in parsed if a not in AGGREGATES]
+            if unknown:
+                raise BadRequest(
+                    "unknown aggregate(s): "
+                    + ", ".join(repr(a) for a in unknown)
+                    + "; expected any of: "
+                    + ", ".join(repr(a) for a in AGGREGATES))
+            aggregates = parsed
+        filters = {dim: params[param]
+                   for dim, param in dim_param.items() if params.get(param)}
+        limit = _parse_limit(params)
+        token = params.get("next_token")
+        spec = AggSpec.make(table, measure, start, end, bucket_seconds=bucket,
+                            group_by=group_by, aggregates=aggregates,
+                            filters=filters)
+        param_of = {dim: param for dim, param in _DIM_PARAMS}
+        rows, positions = self._analytics_rows(spec, param_of)
+        begin = (bisect_right(positions, _decode_agg_cursor(token))
+                 if token else 0)
+        page = rows[begin:begin + limit] if limit is not None else rows[begin:]
+        next_pos = begin + len(page)
+        next_token = (_encode_agg_cursor(*positions[next_pos - 1])
+                      if page and next_pos < len(rows) else None)
+        return {
+            "dataset": dataset,
+            "measure": measure,
+            "start": start,
+            "end": end,
+            "bucket_seconds": bucket,
+            "group_by": [dim_param[d] for d in group_by],
+            "aggregates": list(aggregates),
+            "count": len(page),
+            "total": len(rows),
+            "rows": page,
+            "next_token": next_token,
+        }
+
 
 class ApiGateway:
     """Routes paths to Lambda handlers, mapping errors to status codes.
@@ -352,6 +526,7 @@ class ApiGateway:
             "/price/history": self.handlers.price_history,
             "/latest": self.handlers.latest,
             "/stats": self.handlers.stats,
+            "/analytics": self.handlers.analytics,
             "/metrics": self._metrics_payload,
         }
 
@@ -359,6 +534,7 @@ class ApiGateway:
         """GET /metrics -- serving observability snapshot."""
         payload = self.metrics.snapshot()
         payload["cache"] = self.handlers.archive.cache_stats()
+        payload["analytics"] = self.handlers.archive.analytics.stats()
         return payload
 
     def routes(self) -> List[str]:

@@ -39,19 +39,24 @@ so the layout itself is byte-deterministic.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 import mmap
 import os
 import threading
 from dataclasses import dataclass
 from datetime import datetime, timezone
+from operator import itemgetter
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from .._util import atomic_open
 from ..storage.columnar import SegmentCursor, encode_segment
 from ..timeseries.compression import ChangePointSeries, values_equal
 from ..timeseries.record import Record, SeriesKey, Value
+from ..timeseries.vector import TierColumns
 from ..storage.wal import NoopCrashHook
 from .merge import MergedRound
 from .schema import (
@@ -87,6 +92,21 @@ def _stamp_text(time: float) -> str:
     """Filename-stable rendering of a round timestamp."""
     time = float(time)
     return str(int(time)) if time.is_integer() else repr(time)
+
+
+def _merge_runs(runs: List[List[Tuple[float, Value]]],
+                ) -> List[Tuple[float, Value]]:
+    """Merge per-partition time-sorted row runs into one sorted list.
+
+    Each partition already returns a series' rows time-sorted, so a
+    k-way ``heapq.merge`` is O(n log k) instead of the O(n log n)
+    re-sort of the concatenation -- and ``heapq.merge`` is stable across
+    its inputs, preserving the partition-order tie behavior the stable
+    ``list.sort`` had.
+    """
+    if len(runs) == 1:
+        return runs[0]
+    return list(heapq.merge(*runs, key=itemgetter(0)))
 
 
 @dataclass(frozen=True)
@@ -467,19 +487,15 @@ class SpotDataLake:
         appear in canonical (measure, dimensions) order.
         """
         match = self._matcher(measure, filters)
-        per_key: Dict[SeriesKey, List[Tuple[float, Value]]] = {}
+        per_key: Dict[SeriesKey, List[List[Tuple[float, Value]]]] = {}
         for part in self.partitions:
             if part.end < start or part.start > end:
                 continue
             for key, rows in self._partition_scan(part, start, end, match):
-                per_key.setdefault(key, []).extend(rows)
-        out = []
-        for key in sorted(per_key, key=lambda k: (k.measure_name,
-                                                  k.dimensions)):
-            rows = per_key[key]
-            rows.sort(key=lambda r: r[0])
-            out.append((key, rows))
-        return out
+                per_key.setdefault(key, []).append(rows)
+        return [(key, _merge_runs(per_key[key]))
+                for key in sorted(per_key, key=lambda k: (k.measure_name,
+                                                          k.dimensions))]
 
     @staticmethod
     def _matcher(measure: Optional[str],
@@ -513,14 +529,12 @@ class SpotDataLake:
         """
         parts = self.partitions
         match = self._matcher(measure, filters)
-        per_key: Dict[SeriesKey, List[Tuple[float, Value]]] = {}
-        contributors = 0
+        per_key: Dict[SeriesKey, List[List[Tuple[float, Value]]]] = {}
         for part in parts:
             if part.end < start or part.start > end:
                 continue
-            contributors += 1
             for key, rows in self._partition_scan(part, start, end, match):
-                per_key.setdefault(key, []).extend(rows)
+                per_key.setdefault(key, []).append(rows)
         if not per_key:
             return []
 
@@ -546,10 +560,7 @@ class SpotDataLake:
         out: List[Record] = []
         for key in sorted(per_key, key=lambda k: (k.measure_name,
                                                   k.dimensions)):
-            rows = per_key[key]
-            if contributors > 1:
-                # a single partition's rows are already time-sorted
-                rows.sort(key=lambda r: r[0])
+            rows = _merge_runs(per_key[key])
             has_prev = key in baseline
             prev = baseline.get(key)
             for t, v in rows:
@@ -562,6 +573,107 @@ class SpotDataLake:
         # order exactly (and cheaply -- float keys, no tuple compares)
         out.sort(key=lambda r: r.time)
         return out
+
+    def scan_column_arrays(self, measure: str, filters: Dict[str, str],
+                           start: float, end: float,
+                           universe: Sequence[SeriesKey],
+                           counters: Optional[Dict[str, int]] = None,
+                           ) -> TierColumns:
+        """Cold change-row columns for ``[start, end]``, aligned to a
+        caller-supplied series universe.
+
+        The vectorized analogue of :meth:`change_points`: per universe
+        series, the float64 (times, values) change rows in the window
+        plus the baseline value in force just before it, assembled from
+        ``SegmentCursor.scan_columns`` without building per-row tuples.
+        Partitions are time-disjoint, so per-series assembly is pure
+        concatenation in partition-start order; observation streams from
+        round files are deduped in the float domain against the running
+        predecessor (NaN equals NaN, as in ``values_equal``).  Series
+        the universe does not list are ignored -- the hot table's key
+        set is a superset of the lake's by construction (every lake row
+        passed through the differ).  ``counters`` accumulates the cursor
+        decode/prune counters.
+        """
+        n = len(universe)
+        cols = TierColumns.empty(n)
+        index_of = {key: i for i, key in enumerate(universe)}
+        match = self._matcher(measure, filters)
+        parts = sorted(self.partitions, key=lambda p: (p.start, p.path))
+        runs_t: List[List[np.ndarray]] = [[] for _ in range(n)]
+        runs_v: List[List[np.ndarray]] = [[] for _ in range(n)]
+        for part in parts:
+            if part.end < start or part.start > end:
+                # the manifest [start, end] is a partition-level zone
+                # map: the whole file is skipped without opening it
+                if counters is not None:
+                    counters["partitions_pruned"] = \
+                        counters.get("partitions_pruned", 0) + 1
+                continue
+            keys, counts, times, values = self._cursor(part).scan_columns(
+                start, end, match=match, counters=counters)
+            offset = 0
+            for j, key in enumerate(keys):
+                cnt = int(counts[j])
+                i = index_of.get(key)
+                if i is not None:
+                    runs_t[i].append(times[offset:offset + cnt])
+                    runs_v[i].append(values[offset:offset + cnt])
+                offset += cnt
+
+        # baseline: last raw value strictly before the window, walking
+        # earlier partitions newest-first (a series' first-ever raw row
+        # is itself a change, so "any row before start" is exactly
+        # "a change point exists before start")
+        if start != float("-inf"):
+            unresolved = dict.fromkeys(universe)
+            for part in reversed(parts):
+                if not unresolved:
+                    break
+                if part.start >= start:
+                    continue
+                keys, counts, times, values = \
+                    self._cursor(part).scan_columns(
+                        float("-inf"), start,
+                        match=lambda key: key in unresolved,
+                        counters=counters)
+                offset = 0
+                for j, key in enumerate(keys):
+                    cnt = int(counts[j])
+                    seg_t = times[offset:offset + cnt]
+                    seg_v = values[offset:offset + cnt]
+                    offset += cnt
+                    hi = int(np.searchsorted(seg_t, start, side="left"))
+                    i = index_of.get(key)
+                    if hi and i is not None and not cols.has_base[i]:
+                        cols.has_base[i] = True
+                        cols.base_values[i] = seg_v[hi - 1]
+                        unresolved.pop(key, None)
+
+        t_parts: List[np.ndarray] = []
+        v_parts: List[np.ndarray] = []
+        for i in range(n):
+            if not runs_t[i]:
+                continue
+            raw_t = np.concatenate(runs_t[i])
+            raw_v = np.concatenate(runs_v[i])
+            m = raw_t.size
+            prev = np.empty(m)
+            prev[1:] = raw_v[:-1]
+            prev[0] = cols.base_values[i]
+            keep = ~((raw_v == prev)
+                     | (np.isnan(raw_v) & np.isnan(prev)))
+            if not cols.has_base[i]:
+                keep[0] = True
+            kept = int(np.count_nonzero(keep))
+            if kept:
+                cols.counts[i] = kept
+                t_parts.append(raw_t[keep])
+                v_parts.append(raw_v[keep])
+        if t_parts:
+            cols.times = np.concatenate(t_parts)
+            cols.values = np.concatenate(v_parts)
+        return cols
 
     def latest_values(self) -> List[Tuple[SeriesKey, Value]]:
         """Each archived series' newest value (differ restart seeding)."""

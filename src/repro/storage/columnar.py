@@ -44,6 +44,8 @@ import json
 import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..timeseries.compression import (
     ChangePointSeries,
     int_column_fits,
@@ -51,7 +53,9 @@ from ..timeseries.compression import (
     pack_index_column,
     pack_int_column,
     pack_time_column,
+    unpack_time_array,
     unpack_time_column,
+    unpack_value_array,
     unpack_value_column,
 )
 from ..timeseries.record import SeriesKey, Value
@@ -183,6 +187,12 @@ class SegmentCursor:
         self._memoize = memoize
         self._keys: Optional[List[SeriesKey]] = None
         self._chunk_cache: Dict[int, Tuple[List[float], list]] = {}
+        self._array_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        # float64 lookup table over the value dictionary, built lazily on
+        # the first scan_columns call (None until then); _float_lut_bad
+        # flags dictionary slots with no exact numeric reading
+        self._float_lut: Optional[np.ndarray] = None
+        self._float_lut_bad: Optional[np.ndarray] = None
         parsed = False
         try:
             if bytes(view[:len(MAGIC)]) != MAGIC:
@@ -226,6 +236,9 @@ class SegmentCursor:
         self._view.release()
         self._keys = None
         self._chunk_cache.clear()
+        self._array_cache.clear()
+        self._float_lut = None
+        self._float_lut_bad = None
 
     def __enter__(self) -> "SegmentCursor":
         return self
@@ -343,6 +356,135 @@ class SegmentCursor:
         except ColumnarFormatError:
             raise
         except (ValueError, KeyError, IndexError, TypeError) as exc:
+            raise ColumnarFormatError(
+                f"undecodable v2 segment body: {exc}") from None
+
+    # -- columnar fast path (analytics pushdown) ---------------------------
+
+    def _value_lut(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Float64 view of the value dictionary plus a bad-slot mask.
+
+        Bools read as 0.0/1.0 and ints as exact float64 (the analytics
+        engine aggregates in the float domain); strings and other
+        non-numeric dictionary entries are flagged so a chunk that
+        actually references one raises instead of aggregating garbage.
+        """
+        if self._float_lut is None:
+            lut = np.zeros(len(self._values), dtype="<f8")
+            bad = np.zeros(len(self._values), dtype=bool)
+            for slot, value in enumerate(self._values):
+                if isinstance(value, (int, float)):
+                    lut[slot] = float(value)
+                else:
+                    bad[slot] = True
+            self._float_lut = lut
+            self._float_lut_bad = bad
+        return self._float_lut, self._float_lut_bad
+
+    def _chunk_arrays(self, chunk: Sequence) -> Tuple[np.ndarray, np.ndarray]:
+        """One chunk as (times, values) float64 arrays, no row tuples."""
+        n, _, _, t_off, t_len, v_off, v_len = chunk
+        if self._memoize:
+            cached = self._array_cache.get(t_off)
+            if cached is not None:
+                return cached
+        times = unpack_time_array(bytes(self._body[t_off:t_off + t_len]))
+        is_index, raw = unpack_value_array(
+            bytes(self._body[v_off:v_off + v_len]))
+        if is_index:
+            lut, bad = self._value_lut()
+            if raw.size and int(raw.max()) >= lut.size:
+                raise ColumnarFormatError(
+                    "value index out of dictionary range")
+            if bad[raw].any():
+                raise TypeError(
+                    "column scan over non-numeric series values")
+            vals = lut[raw]
+        else:
+            vals = raw.astype("<f8") if raw.dtype.kind == "i" else raw
+        if times.size != n or vals.size != n:
+            raise ColumnarFormatError(
+                f"chunk decodes to {times.size}/{vals.size} rows, "
+                f"descriptor says {n}")
+        if self._memoize:
+            self._array_cache[t_off] = (times, vals)
+        return times, vals
+
+    def scan_columns(self, start: float = float("-inf"),
+                     end: float = float("inf"),
+                     match: Optional[Callable[[SeriesKey], bool]] = None,
+                     counters: Optional[Dict[str, int]] = None,
+                     ) -> Tuple[List[SeriesKey], np.ndarray,
+                                np.ndarray, np.ndarray]:
+        """Decoded columns inside ``[start, end]`` without per-row tuples.
+
+        Returns ``(keys, counts, times, values)``: the matched series
+        keys (descriptor order) that have at least one in-window row,
+        rows-per-series counts, and the concatenated float64 time/value
+        columns (series-major; time-sorted within each series).  Chunk
+        selection is the same zone-map pruning :meth:`scan` performs,
+        but surviving chunks decode straight into numpy arrays and only
+        boundary chunks are trimmed (via ``searchsorted``, not a Python
+        row filter).  Series holding non-numeric values raise
+        ``TypeError``.  ``counters``, when given, accumulates
+        ``chunks_pruned`` / ``chunks_decoded`` / ``rows_decoded``.
+        """
+        try:
+            keys_out: List[SeriesKey] = []
+            counts: List[int] = []
+            t_parts: List[np.ndarray] = []
+            v_parts: List[np.ndarray] = []
+            pruned = decoded = rows_decoded = 0
+            keys = self.keys()
+            for index, desc in enumerate(self._desc):
+                key = keys[index] if keys is not None else None
+                if match is not None:
+                    if key is None:
+                        key = self._key_of(desc)
+                    if not match(key):
+                        continue
+                total = 0
+                first_part = len(t_parts)
+                for chunk in desc["ch"]:
+                    tmin, tmax = chunk[1], chunk[2]
+                    if tmax < start or tmin > end:
+                        pruned += 1
+                        continue  # zone map excludes the whole chunk
+                    times, vals = self._chunk_arrays(chunk)
+                    decoded += 1
+                    rows_decoded += times.size
+                    if tmin < start or tmax > end:
+                        lo = int(np.searchsorted(times, start, side="left"))
+                        hi = int(np.searchsorted(times, end, side="right"))
+                        times, vals = times[lo:hi], vals[lo:hi]
+                    if times.size:
+                        total += times.size
+                        t_parts.append(times)
+                        v_parts.append(vals)
+                if total:
+                    if key is None:
+                        key = self._key_of(desc)
+                    keys_out.append(key)
+                    counts.append(total)
+                else:
+                    del t_parts[first_part:]
+                    del v_parts[first_part:]
+            if counters is not None:
+                counters["chunks_pruned"] = \
+                    counters.get("chunks_pruned", 0) + pruned
+                counters["chunks_decoded"] = \
+                    counters.get("chunks_decoded", 0) + decoded
+                counters["rows_decoded"] = \
+                    counters.get("rows_decoded", 0) + rows_decoded
+            times_flat = (np.concatenate(t_parts) if t_parts
+                          else np.empty(0, dtype="<f8"))
+            values_flat = (np.concatenate(v_parts) if v_parts
+                           else np.empty(0, dtype="<f8"))
+            return (keys_out, np.asarray(counts, dtype=np.int64),
+                    times_flat, values_flat)
+        except (ColumnarFormatError, TypeError):
+            raise
+        except (ValueError, KeyError, IndexError) as exc:
             raise ColumnarFormatError(
                 f"undecodable v2 segment body: {exc}") from None
 

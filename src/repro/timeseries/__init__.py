@@ -17,6 +17,17 @@ from .persistence import (
 )
 from .store import RetentionPolicy, TimeSeriesStore
 from .table import Table, TableStats
+from .vector import (
+    AGGREGATES,
+    AggResult,
+    AggSpec,
+    Partials,
+    TierColumns,
+    bucket_edges,
+    compute_partials,
+    finish_aggregates,
+    merge_partials,
+)
 
 __all__ = [
     "CacheStats", "QueryCache",
@@ -27,4 +38,7 @@ __all__ = [
     "dump_store", "dump_table", "load_store", "load_table",
     "load_table_with_policy",
     "Table", "TableStats",
+    "AGGREGATES", "AggResult", "AggSpec", "Partials", "TierColumns",
+    "bucket_edges", "compute_partials", "finish_aggregates",
+    "merge_partials",
 ]

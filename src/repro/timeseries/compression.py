@@ -168,18 +168,27 @@ def pack_time_column(times: Sequence[float]) -> bytes:
 
 def unpack_time_column(blob: bytes) -> List[float]:
     """Invert :func:`pack_time_column`; returns plain Python floats."""
+    return unpack_time_array(blob).tolist()
+
+
+def unpack_time_array(blob: bytes) -> np.ndarray:
+    """Invert :func:`pack_time_column` straight into a float64 array.
+
+    The array form is the analytics fast path: column decode without the
+    list materialization (and re-boxing) ``unpack_time_column`` pays.
+    """
     tag = blob[:1]
     try:
         dtype, delta = _TIME_TAGS[tag]
     except KeyError:
         raise ValueError(f"unknown time column tag {tag!r}") from None
     if not delta:
-        return np.frombuffer(blob, dtype="<f8", offset=1).tolist()
+        # frombuffer views the immutable bytes; copy so callers can hold
+        # the array after the segment buffer is released
+        return np.frombuffer(blob, dtype="<f8", offset=1).copy()
     first = np.frombuffer(blob, dtype="<f8", count=1, offset=1)[0]
     deltas = np.frombuffer(blob, dtype=dtype, offset=9)
-    out = first + np.concatenate(
-        ([0.0], np.cumsum(deltas, dtype="<f8")))
-    return out.tolist()
+    return first + np.concatenate(([0.0], np.cumsum(deltas, dtype="<f8")))
 
 
 #: tag -> numpy dtype for packed value/index columns
@@ -227,10 +236,22 @@ def unpack_value_column(blob: bytes) -> Tuple[bool, list]:
     Python scalars (floats or ints), index columns as plain ints the
     caller resolves against its value dictionary.
     """
+    is_indices, arr = unpack_value_array(blob)
+    return is_indices, arr.tolist()
+
+
+def unpack_value_array(blob: bytes) -> Tuple[bool, np.ndarray]:
+    """Invert a packed value column without boxing into Python scalars.
+
+    Returns ``(is_indices, array)``: raw columns come back as float64 /
+    int64 arrays, index columns as their stored unsigned index arrays
+    for the caller to resolve (typically via a vectorized dictionary
+    lookup table).
+    """
     tag = blob[:1]
     try:
         dtype = _VALUE_TAGS[tag]
     except KeyError:
         raise ValueError(f"unknown value column tag {tag!r}") from None
     return tag not in (b"f", b"i"), \
-        np.frombuffer(blob, dtype=dtype, offset=1).tolist()
+        np.frombuffer(blob, dtype=dtype, offset=1).copy()

@@ -60,18 +60,34 @@ def resample_matrix(table: Table, measure_name: str,
     Values before a series' first observation are NaN.  Non-numeric series
     raise ``TypeError`` -- resampling is for numeric measures.
     """
-    keys = table.series_keys(measure_name, filters)
-    matrix = np.full((len(keys), len(sample_times)), np.nan)
-    for row, key in enumerate(keys):
-        series = table.series(key)
-        assert series is not None
-        for col, value in enumerate(series.resample(sample_times)):
-            if value is None:
+    with table.lock:
+        keys = table.series_keys(measure_name, filters)
+        samples = np.asarray(list(sample_times), dtype="<f8")
+        matrix = np.full((len(keys), samples.size), np.nan)
+        for row, key in enumerate(keys):
+            series = table.series(key)
+            assert series is not None
+            if not series.times:
                 continue
-            if isinstance(value, str):
-                raise TypeError(
-                    f"series {key} holds strings; resample numeric measures only")
-            matrix[row, col] = float(value)
+            try:
+                times, values = table.series_arrays(key)
+            except TypeError:
+                # mixed/string series: fall back to the row loop, which
+                # raises only if a *sampled* value is actually a string
+                # (matching the historical contract)
+                for col, value in enumerate(series.resample(sample_times)):
+                    if value is None:
+                        continue
+                    if isinstance(value, str):
+                        raise TypeError(
+                            f"series {key} holds strings; resample "
+                            f"numeric measures only")
+                    matrix[row, col] = float(value)
+                continue
+            idx = np.searchsorted(times, samples, side="right") - 1
+            hit = idx >= 0
+            if hit.any():
+                matrix[row, hit] = values[idx[hit]]
     return keys, matrix
 
 
@@ -82,7 +98,13 @@ def update_intervals(table: Table, measure_name: str,
     for key in table.series_keys(measure_name, filters):
         series = table.series(key)
         assert series is not None
-        intervals.extend(series.update_intervals())
+        if len(series.times) > 1:
+            # np.diff performs the identical b - a float subtractions the
+            # pairwise list comprehension did, just without boxing each
+            # operand; only the times are touched so string-valued series
+            # keep working
+            arr = np.asarray(series.times, dtype="<f8")
+            intervals.extend(np.diff(arr).tolist())
     return intervals
 
 

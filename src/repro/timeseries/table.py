@@ -13,6 +13,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from .compression import ChangePointSeries
 from .record import DimensionKey, Record, SeriesKey, Value, dimension_key
 
@@ -67,6 +69,15 @@ class Table:
         self._dim_gen: Dict[Tuple[str, str], int] = {}
         # materialized latest-value view: last change point per series
         self._latest: Dict[SeriesKey, Record] = {}
+        # packed per-series float64 views for vectorized reads, keyed by
+        # the series generation that built them (see series_arrays)
+        self._views: Dict[SeriesKey, Tuple[int, np.ndarray, np.ndarray]] = {}
+        #: generation of the most recent eviction (0 = never evicted).
+        #: Rollup consumers compare it against their snapshot generation:
+        #: an eviction can *remove* history a pure append never can, so
+        #: incremental "recompute only the frontier" shortcuts are valid
+        #: only when no eviction happened since the snapshot.
+        self.eviction_generation: int = 0
 
     # -- writes ---------------------------------------------------------------
 
@@ -233,6 +244,36 @@ class Table:
     def series(self, key: SeriesKey) -> Optional[ChangePointSeries]:
         return self._series.get(key)
 
+    def series_arrays(self, key: SeriesKey
+                      ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Packed float64 (times, values) view of one series.
+
+        The view is cached and revalidated against the series generation
+        stamp -- any change-point write or eviction of the series bumps
+        its generation and the next call rebuilds the arrays, so callers
+        always see current data without paying the list->array conversion
+        per read.  Series holding non-numeric values raise ``TypeError``
+        (vectorized analytics is defined over the float64 domain).
+        Returned arrays are shared; callers must not mutate them.
+        """
+        with self.lock:
+            series = self._series.get(key)
+            if series is None:
+                return None
+            gen = self._series_gen.get(key, 0)
+            cached = self._views.get(key)
+            if cached is not None and cached[0] == gen:
+                return cached[1], cached[2]
+            times = np.asarray(series.times, dtype="<f8")
+            try:
+                values = np.asarray(series.values, dtype="<f8")
+            except (TypeError, ValueError):
+                raise TypeError(
+                    f"series {key} holds non-numeric values; vectorized "
+                    f"reads need a numeric measure") from None
+            self._views[key] = (gen, times, values)
+            return times, values
+
     def __len__(self) -> int:
         return len(self._series)
 
@@ -324,6 +365,8 @@ class Table:
                     del series.times[:keep_from]
                     del series.values[:keep_from]
                     self._touch(key)
+            if dropped:
+                self.eviction_generation = self.generation
             self.stats.change_points_stored -= dropped
             assert self.stats.change_points_stored == \
                 sum(len(s) for s in self._series.values())

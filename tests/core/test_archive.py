@@ -61,7 +61,7 @@ class TestBulkReads:
 
     def test_stats_tables(self, archive):
         stats = archive.stats()
-        assert set(stats) == {"sps", "advisor", "price"}
+        assert set(stats) == {"sps", "advisor", "price", "analytics"}
 
 
 class TestBatchedWrites:

@@ -304,7 +304,8 @@ class TestMetricsRoute:
         response = gateway.get("/metrics")
         assert response.status == 200
         body = response.body
-        assert set(body) == {"routes", "tenants", "totals", "cache"}
+        assert set(body) == {"routes", "tenants", "totals", "cache",
+                             "analytics"}
         route = body["routes"]["/sps/history"]
         assert route["requests"] == 1
         assert route["by_status"] == {"200": 1}

@@ -1,0 +1,246 @@
+"""The /analytics route: validation, pagination, determinism, metrics.
+
+The route is a thin parameter layer over the vectorized analytics
+engine, so the contract here is (a) every malformed request is a 400
+naming the offending parameter and the accepted values, (b) a paged walk
+tiles the unpaginated result exactly, (c) repeated identical requests
+are byte-identical, and (d) engine counters surface under /metrics.
+"""
+
+import ast
+import json
+
+from repro.devtools.engine import discover_files, module_identity
+
+from .conftest import build_serving_service, full_range
+
+
+def _get(service, params=None):
+    return service.gateway.get("/analytics", dict(params or {}))
+
+
+def _base_params(service, **extra):
+    params = dict(full_range(service), dataset="sps")
+    params.update(extra)
+    return params
+
+
+class TestValidation:
+    def test_dataset_is_required_and_checked(self):
+        service = build_serving_service()
+        try:
+            missing = _get(service, full_range(service))
+            assert missing.status == 400
+            assert "'dataset'" in missing.body["error"]
+            unknown = _get(service, dict(full_range(service),
+                                         dataset="weather"))
+            assert unknown.status == 400
+            for known in ("'advisor'", "'price'", "'sps'"):
+                assert known in unknown.body["error"]
+        finally:
+            service.close()
+
+    def test_unknown_parameter_is_a_400_listing_expected(self):
+        service = build_serving_service()
+        try:
+            response = _get(service, _base_params(service, bucketsize="60"))
+            assert response.status == 400
+            message = response.body["error"]
+            assert "'bucketsize'" in message
+            for expected in ("'bucket'", "'group_by'", "'agg'", "'zone'"):
+                assert expected in message
+        finally:
+            service.close()
+
+    def test_zone_is_not_an_advisor_parameter(self):
+        service = build_serving_service()
+        try:
+            response = _get(service, dict(full_range(service),
+                                          dataset="advisor",
+                                          zone="rg-one-1a"))
+            assert response.status == 400
+            assert "'zone'" in response.body["error"]
+        finally:
+            service.close()
+
+    def test_bad_measure_agg_group_bucket_and_cursor(self):
+        service = build_serving_service()
+        try:
+            cases = [
+                (dict(measure="latency"), "'latency'"),
+                (dict(agg="mean,median"), "'median'"),
+                (dict(group_by="family"), "'family'"),
+                (dict(bucket="0"), "'bucket'"),
+                (dict(bucket="-60"), "'bucket'"),
+                (dict(bucket="inf"), "'bucket'"),
+                (dict(next_token="not-a-cursor"), "next_token"),
+            ]
+            for extra, needle in cases:
+                response = _get(service, _base_params(service, **extra))
+                assert response.status == 400, extra
+                assert needle in response.body["error"], extra
+        finally:
+            service.close()
+
+    def test_advisor_measures_are_selectable(self):
+        service = build_serving_service()
+        try:
+            for measure in ("if_score", "interruption_ratio", "savings"):
+                response = _get(service, dict(full_range(service),
+                                              dataset="advisor",
+                                              measure=measure))
+                assert response.status == 200, measure
+                assert response.body["measure"] == measure
+        finally:
+            service.close()
+
+
+class TestResults:
+    def test_grouped_bucketed_aggregates_match_the_engine(self):
+        from repro.analysis import AnalyticsEngine
+
+        service = build_serving_service()
+        try:
+            params = _base_params(service, group_by="region",
+                                  agg="count,mean,last", bucket="21600")
+            response = _get(service, params)
+            assert response.status == 200
+            body = response.body
+            assert body["group_by"] == ["region"]
+            assert body["aggregates"] == ["count", "mean", "last"]
+            assert body["total"] == body["count"] == len(body["rows"])
+            assert body["rows"], "backfill must produce populated cells"
+
+            engine = AnalyticsEngine(service.archive)
+            spec = engine.spec("sps", float(params["start"]),
+                               float(params["end"]), bucket_seconds=21600.0,
+                               group_by=("Region",),
+                               aggregates=("count", "mean", "last"))
+            result = engine.aggregate(spec)
+            expected = []
+            for g, label in enumerate(result.group_labels):
+                for b in range(len(result.edges) - 1):
+                    if result.count[g, b] <= 0:
+                        continue
+                    expected.append(
+                        (label[0], float(result.edges[b]),
+                         int(result.tables["count"][g, b]),
+                         float(result.tables["mean"][g, b]),
+                         float(result.tables["last"][g, b])))
+            got = [(row["region"], row["bucket_start"], row["count"],
+                    row["mean"], row["last"]) for row in body["rows"]]
+            assert got == expected
+            for row in body["rows"]:
+                assert isinstance(row["count"], int)
+                assert row["bucket_end"] > row["bucket_start"]
+        finally:
+            service.close()
+
+    def test_filters_restrict_the_groups(self):
+        service = build_serving_service()
+        try:
+            body = _get(service, _base_params(
+                service, group_by="region", region="rg-one-1")).body
+            assert {row["region"] for row in body["rows"]} == {"rg-one-1"}
+        finally:
+            service.close()
+
+    def test_paged_walk_tiles_the_full_result(self):
+        service = build_serving_service()
+        try:
+            params = _base_params(service, group_by="zone", bucket="43200",
+                                  agg="count,mean")
+            expected = _get(service, params)
+            assert expected.status == 200
+            walked, token = [], None
+            while True:
+                page_params = dict(params, limit="3")
+                if token is not None:
+                    page_params["next_token"] = token
+                page = _get(service, page_params)
+                assert page.status == 200
+                assert page.body["count"] <= 3
+                walked.extend(page.body["rows"])
+                token = page.body["next_token"]
+                if token is None:
+                    break
+            assert walked == expected.body["rows"]
+        finally:
+            service.close()
+
+    def test_repeats_are_byte_identical(self):
+        service = build_serving_service()
+        try:
+            params = _base_params(service, group_by="region",
+                                  agg="count,mean,std,twa_mean", bucket="21600")
+            first = _get(service, params)
+            second = _get(service, params)
+            assert first.status == second.status == 200
+            assert first.json() == second.json()
+        finally:
+            service.close()
+
+
+class TestObservability:
+    def test_metrics_exposes_engine_counters(self):
+        service = build_serving_service()
+        try:
+            before = service.gateway.get("/metrics").body["analytics"]
+            response = _get(service, _base_params(service, group_by="region"))
+            assert response.status == 200
+            after = service.gateway.get("/metrics").body["analytics"]
+            assert after["queries"] == before["queries"] + 1
+            for counter in ("result_hits", "rollup_day_hits",
+                            "rollup_day_recomputes", "chunks_pruned",
+                            "chunks_decoded", "rows_decoded"):
+                assert counter in after
+        finally:
+            service.close()
+
+    def test_route_dispatch_is_metered(self):
+        service = build_serving_service()
+        try:
+            _get(service, _base_params(service))
+            routes = service.gateway.get("/metrics").body["routes"]
+            assert "/analytics" in routes
+            assert routes["/analytics"]["requests"] >= 1
+        finally:
+            service.close()
+
+
+class TestDeterminism:
+    """DET safety: no host-clock read is reachable from the handler."""
+
+    def test_no_wall_clock_reachable_from_analytics_handler(self):
+        from repro.devtools.astutil import is_wall_clock_call
+        from repro.devtools.callgraph import CallGraph
+
+        entries = []
+        for path in discover_files(["src/repro"]):
+            module, package = module_identity(path)
+            entries.append((str(path), module, package,
+                            ast.parse(path.read_text(encoding="utf-8"))))
+        graph = CallGraph.build(entries)
+        roots = graph.functions_matching("LambdaHandlers.analytics")
+        assert roots, "analytics handler not found in the call graph"
+        offenders = []
+        for qual in sorted(graph.reachable(roots)):
+            fn = graph.functions.get(qual)
+            if fn is None:
+                continue
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call) and is_wall_clock_call(node):
+                    offenders.append(
+                        (qual, graph.call_path(roots, qual)))
+        assert not offenders, offenders
+
+    def test_response_is_json_stable(self):
+        service = build_serving_service()
+        try:
+            response = _get(service, _base_params(service, group_by="region"))
+            rendered = response.json()
+            assert json.loads(rendered) == json.loads(rendered)
+            assert rendered == json.dumps(json.loads(rendered),
+                                          sort_keys=True)
+        finally:
+            service.close()
